@@ -1,0 +1,87 @@
+// A4 — Ablation: pruning progress and pruning cost.
+//
+// Part 1 (Section 3, monotone progress): the framework never rolls work
+// back — even sub-iterations whose guesses are far too small settle part of
+// the graph permanently. Measured as the survivor curve of the Theorem 1
+// transformer running the greedy-substitute (f(n~) = 2n~+4) on a path with
+// adversarially sorted identities: each doubled budget settles roughly the
+// next prefix of the path.
+//
+// Part 2 (Section 6.1, non-constant-time pruning): inflating the pruning
+// algorithm's running time by h extra rounds costs h per sub-iteration —
+// i.e. h times a logarithmic count — exactly the additive overhead the
+// paper's concluding section predicts.
+#include "bench/bench_support.h"
+#include "src/algo/greedy_mis.h"
+#include "src/core/transformer.h"
+#include "src/graph/generators.h"
+#include "src/prune/ruling_set_prune.h"
+#include "src/prune/slowed_pruning.h"
+
+namespace unilocal {
+namespace {
+
+void run() {
+  bench::header("A4: ablation — pruning progress and pruning cost",
+                "Sections 3 and 6.1 (monotone progress; general pruning)");
+  const auto algorithm = make_global_mis();
+  Instance instance =
+      make_instance(path_graph(3000), IdentityScheme::kSequential);
+
+  std::printf("\n-- part 1: survivor curve (greedy MIS, sorted path) --\n");
+  const RulingSetPruning pruning(1);
+  const UniformRunResult result =
+      run_uniform_transformer(instance, *algorithm, pruning);
+  TextTable table({"iter", "guess n~", "budget", "rounds", "survivors before",
+                   "pruned", "% settled"});
+  std::int64_t settled = 0;
+  for (const auto& trace : result.trace) {
+    settled += trace.nodes_pruned;
+    table.add_row(
+        {TextTable::fmt(std::int64_t{trace.iteration}),
+         TextTable::fmt(trace.guesses.empty() ? 0 : trace.guesses[0]),
+         TextTable::fmt(trace.budget), TextTable::fmt(trace.rounds_used),
+         TextTable::fmt(std::int64_t{trace.nodes_before}),
+         TextTable::fmt(std::int64_t{trace.nodes_pruned}),
+         TextTable::fmt(100.0 * static_cast<double>(settled) /
+                            static_cast<double>(instance.num_nodes()),
+                        1)});
+  }
+  table.print();
+  std::printf("total ledger %lld rounds, solved=%s\n",
+              static_cast<long long>(result.total_rounds),
+              result.solved ? "yes" : "no");
+
+  std::printf(
+      "\n-- part 2: non-constant-time pruning (Section 6.1) --\n");
+  TextTable slow_table({"extra prune rounds h", "ledger", "sub-iterations",
+                        "measured overhead", "h * #subs prediction"});
+  auto base = std::make_shared<RulingSetPruning>(1);
+  const UniformRunResult fast =
+      run_uniform_transformer(instance, *algorithm, *base);
+  for (std::int64_t h : {0, 8, 64, 512}) {
+    const SlowedPruning slowed(base, h);
+    const UniformRunResult slow =
+        run_uniform_transformer(instance, *algorithm, slowed);
+    const std::int64_t subs =
+        static_cast<std::int64_t>(slow.trace.size());
+    slow_table.add_row(
+        {TextTable::fmt(h), TextTable::fmt(slow.total_rounds),
+         TextTable::fmt(subs),
+         TextTable::fmt(slow.total_rounds - fast.total_rounds),
+         TextTable::fmt(h * subs)});
+  }
+  slow_table.print();
+  std::printf(
+      "\nexpected shape: part 1 — survivors shrink monotonically, each\n"
+      "doubled guess settles the next prefix; part 2 — overhead equals\n"
+      "h per sub-iteration (additive, as Section 6.1 predicts)\n");
+}
+
+}  // namespace
+}  // namespace unilocal
+
+int main() {
+  unilocal::run();
+  return 0;
+}

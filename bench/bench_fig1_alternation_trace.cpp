@@ -1,0 +1,59 @@
+// F1 — Figure 1: the schematic of an alternating algorithm
+// (G1,x1) --A1--> (G1,x1,y1) --P--> (G2,x2) --A2--> ...
+// Regenerated as a concrete execution trace of the Theorem 1 transformer:
+// one row per (iteration, sub-iteration) showing the guess vector, the
+// prescribed budget c*2^i, the rounds actually used, and the graph
+// shrinking under the pruning algorithm until V(G_k) is empty.
+#include "bench/bench_support.h"
+#include "src/algo/mis_from_coloring.h"
+#include "src/core/transformer.h"
+#include "src/graph/generators.h"
+#include "src/prune/ruling_set_prune.h"
+
+namespace unilocal {
+namespace {
+
+void run() {
+  bench::header("F1: alternating-algorithm execution trace",
+                "Figure 1 (Section 3.3) as a concrete run");
+  const auto algorithm = make_coloring_mis();
+  const RulingSetPruning pruning(1);
+  Rng rng(5);
+  Instance instance = make_instance(gnp(600, 0.02, rng),
+                                    IdentityScheme::kRandomSparse, 11);
+  const UniformRunResult result =
+      run_uniform_transformer(instance, *algorithm, pruning);
+  TextTable table({"iter i", "sub j", "guesses (Delta~, m~)", "budget c*2^i",
+                   "rounds used", "|V(G)| before", "pruned", "left"});
+  for (const auto& step : result.trace) {
+    std::string guesses;
+    for (std::size_t k = 0; k < step.guesses.size(); ++k) {
+      if (k > 0) guesses += ", ";
+      guesses += std::to_string(step.guesses[k]);
+    }
+    table.add_row({TextTable::fmt(std::int64_t{step.iteration}),
+                   TextTable::fmt(std::int64_t{step.sub_iteration}),
+                   "(" + guesses + ")", TextTable::fmt(step.budget),
+                   TextTable::fmt(step.rounds_used),
+                   TextTable::fmt(std::int64_t{step.nodes_before}),
+                   TextTable::fmt(std::int64_t{step.nodes_pruned}),
+                   TextTable::fmt(std::int64_t{step.nodes_before -
+                                               step.nodes_pruned})});
+  }
+  table.print();
+  std::printf("\ntotal ledger: %lld rounds across %d iterations, solved=%s\n",
+              static_cast<long long>(result.total_rounds),
+              result.iterations_used, result.solved ? "yes" : "no");
+  std::printf(
+      "expected shape: guesses and budgets double per iteration; the final\n"
+      "sub-iteration (good guesses) prunes every remaining node — the\n"
+      "solution-detection property of Figure 1's pruning boxes\n");
+}
+
+}  // namespace
+}  // namespace unilocal
+
+int main() {
+  unilocal::run();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// M1 — wall-clock micro-benchmarks of the LOCAL simulator substrate
+// (google-benchmark): rounds/second for message-heavy and message-light
+// protocols, instance restriction, and the pruning fast path.
+#include <benchmark/benchmark.h>
+
+#include "src/algo/luby.h"
+#include "src/algo/greedy_mis.h"
+#include "src/graph/generators.h"
+#include "src/graph/subgraph.h"
+#include "src/prune/ruling_set_prune.h"
+#include "src/runtime/runner.h"
+
+namespace unilocal {
+namespace {
+
+void BM_LubyMis(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(1);
+  Instance instance =
+      make_instance(gnp(n, 8.0 / n, rng), IdentityScheme::kRandomSparse, 2);
+  std::uint64_t seed = 1;
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    RunOptions options;
+    options.seed = seed++;
+    const RunResult result = run_local(instance, LubyMis{}, options);
+    rounds += result.rounds_used;
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["rounds/iter"] =
+      benchmark::Counter(static_cast<double>(rounds),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["nodes"] = static_cast<double>(n);
+}
+BENCHMARK(BM_LubyMis)->Arg(1024)->Arg(8192);
+
+void BM_GreedyMisPath(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Instance instance = make_instance(path_graph(n), IdentityScheme::kSequential);
+  for (auto _ : state) {
+    const RunResult result = run_local(instance, GreedyMis{});
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["nodes"] = static_cast<double>(n);
+}
+BENCHMARK(BM_GreedyMisPath)->Arg(512)->Arg(2048);
+
+void BM_InducedSubgraph(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  Graph g = gnp(n, 10.0 / n, rng);
+  std::vector<bool> keep(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) keep[static_cast<std::size_t>(v)] = (v % 3) != 0;
+  for (auto _ : state) {
+    auto sub = induced_subgraph(g, keep);
+    benchmark::DoNotOptimize(sub.graph.num_edges());
+  }
+}
+BENCHMARK(BM_InducedSubgraph)->Arg(4096)->Arg(32768);
+
+void BM_RulingSetPruneApply(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(3);
+  Instance instance =
+      make_instance(gnp(n, 8.0 / n, rng), IdentityScheme::kRandomSparse, 4);
+  std::vector<std::int64_t> yhat(static_cast<std::size_t>(n));
+  for (auto& y : yhat) y = rng.next_bool(0.3) ? 1 : 0;
+  const RulingSetPruning pruning(1);
+  for (auto _ : state) {
+    auto result = pruning.apply(instance, yhat);
+    benchmark::DoNotOptimize(result.pruned.size());
+  }
+}
+BENCHMARK(BM_RulingSetPruneApply)->Arg(4096)->Arg(32768);
+
+}  // namespace
+}  // namespace unilocal

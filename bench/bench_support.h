@@ -1,0 +1,45 @@
+// Shared helpers for the Table 1 / Figure 1 reproduction benches.
+//
+// Every bench prints (a) the paper row it regenerates, (b) a table of
+// measured LOCAL rounds for the non-uniform baseline (run with correct
+// guesses) vs the uniform algorithm produced by the transformer, and (c)
+// the overhead ratio — the quantity the paper claims is O(1).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/nonuniform.h"
+#include "src/runtime/runner.h"
+#include "src/runtime/trace.h"
+
+namespace unilocal {
+namespace bench {
+
+inline void header(const std::string& title, const std::string& paper_row) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper artefact: %s\n", paper_row.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Rounds of the non-uniform baseline run with the correct guesses
+/// Gamma*(instance) — the paper's reference configuration.
+inline std::int64_t baseline_rounds(const Instance& instance,
+                                    const NonUniformAlgorithm& algorithm,
+                                    std::uint64_t seed = 1) {
+  const auto runnable = instantiate_with_correct_guesses(algorithm, instance);
+  RunOptions options;
+  options.seed = seed;
+  return run_local(instance, *runnable, options).rounds_used;
+}
+
+inline std::string ratio(std::int64_t uniform, std::int64_t baseline) {
+  if (baseline <= 0) return "-";
+  return TextTable::fmt(static_cast<double>(uniform) /
+                        static_cast<double>(baseline));
+}
+
+}  // namespace bench
+}  // namespace unilocal

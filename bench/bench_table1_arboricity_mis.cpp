@@ -1,0 +1,76 @@
+// E3 — Table 1 rows 3-4: MIS on bounded-arboricity graphs (Barenboim-
+// Elkin'10), time o(log n) / O(log n / log log n), parameters {a, n};
+// Corollary 4: the uniform version needs neither. Our substitute's bound is
+// O(a^2) + O(log n) + O(log* m); on the bounded-arboricity families below
+// the O(log n) peeling dominates, reproducing the rows' log-n shape.
+//
+// The Theorem 3 wrapper eliminates a (via 2^a <= n on these families) and m
+// (via m = n under permuted identities), leaving Lambda = {n} — exactly the
+// situation the paper describes for [6].
+#include <cmath>
+
+#include "bench/bench_support.h"
+#include "src/algo/arb_mis.h"
+#include "src/core/transformer.h"
+#include "src/core/weak_domination.h"
+#include "src/graph/generators.h"
+#include "src/graph/params.h"
+#include "src/problems/mis.h"
+#include "src/prune/ruling_set_prune.h"
+
+namespace unilocal {
+namespace {
+
+void run() {
+  bench::header("E3: deterministic MIS on bounded-arboricity families",
+                "Table 1 rows 3-4 (Barenboim-Elkin'10) + Corollary 4");
+  auto inner = std::shared_ptr<const NonUniformAlgorithm>(make_arb_mis());
+  const auto uniform_algorithm = apply_weak_domination(
+      inner,
+      {Domination{Param::kArboricity, Param::kNumNodes,
+                  [](std::int64_t a) { return std::ldexp(1.0, int(a)); },
+                  "2^a<=n"},
+       Domination{Param::kMaxIdentity, Param::kNumNodes,
+                  [](std::int64_t m) { return double(m); }, "m<=n"}});
+  const RulingSetPruning pruning(1);
+  const MisProblem problem;
+  TextTable table({"family", "n", "a(proxy)", "nonuniform(a,n,m)",
+                   "uniform(n-only)", "ratio", "valid"});
+  for (NodeId n : {256, 1024, 4096}) {
+    Rng rng(n);
+    const std::vector<std::pair<std::string, Graph>> families = {
+        {"tree", random_tree(n, rng)},
+        {"grid", grid_graph(static_cast<NodeId>(std::sqrt(n)),
+                            static_cast<NodeId>(std::sqrt(n)))},
+        {"layered-forest-2", random_layered_forest(n, 2, rng)},
+    };
+    for (const auto& [family, graph] : families) {
+      Instance instance =
+          make_instance(graph, IdentityScheme::kRandomPermuted, n + 1);
+      const std::int64_t base = bench::baseline_rounds(instance, *inner);
+      const UniformRunResult uniform =
+          run_uniform_transformer(instance, *uniform_algorithm, pruning);
+      table.add_row(
+          {family, TextTable::fmt(std::int64_t{instance.num_nodes()}),
+           TextTable::fmt(eval_param(Param::kArboricity, instance)),
+           TextTable::fmt(base), TextTable::fmt(uniform.total_rounds),
+           bench::ratio(uniform.total_rounds, base),
+           uniform.solved && problem.check(instance, uniform.outputs)
+               ? "yes"
+               : "NO"});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: both columns grow ~log n (peeling-dominated);\n"
+      "ratio bounded by a constant; the uniform column used no knowledge\n"
+      "of a, n or m\n");
+}
+
+}  // namespace
+}  // namespace unilocal
+
+int main() {
+  unilocal::run();
+  return 0;
+}

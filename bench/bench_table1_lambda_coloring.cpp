@@ -1,0 +1,56 @@
+// E4 — Table 1 row 5: "Det. lambda(Delta+1)-coloring, parameters {n, Delta},
+// time O(Delta/lambda + log* n)" and Corollary 1(iii), via the Theorem 5
+// coloring transformer (SLC + degree layering). Our substitute's time is
+// O(Delta^2 + log* m); the quantity under test is the transformer overhead
+// and the O(g(Delta)) color budget, both claimed O(1)-factor by the paper.
+#include "bench/bench_support.h"
+#include "src/algo/lambda_coloring.h"
+#include "src/core/coloring_transform.h"
+#include "src/graph/generators.h"
+#include "src/graph/params.h"
+#include "src/problems/coloring.h"
+
+namespace unilocal {
+namespace {
+
+void run() {
+  bench::header("E4: uniform lambda(Delta+1)-coloring via Theorem 5",
+                "Table 1 row 5 (Barenboim-Elkin'09 / Kuhn'09) + Cor. 1(iii)");
+  TextTable table({"lambda", "n", "Delta", "nonuniform", "uniform(T5)",
+                   "colors", "budget 2g(2D+1)", "valid"});
+  for (std::int64_t lambda : {1, 2, 4, 8}) {
+    const auto gdelta = make_lambda_gdelta_coloring(lambda);
+    const auto nonuniform = make_lambda_coloring(lambda);
+    for (NodeId n : {512, 2048}) {
+      Rng rng(static_cast<std::uint64_t>(n) + lambda);
+      Instance instance =
+          make_instance(random_bounded_degree(n, 8, 0.9, rng),
+                        IdentityScheme::kRandomSparse, n + lambda);
+      const std::int64_t delta = max_degree(instance.graph);
+      const std::int64_t base = bench::baseline_rounds(instance, *nonuniform);
+      const ColoringTransformResult uniform =
+          run_uniform_coloring_transform(instance, *gdelta);
+      const bool valid = uniform.solved &&
+                         is_proper_coloring(instance.graph, uniform.colors);
+      table.add_row({TextTable::fmt(lambda), TextTable::fmt(std::int64_t{n}),
+                     TextTable::fmt(delta), TextTable::fmt(base),
+                     TextTable::fmt(uniform.total_rounds),
+                     TextTable::fmt(uniform.max_color_used),
+                     TextTable::fmt(2 * gdelta->g(2 * delta + 1)),
+                     valid ? "yes" : "NO"});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: colors <= 2 g(2 Delta+1) = O(lambda Delta); rounds\n"
+      "ratio vs the non-uniform baseline bounded by a constant per lambda;\n"
+      "larger lambda shortens the palette-reduction tail in both columns\n");
+}
+
+}  // namespace
+}  // namespace unilocal
+
+int main() {
+  unilocal::run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E8 — Table 1 row 10: the uniform randomized MIS baseline (Luby'86 /
+// Alon-Babai-Itai'86, expected O(log n)). Verifies the log n round shape
+// the paper's last row cites, across families and seeds.
+#include <numeric>
+
+#include "bench/bench_support.h"
+#include "src/algo/luby.h"
+#include "src/graph/generators.h"
+#include "src/problems/mis.h"
+#include "src/util/math.h"
+
+namespace unilocal {
+namespace {
+
+void run() {
+  bench::header("E8: uniform randomized MIS baseline (Luby)",
+                "Table 1 row 10 (Luby'86 / Alon-Babai-Itai'86)");
+  const LubyMis algorithm;
+  TextTable table({"family", "n", "E[rounds]", "max", "2*log2(n)", "valid"});
+  for (NodeId n : {256, 1024, 4096, 16384}) {
+    Rng rng(n);
+    const std::vector<std::pair<std::string, Graph>> families = {
+        {"gnp-avg8", gnp(n, 8.0 / n, rng)},
+        {"path", path_graph(n)},
+    };
+    for (const auto& [family, graph] : families) {
+      Instance instance =
+          make_instance(graph, IdentityScheme::kRandomSparse, n + 9);
+      std::vector<std::int64_t> rounds;
+      bool all_valid = true;
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        RunOptions options;
+        options.seed = seed;
+        const RunResult result = run_local(instance, algorithm, options);
+        all_valid = all_valid &&
+                    is_maximal_independent_set(instance.graph, result.outputs);
+        rounds.push_back(result.rounds_used);
+      }
+      const double mean = std::accumulate(rounds.begin(), rounds.end(), 0.0) /
+                          static_cast<double>(rounds.size());
+      table.add_row({family, TextTable::fmt(std::int64_t{n}),
+                     TextTable::fmt(mean, 1),
+                     TextTable::fmt(*std::max_element(rounds.begin(),
+                                                      rounds.end())),
+                     TextTable::fmt(std::int64_t{2 * clog2(
+                         static_cast<std::uint64_t>(n))}),
+                     all_valid ? "yes" : "NO"});
+    }
+  }
+  table.print();
+  std::printf("\nexpected shape: E[rounds] grows ~log n, valid on all seeds\n");
+}
+
+}  // namespace
+}  // namespace unilocal
+
+int main() {
+  unilocal::run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Frequency assignment for a wireless mesh: access points within
+// interference range must transmit on different channels, nobody knows the
+// size of the deployment, and dense downtown cells should not force remote
+// rural APs onto exotic channel numbers.
+//
+// This is exactly the paper's Theorem 5 scenario: a uniform
+// lambda(Delta+1)-coloring of the interference graph. The degree layering
+// gives low-degree (rural) APs small channels regardless of the downtown
+// hub degrees.
+#include <cstdio>
+
+#include "src/core/coloring_transform.h"
+#include "src/graph/generators.h"
+#include "src/graph/params.h"
+#include "src/problems/coloring.h"
+
+using namespace unilocal;
+
+int main() {
+  // Interference graph: 800 APs scattered on the unit square, edges within
+  // radio range (a random geometric graph — degree varies wildly).
+  Rng rng(2026);
+  Instance deployment = make_instance(random_geometric(800, 0.06, rng),
+                                      IdentityScheme::kRandomSparse, 3);
+  std::printf("deployment: %d APs, %lld interference edges, Delta=%d\n",
+              deployment.num_nodes(),
+              static_cast<long long>(deployment.graph.num_edges()),
+              max_degree(deployment.graph));
+
+  // lambda = 2: twice the minimum palette buys a faster assignment.
+  const auto coloring = make_lambda_gdelta_coloring(2);
+  const ColoringTransformResult plan =
+      run_uniform_coloring_transform(deployment, *coloring);
+  if (!plan.solved) {
+    std::printf("assignment failed\n");
+    return 1;
+  }
+  std::printf("channels assigned in %lld rounds (phase1 %lld + phase2 %lld)\n",
+              static_cast<long long>(plan.total_rounds),
+              static_cast<long long>(plan.phase1_rounds),
+              static_cast<long long>(plan.phase2_rounds));
+  std::printf("conflict-free: %s, channels used: up to %lld\n",
+              is_proper_coloring(deployment.graph, plan.colors) ? "yes" : "NO",
+              static_cast<long long>(plan.max_color_used));
+  for (const auto& layer : plan.layers) {
+    std::printf(
+        "  degree band %d (deg < %lld): %d APs on channels [%lld, %lld]\n",
+        layer.layer, static_cast<long long>(layer.delta_hat),
+        layer.nodes, static_cast<long long>(layer.palette_lo),
+        static_cast<long long>(layer.palette_hi));
+  }
+  std::printf(
+      "note: no AP was ever told the deployment size or the max degree —\n"
+      "low-degree APs landed on low channels by the layering alone\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Peer-to-peer matchmaking: players are connected to compatible opponents
+// in an overlay graph; we want a maximal set of disjoint matches (every
+// unmatched player has only matched acquaintances to blame). The overlay
+// grows and shrinks constantly, so no node knows n or Delta — the Theorem 1
+// transformer with the paper's P_MM pruning algorithm runs the
+// colored-proposal matcher uniformly.
+#include <cstdio>
+
+#include "src/algo/edge_color_mm.h"
+#include "src/core/transformer.h"
+#include "src/graph/generators.h"
+#include "src/graph/params.h"
+#include "src/problems/matching.h"
+#include "src/prune/matching_prune.h"
+
+using namespace unilocal;
+
+int main() {
+  // Compatibility overlay: a power-law graph (a few very social players).
+  Rng rng(99);
+  Instance overlay = make_instance(power_law(1200, 2.4, 5.0, rng),
+                                   IdentityScheme::kRandomSparse, 5);
+  std::printf("overlay: %d players, %lld compatibility edges, Delta=%d\n",
+              overlay.num_nodes(),
+              static_cast<long long>(overlay.graph.num_edges()),
+              max_degree(overlay.graph));
+
+  const auto matcher = make_colored_matching();
+  const MatchingPruning pruning;
+  const UniformRunResult result =
+      run_uniform_transformer(overlay, *matcher, pruning);
+  if (!result.solved) {
+    std::printf("matchmaking did not converge\n");
+    return 1;
+  }
+  const auto partner = matched_partner(overlay.graph, result.outputs);
+  int matched = 0;
+  for (NodeId v = 0; v < overlay.num_nodes(); ++v)
+    matched += partner[static_cast<std::size_t>(v)] >= 0;
+  std::printf("matched %d of %d players in %lld rounds, maximal=%s\n",
+              matched, overlay.num_nodes(),
+              static_cast<long long>(result.total_rounds),
+              is_maximal_matching(overlay.graph, result.outputs) ? "yes"
+                                                                 : "NO");
+  std::printf("transformer iterations: %d (guesses doubled until they\n"
+              "covered the true Delta and id-space — no global knowledge)\n",
+              result.iterations_used);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Cluster-head election in a sensor network: pick heads so that no two
+// heads hear each other (alpha = 2) and every sensor is within beta hops of
+// a head — a (2, beta)-ruling set. Sensors are deployed by airdrop: none
+// knows how many survived, so the Monte-Carlo head-election protocol (which
+// needs an estimate of n to size its retry budget) is made uniform AND
+// Las Vegas by the paper's Theorem 2 transformer.
+#include <cstdio>
+
+#include "src/algo/ruling_set_mc.h"
+#include "src/core/mc_to_lv.h"
+#include "src/graph/generators.h"
+#include "src/graph/params.h"
+#include "src/problems/ruling_set.h"
+#include "src/prune/ruling_set_prune.h"
+
+using namespace unilocal;
+
+int main() {
+  constexpr int kBeta = 2;
+  Rng rng(7);
+  Instance field = make_instance(random_geometric(1000, 0.05, rng),
+                                 IdentityScheme::kRandomSparse, 9);
+  std::printf("field: %d sensors, %lld radio links, Delta=%d\n",
+              field.num_nodes(),
+              static_cast<long long>(field.graph.num_edges()),
+              max_degree(field.graph));
+
+  const auto election = make_mc_ruling_set(kBeta);
+  const RulingSetPruning pruning(kBeta);
+  UniformRunOptions options;
+  options.seed = 123;
+  const UniformRunResult result =
+      run_las_vegas_transformer(field, *election, pruning, options);
+  if (!result.solved) {
+    std::printf("election did not converge\n");
+    return 1;
+  }
+  int heads = 0;
+  for (std::int64_t bit : result.outputs) heads += bit != 0;
+  std::printf("elected %d cluster heads in %lld rounds\n", heads,
+              static_cast<long long>(result.total_rounds));
+  std::printf("valid (2,%d)-ruling set: %s\n", kBeta,
+              is_two_beta_ruling_set(field.graph, result.outputs, kBeta)
+                  ? "yes"
+                  : "NO");
+  std::printf(
+      "Las Vegas guarantee: rerunning with any seed yields a correct\n"
+      "election; only the round count varies (Theorem 2)\n");
+  return 0;
+}

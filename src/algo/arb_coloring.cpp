@@ -1,0 +1,154 @@
+#include "src/algo/arb_coloring.h"
+
+#include <algorithm>
+
+#include "src/algo/hpartition.h"
+#include "src/algo/linial.h"
+#include "src/runtime/chain.h"
+#include "src/util/math.h"
+
+namespace unilocal {
+
+struct OutLinialColoring::Impl {
+  LinialSchedule schedule;
+  std::int64_t out_degree_bound = 0;
+};
+
+namespace {
+
+class OutLinialProcess final : public Process {
+ public:
+  explicit OutLinialProcess(const OutLinialColoring::Impl* impl)
+      : impl_(impl) {}
+
+  void step(Context& ctx) override {
+    if (ctx.round() == 0) {
+      layer_ = ctx.input().empty() ? 0 : ctx.input()[0];
+      color_ = std::max<std::int64_t>(ctx.id() - 1, 0) %
+               impl_->schedule.initial_space;
+      ctx.broadcast({layer_, ctx.id()});
+      return;
+    }
+    if (ctx.round() == 1) {
+      // Learn the orientation: out-neighbours are (layer, id)-larger.
+      out_port_.assign(static_cast<std::size_t>(ctx.degree()), 0);
+      for (NodeId j = 0; j < ctx.degree(); ++j) {
+        const Message* m = ctx.received(j);
+        if (m == nullptr) continue;
+        const auto other = std::make_pair((*m)[0], (*m)[1]);
+        if (other > std::make_pair(layer_, ctx.id()))
+          out_port_[static_cast<std::size_t>(j)] = 1;
+      }
+      if (impl_->schedule.length() == 0) {
+        ctx.finish(color_ + 1);
+        return;
+      }
+      ctx.broadcast({color_});
+      return;
+    }
+    const std::size_t index = static_cast<std::size_t>(ctx.round() - 2);
+    std::vector<std::int64_t> conflicts(static_cast<std::size_t>(ctx.degree()),
+                                        -1);
+    for (NodeId j = 0; j < ctx.degree(); ++j) {
+      if (!out_port_[static_cast<std::size_t>(j)]) continue;
+      const Message* m = ctx.received(j);
+      if (m != nullptr) conflicts[static_cast<std::size_t>(j)] = (*m)[0];
+    }
+    color_ = linial_step_apply(impl_->schedule.steps[index], color_, conflicts);
+    if (index + 1 == impl_->schedule.length()) {
+      ctx.finish(color_ + 1);
+      return;
+    }
+    ctx.broadcast({color_});
+  }
+
+ private:
+  const OutLinialColoring::Impl* impl_;
+  std::int64_t layer_ = 0;
+  std::int64_t color_ = 0;
+  std::vector<char> out_port_;
+};
+
+}  // namespace
+
+OutLinialColoring::OutLinialColoring(std::int64_t out_degree_bound,
+                                     std::int64_t m_guess) {
+  auto impl = std::make_shared<Impl>();
+  impl->out_degree_bound = out_degree_bound;
+  impl->schedule = linial_schedule(out_degree_bound,
+                                   std::max<std::int64_t>(m_guess, 1));
+  impl_ = std::move(impl);
+}
+
+std::unique_ptr<Process> OutLinialColoring::spawn(const NodeInit&) const {
+  return std::make_unique<OutLinialProcess>(impl_.get());
+}
+
+std::string OutLinialColoring::name() const {
+  return "out-linial(d=" + std::to_string(impl_->out_degree_bound) + ")";
+}
+
+std::int64_t OutLinialColoring::final_space() const noexcept {
+  return impl_->schedule.final_space;
+}
+
+std::int64_t OutLinialColoring::schedule_rounds() const noexcept {
+  return static_cast<std::int64_t>(impl_->schedule.length()) + 2;
+}
+
+std::unique_ptr<Algorithm> make_arb_coloring_algorithm(
+    std::int64_t arboricity_guess, std::int64_t n_guess,
+    std::int64_t m_guess) {
+  auto peel = std::make_shared<HPartition>(arboricity_guess, n_guess);
+  auto color =
+      std::make_shared<OutLinialColoring>(peel->threshold(), m_guess);
+  std::vector<ChainStage> stages;
+  stages.push_back({peel, peel->schedule_rounds()});
+  stages.push_back({color, color->schedule_rounds()});
+  return std::make_unique<ChainAlgorithm>(
+      "arb-coloring(a=" + std::to_string(arboricity_guess) + ")",
+      std::move(stages));
+}
+
+namespace {
+
+class ArbColoring final : public NonUniformAlgorithm {
+ public:
+  std::string name() const override { return "arb-O(a^2)-coloring"; }
+  ParamSet gamma() const override {
+    return {Param::kArboricity, Param::kNumNodes, Param::kMaxIdentity};
+  }
+  ParamSet lambda() const override { return gamma(); }
+  const RuntimeBound& bound() const override { return bound_; }
+  std::unique_ptr<Algorithm> instantiate(
+      std::span<const std::int64_t> guesses) const override {
+    return make_arb_coloring_algorithm(guesses[0], guesses[1], guesses[2]);
+  }
+
+ private:
+  AdditiveBound bound_{
+      {BoundComponent{"6a+4",
+                      [](std::int64_t a) {
+                        return static_cast<double>(
+                            6 * std::max<std::int64_t>(a, 1) + 4);
+                      }},
+       BoundComponent{"log1.5(n)+5",
+                      [](std::int64_t n) {
+                        return static_cast<double>(HPartition::phases_for(n) +
+                                                   5);
+                      }},
+       BoundComponent{"log*(m)+44", [](std::int64_t m) {
+                        return static_cast<double>(
+                            log_star(static_cast<std::uint64_t>(
+                                std::max<std::int64_t>(m, 2))) +
+                            44);
+                      }}}};
+};
+
+}  // namespace
+
+std::unique_ptr<NonUniformAlgorithm> make_arb_coloring() {
+  return std::make_unique<ArbColoring>();
+}
+
+}  // namespace unilocal

@@ -1,0 +1,74 @@
+#include "src/algo/arb_mis.h"
+
+#include <algorithm>
+
+#include "src/algo/arb_coloring.h"
+#include "src/algo/hpartition.h"
+#include "src/algo/linial.h"
+#include "src/algo/mis_from_coloring.h"
+#include "src/runtime/chain.h"
+#include "src/util/math.h"
+
+namespace unilocal {
+
+std::unique_ptr<Algorithm> make_arb_mis_algorithm(std::int64_t arboricity_guess,
+                                                  std::int64_t n_guess,
+                                                  std::int64_t m_guess) {
+  auto peel = std::make_shared<HPartition>(arboricity_guess, n_guess);
+  auto color = std::make_shared<OutLinialColoring>(peel->threshold(), m_guess);
+  auto sweep = std::make_shared<MisColorSweep>(color->final_space());
+  std::vector<ChainStage> stages;
+  stages.push_back({peel, peel->schedule_rounds()});
+  stages.push_back({color, color->schedule_rounds()});
+  stages.push_back({sweep, sweep->schedule_rounds()});
+  return std::make_unique<ChainAlgorithm>(
+      "arb-mis(a=" + std::to_string(arboricity_guess) + ")",
+      std::move(stages));
+}
+
+namespace {
+
+class ArbMis final : public NonUniformAlgorithm {
+ public:
+  std::string name() const override { return "arb-mis"; }
+  ParamSet gamma() const override {
+    return {Param::kArboricity, Param::kNumNodes, Param::kMaxIdentity};
+  }
+  ParamSet lambda() const override { return gamma(); }
+  const RuntimeBound& bound() const override { return bound_; }
+  std::unique_ptr<Algorithm> instantiate(
+      std::span<const std::int64_t> guesses) const override {
+    return make_arb_mis_algorithm(guesses[0], guesses[1], guesses[2]);
+  }
+
+ private:
+  // Sweep length is the out-Linial fixed point for out-degree 3a:
+  // linial_final_space_bound(3a) colors.
+  AdditiveBound bound_{
+      {BoundComponent{"O(a^2)",
+                      [](std::int64_t a) {
+                        return static_cast<double>(
+                            linial_final_space_bound(
+                                3 * std::max<std::int64_t>(a, 1)) +
+                            8);
+                      }},
+       BoundComponent{"log1.5(n)+5",
+                      [](std::int64_t n) {
+                        return static_cast<double>(HPartition::phases_for(n) +
+                                                   5);
+                      }},
+       BoundComponent{"log*(m)+44", [](std::int64_t m) {
+                        return static_cast<double>(
+                            log_star(static_cast<std::uint64_t>(
+                                std::max<std::int64_t>(m, 2))) +
+                            44);
+                      }}}};
+};
+
+}  // namespace
+
+std::unique_ptr<NonUniformAlgorithm> make_arb_mis() {
+  return std::make_unique<ArbMis>();
+}
+
+}  // namespace unilocal

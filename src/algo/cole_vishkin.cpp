@@ -1,0 +1,150 @@
+#include "src/algo/cole_vishkin.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/math.h"
+
+namespace unilocal {
+
+namespace {
+
+std::vector<std::int64_t> cv_spaces(std::int64_t m_guess) {
+  std::vector<std::int64_t> spaces;
+  std::int64_t space = std::max<std::int64_t>(m_guess + 1, 8);
+  spaces.push_back(space);
+  while (space > 6) {
+    space = 2 * clog2(static_cast<std::uint64_t>(space));
+    space = std::max<std::int64_t>(space, 6);
+    spaces.push_back(space);
+  }
+  return spaces;
+}
+
+class ColeVishkinProcess final : public Process {
+ public:
+  explicit ColeVishkinProcess(const std::vector<std::int64_t>* spaces)
+      : spaces_(spaces) {}
+
+  void step(Context& ctx) override {
+    const std::int64_t parent_port =
+        ctx.input().empty() ? -1 : ctx.input()[0];
+    const std::size_t steps = spaces_->size() - 1;
+    if (ctx.round() == 0) {
+      color_ = ctx.id() % (*spaces_)[0];
+      ctx.broadcast({color_});
+      return;
+    }
+    const std::int64_t parent_color =
+        parent_port >= 0 && ctx.received(static_cast<NodeId>(parent_port))
+            ? (*ctx.received(static_cast<NodeId>(parent_port)))[0]
+            : parent_cache_;
+    if (parent_port >= 0) parent_cache_ = parent_color;
+
+    if (ctx.round() <= static_cast<std::int64_t>(steps)) {
+      // Bit-shrink step.
+      if (parent_port < 0) {
+        color_ = color_ & 1;  // root rule
+      } else {
+        const std::int64_t diff = color_ ^ parent_color;
+        const std::int64_t i = diff == 0 ? 0 : ilog2(diff & (-diff));
+        color_ = 2 * i + ((color_ >> i) & 1);
+      }
+      ctx.broadcast({color_});
+      return;
+    }
+    // Three (shift-down; eliminate t) pairs for t = 5, 4, 3.
+    const std::int64_t phase = ctx.round() - static_cast<std::int64_t>(steps) - 1;
+    const std::int64_t pair = phase / 2;  // 0,1,2
+    const bool shift = (phase % 2) == 0;
+    if (pair >= 3) {
+      ctx.finish(color_ + 1);
+      return;
+    }
+    if (shift) {
+      previous_ = color_;
+      color_ = parent_port < 0 ? (color_ + 1) % 3 : parent_color;
+      ctx.broadcast({color_});
+      return;
+    }
+    const std::int64_t t = 5 - pair;
+    if (color_ == t) {
+      // Conflicts: parent's current color + the single color all children
+      // share (our own pre-shift color).
+      for (std::int64_t c = 0; c < 3; ++c) {
+        if (c != parent_color && c != previous_) {
+          color_ = c;
+          break;
+        }
+      }
+    }
+    ctx.broadcast({color_});
+  }
+
+ private:
+  const std::vector<std::int64_t>* spaces_;
+  std::int64_t color_ = 0;
+  std::int64_t previous_ = 0;
+  std::int64_t parent_cache_ = -1;
+};
+
+}  // namespace
+
+ColeVishkin::ColeVishkin(std::int64_t m_guess) : spaces_(cv_spaces(m_guess)) {}
+
+std::unique_ptr<Process> ColeVishkin::spawn(const NodeInit&) const {
+  return std::make_unique<ColeVishkinProcess>(&spaces_);
+}
+
+std::string ColeVishkin::name() const {
+  return "cole-vishkin(steps=" + std::to_string(spaces_.size() - 1) + ")";
+}
+
+std::int64_t ColeVishkin::schedule_rounds() const noexcept {
+  return static_cast<std::int64_t>(spaces_.size() - 1) + 8;
+}
+
+Instance make_rooted_forest_instance(Graph forest, std::uint64_t seed) {
+  Instance instance =
+      make_instance(std::move(forest), IdentityScheme::kRandomPermuted, seed);
+  const Graph& g = instance.graph;
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> parent(static_cast<std::size_t>(n), -1);
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  // Root each component at its minimum-identity node.
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return instance.identities[static_cast<std::size_t>(a)] <
+           instance.identities[static_cast<std::size_t>(b)];
+  });
+  for (NodeId root : order) {
+    if (seen[static_cast<std::size_t>(root)]) continue;
+    seen[static_cast<std::size_t>(root)] = true;
+    std::queue<NodeId> frontier;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (NodeId u : g.neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(u)]) {
+          seen[static_cast<std::size_t>(u)] = true;
+          parent[static_cast<std::size_t>(u)] = v;
+          frontier.push(u);
+        }
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    std::int64_t port = -1;
+    const NodeId p = parent[static_cast<std::size_t>(v)];
+    if (p >= 0) {
+      const auto& nbrs = g.neighbors(v);
+      port = std::lower_bound(nbrs.begin(), nbrs.end(), p) - nbrs.begin();
+    }
+    instance.inputs[static_cast<std::size_t>(v)] = {port};
+  }
+  return instance;
+}
+
+}  // namespace unilocal

@@ -1,0 +1,66 @@
+#include "src/algo/dplus1.h"
+
+#include <algorithm>
+
+#include "src/algo/color_reduce.h"
+#include "src/algo/linial.h"
+#include "src/runtime/chain.h"
+#include "src/util/math.h"
+
+namespace unilocal {
+
+std::unique_ptr<Algorithm> make_deg_plus_one_algorithm(std::int64_t delta_guess,
+                                                       std::int64_t m_guess) {
+  auto linial = std::make_shared<LinialColoring>(
+      delta_guess, std::max<std::int64_t>(m_guess, 1));
+  const std::int64_t k_final = linial->schedule().final_space;
+  auto reduce = std::make_shared<ColorReduce>(k_final, /*target=*/0);
+  std::vector<ChainStage> stages;
+  stages.push_back({linial, static_cast<std::int64_t>(
+                                linial->schedule().length()) +
+                                1});
+  stages.push_back({reduce, reduce->schedule_rounds()});
+  return std::make_unique<ChainAlgorithm>(
+      "deg+1-coloring(D=" + std::to_string(delta_guess) + ")",
+      std::move(stages));
+}
+
+namespace {
+
+class DegPlusOne final : public NonUniformAlgorithm {
+ public:
+  std::string name() const override { return "deg+1-coloring"; }
+  ParamSet gamma() const override {
+    return {Param::kMaxDegree, Param::kMaxIdentity};
+  }
+  ParamSet lambda() const override {
+    return {Param::kMaxDegree, Param::kMaxIdentity};
+  }
+  const RuntimeBound& bound() const override { return bound_; }
+  std::unique_ptr<Algorithm> instantiate(
+      std::span<const std::int64_t> guesses) const override {
+    return make_deg_plus_one_algorithm(guesses[0], guesses[1]);
+  }
+
+ private:
+  AdditiveBound bound_{
+      {BoundComponent{"O(D^2)",
+                      [](std::int64_t d) {
+                        return static_cast<double>(
+                            linial_final_space_bound(d) + 4);
+                      }},
+       BoundComponent{"log*(m)+43", [](std::int64_t m) {
+                        return static_cast<double>(
+                            log_star(static_cast<std::uint64_t>(
+                                std::max<std::int64_t>(m, 2))) +
+                            43);
+                      }}}};
+};
+
+}  // namespace
+
+std::unique_ptr<NonUniformAlgorithm> make_deg_plus_one_coloring() {
+  return std::make_unique<DegPlusOne>();
+}
+
+}  // namespace unilocal

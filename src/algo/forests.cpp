@@ -1,0 +1,71 @@
+#include "src/algo/forests.h"
+
+#include <algorithm>
+
+namespace unilocal {
+
+std::vector<std::vector<NodeId>> orientation_from_layers(
+    const Instance& instance, const std::vector<std::int64_t>& layers) {
+  const Graph& g = instance.graph;
+  std::vector<std::vector<NodeId>> out(
+      static_cast<std::size_t>(g.num_nodes()));
+  auto key = [&](NodeId v) {
+    return std::make_pair(layers[static_cast<std::size_t>(v)],
+                          instance.identities[static_cast<std::size_t>(v)]);
+  };
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (key(v) < key(u)) out[static_cast<std::size_t>(v)].push_back(u);
+    }
+    std::sort(out[static_cast<std::size_t>(v)].begin(),
+              out[static_cast<std::size_t>(v)].end(),
+              [&](NodeId a, NodeId b) { return key(a) < key(b); });
+  }
+  return out;
+}
+
+NodeId max_out_degree(const std::vector<std::vector<NodeId>>& out) {
+  std::size_t best = 0;
+  for (const auto& list : out) best = std::max(best, list.size());
+  return static_cast<NodeId>(best);
+}
+
+std::vector<std::vector<std::pair<NodeId, NodeId>>> forest_split(
+    const std::vector<std::vector<NodeId>>& out) {
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> forests(
+      static_cast<std::size_t>(max_out_degree(out)));
+  for (NodeId v = 0; v < static_cast<NodeId>(out.size()); ++v) {
+    const auto& list = out[static_cast<std::size_t>(v)];
+    for (std::size_t r = 0; r < list.size(); ++r)
+      forests[r].emplace_back(v, list[r]);
+  }
+  return forests;
+}
+
+std::vector<std::int64_t> central_hpartition(const Graph& g,
+                                             std::int64_t threshold,
+                                             std::int64_t phases) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::int64_t> layers(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> residual(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v)
+    residual[static_cast<std::size_t>(v)] = g.degree(v);
+  for (std::int64_t phase = 1; phase <= phases; ++phase) {
+    std::vector<NodeId> peeled;
+    for (NodeId v = 0; v < n; ++v) {
+      if (layers[static_cast<std::size_t>(v)] == 0 &&
+          residual[static_cast<std::size_t>(v)] <= threshold)
+        peeled.push_back(v);
+    }
+    for (NodeId v : peeled) layers[static_cast<std::size_t>(v)] = phase;
+    for (NodeId v : peeled) {
+      for (NodeId u : g.neighbors(v)) {
+        if (layers[static_cast<std::size_t>(u)] == 0)
+          --residual[static_cast<std::size_t>(u)];
+      }
+    }
+  }
+  return layers;
+}
+
+}  // namespace unilocal

@@ -1,0 +1,38 @@
+// Forest decomposition from an H-partition (Barenboim-Elkin / Nash-Williams):
+// orient every edge toward its (layer, identity)-larger endpoint — acyclic,
+// out-degree <= 3*a~ — then split the out-edges of every node by rank; the
+// rank-r edges form forest r (every node has at most one rank-r parent).
+//
+// The orientation/split are deterministic local rules; these centralized
+// helpers materialize them for tests, benches and examples (the LOCAL
+// algorithms in arb_coloring.h/arb_mis.h recompute the same rules in-protocol
+// from broadcast layers).
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/runtime/instance.h"
+
+namespace unilocal {
+
+/// out[v] = the out-neighbours of v under the (layer, identity) orientation,
+/// sorted by (layer, identity) so ranks are deterministic.
+std::vector<std::vector<NodeId>> orientation_from_layers(
+    const Instance& instance, const std::vector<std::int64_t>& layers);
+
+/// Largest out-degree of the orientation.
+NodeId max_out_degree(const std::vector<std::vector<NodeId>>& out);
+
+/// forest_edges[r] = the edges whose tail assigned them rank r (0-based).
+/// Every forest_edges[r], viewed as a graph, is acyclic.
+std::vector<std::vector<std::pair<NodeId, NodeId>>> forest_split(
+    const std::vector<std::vector<NodeId>>& out);
+
+/// Runs the H-partition peeling centrally (same rule as the LOCAL
+/// algorithm): layers[v] in [1, phases], or 0 if never peeled.
+std::vector<std::int64_t> central_hpartition(const Graph& g,
+                                             std::int64_t threshold,
+                                             std::int64_t phases);
+
+}  // namespace unilocal

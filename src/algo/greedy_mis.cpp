@@ -1,0 +1,68 @@
+#include "src/algo/greedy_mis.h"
+
+namespace unilocal {
+
+namespace {
+
+constexpr std::int64_t kTagValue = 0;
+constexpr std::int64_t kTagJoined = 1;
+
+class GreedyMisProcess final : public Process {
+ public:
+  void step(Context& ctx) override {
+    const bool resolve_round = (ctx.round() % 2) == 1;
+    if (!resolve_round) {
+      for (NodeId j = 0; j < ctx.degree(); ++j) {
+        const Message* m = ctx.received(j);
+        if (m != nullptr && (*m)[0] == kTagJoined) {
+          ctx.finish(0);
+          return;
+        }
+      }
+      ctx.broadcast({kTagValue, ctx.id()});
+      return;
+    }
+    bool smallest = true;
+    for (NodeId j = 0; j < ctx.degree(); ++j) {
+      const Message* m = ctx.received(j);
+      if (m == nullptr || (*m)[0] != kTagValue) continue;
+      if ((*m)[1] < ctx.id()) {
+        smallest = false;
+        break;
+      }
+    }
+    if (smallest) {
+      ctx.broadcast({kTagJoined});
+      ctx.finish(1);
+    }
+  }
+};
+
+class GlobalMis final : public NonUniformAlgorithm {
+ public:
+  std::string name() const override { return "greedy-mis-as-A{n}"; }
+  ParamSet gamma() const override { return {Param::kNumNodes}; }
+  ParamSet lambda() const override { return {Param::kNumNodes}; }
+  const RuntimeBound& bound() const override { return bound_; }
+  std::unique_ptr<Algorithm> instantiate(
+      std::span<const std::int64_t>) const override {
+    // The code happens to be uniform; the *bound* is what depends on n.
+    return std::make_unique<GreedyMis>();
+  }
+
+ private:
+  AdditiveBound bound_{{BoundComponent{
+      "2n+4", [](std::int64_t n) { return 2.0 * static_cast<double>(n) + 4.0; }}}};
+};
+
+}  // namespace
+
+std::unique_ptr<Process> GreedyMis::spawn(const NodeInit&) const {
+  return std::make_unique<GreedyMisProcess>();
+}
+
+std::unique_ptr<NonUniformAlgorithm> make_global_mis() {
+  return std::make_unique<GlobalMis>();
+}
+
+}  // namespace unilocal

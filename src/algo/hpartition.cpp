@@ -1,0 +1,60 @@
+#include "src/algo/hpartition.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unilocal {
+
+namespace {
+
+class HPartitionProcess final : public Process {
+ public:
+  HPartitionProcess(std::int64_t threshold, std::int64_t phases)
+      : threshold_(threshold), phases_(phases) {}
+
+  void step(Context& ctx) override {
+    if (ctx.round() == 0) {
+      residual_degree_ = ctx.degree();
+      // Peel in lockstep: phase p happens in round p (1-based).
+      return;
+    }
+    // Ingest departure notices from the previous phase.
+    for (NodeId j = 0; j < ctx.degree(); ++j) {
+      if (ctx.received(j) != nullptr) --residual_degree_;
+    }
+    if (layer_ == 0 && residual_degree_ <= threshold_) {
+      layer_ = ctx.round();  // 1-based phase index
+      ctx.broadcast({1});    // departure notice
+    }
+    if (ctx.round() >= phases_) ctx.finish(layer_);
+  }
+
+ private:
+  std::int64_t threshold_;
+  std::int64_t phases_;
+  std::int64_t residual_degree_ = 0;
+  std::int64_t layer_ = 0;
+};
+
+}  // namespace
+
+std::int64_t HPartition::phases_for(std::int64_t n_guess) {
+  const double n = static_cast<double>(std::max<std::int64_t>(n_guess, 2));
+  return static_cast<std::int64_t>(
+             std::ceil(std::log(n) / std::log(1.5))) +
+         1;
+}
+
+HPartition::HPartition(std::int64_t arboricity_guess, std::int64_t n_guess)
+    : threshold_(3 * std::max<std::int64_t>(arboricity_guess, 1)),
+      phases_(phases_for(n_guess)) {}
+
+std::unique_ptr<Process> HPartition::spawn(const NodeInit&) const {
+  return std::make_unique<HPartitionProcess>(threshold_, phases_);
+}
+
+std::string HPartition::name() const {
+  return "h-partition(3a=" + std::to_string(threshold_) + ")";
+}
+
+}  // namespace unilocal

@@ -1,0 +1,78 @@
+#include "src/algo/lambda_coloring.h"
+
+#include <algorithm>
+
+#include "src/algo/color_reduce.h"
+#include "src/algo/linial.h"
+#include "src/runtime/chain.h"
+#include "src/util/math.h"
+
+namespace unilocal {
+
+std::unique_ptr<Algorithm> make_lambda_coloring_algorithm(
+    std::int64_t lambda, std::int64_t delta_guess, std::int64_t m_guess) {
+  auto linial = std::make_shared<LinialColoring>(
+      delta_guess, std::max<std::int64_t>(m_guess, 1));
+  const std::int64_t k_final = linial->schedule().final_space;
+  const std::int64_t target =
+      std::max<std::int64_t>(lambda * (delta_guess + 1), 1);
+  auto reduce = std::make_shared<ColorReduce>(k_final, target);
+  std::vector<ChainStage> stages;
+  stages.push_back({linial, static_cast<std::int64_t>(
+                                linial->schedule().length()) +
+                                1});
+  stages.push_back({reduce, reduce->schedule_rounds()});
+  return std::make_unique<ChainAlgorithm>(
+      "lambda(D+1)-coloring(l=" + std::to_string(lambda) +
+          ",D=" + std::to_string(delta_guess) + ")",
+      std::move(stages));
+}
+
+namespace {
+
+class LambdaColoring final : public NonUniformAlgorithm {
+ public:
+  explicit LambdaColoring(std::int64_t lambda)
+      : lambda_(lambda),
+        // The reduction runs for at most final_space rounds; keeping the full
+        // quadratic term (instead of final_space - lambda(D+1)) keeps the
+        // component provably non-decreasing across prime jumps.
+        bound_({BoundComponent{"O(D^2)",
+                               [](std::int64_t d) {
+                                 return static_cast<double>(
+                                     linial_final_space_bound(d) + 6);
+                               }},
+                BoundComponent{"log*(m)+43", [](std::int64_t m) {
+                                 return static_cast<double>(
+                                     log_star(static_cast<std::uint64_t>(
+                                         std::max<std::int64_t>(m, 2))) +
+                                     43);
+                               }}}) {}
+
+  std::string name() const override {
+    return "lambda(D+1)-coloring(l=" + std::to_string(lambda_) + ")";
+  }
+  ParamSet gamma() const override {
+    return {Param::kMaxDegree, Param::kMaxIdentity};
+  }
+  ParamSet lambda() const override {
+    return {Param::kMaxDegree, Param::kMaxIdentity};
+  }
+  const RuntimeBound& bound() const override { return bound_; }
+  std::unique_ptr<Algorithm> instantiate(
+      std::span<const std::int64_t> guesses) const override {
+    return make_lambda_coloring_algorithm(lambda_, guesses[0], guesses[1]);
+  }
+
+ private:
+  std::int64_t lambda_;
+  AdditiveBound bound_;
+};
+
+}  // namespace
+
+std::unique_ptr<NonUniformAlgorithm> make_lambda_coloring(std::int64_t lambda) {
+  return std::make_unique<LambdaColoring>(std::max<std::int64_t>(lambda, 1));
+}
+
+}  // namespace unilocal

@@ -1,0 +1,24 @@
+// lambda*(Delta+1)-coloring (paper Table 1 row 5, Corollary 1(iii)):
+// Linial's shrink followed by a reduction of the palette to
+// g(Delta~) = lambda*(Delta~+1) colors. For lambda = Delta the pipeline stops
+// at Linial's O(Delta^2) fixed point (the "O(Delta^2)-coloring in O(log* n)"
+// special case). Gamma = Lambda = {Delta, m}.
+//
+// g(x) = lambda*(x+1) is moderately-fast for any constant lambda >= 1, which
+// is what the Theorem 5 transformer requires of the color budget.
+#pragma once
+
+#include <memory>
+
+#include "src/core/nonuniform.h"
+#include "src/runtime/local.h"
+
+namespace unilocal {
+
+std::unique_ptr<Algorithm> make_lambda_coloring_algorithm(
+    std::int64_t lambda, std::int64_t delta_guess, std::int64_t m_guess);
+
+/// Colors used: at most lambda*(delta_guess+1).
+std::unique_ptr<NonUniformAlgorithm> make_lambda_coloring(std::int64_t lambda);
+
+}  // namespace unilocal

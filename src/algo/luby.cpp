@@ -1,0 +1,126 @@
+#include "src/algo/luby.h"
+
+#include "src/util/math.h"
+
+namespace unilocal {
+
+namespace {
+
+// Message tags.
+constexpr std::int64_t kTagValue = 0;   // [tag, rank, identity]
+constexpr std::int64_t kTagJoined = 1;  // [tag]
+
+class LubyProcess final : public Process {
+ public:
+  void step(Context& ctx) override {
+    const bool resolve_round = (ctx.round() % 2) == 1;
+    if (!resolve_round) {
+      // Retire if some neighbour joined in the previous resolve round.
+      for (NodeId j = 0; j < ctx.degree(); ++j) {
+        const Message* m = ctx.received(j);
+        if (m != nullptr && (*m)[0] == kTagJoined) {
+          ctx.finish(0);
+          return;
+        }
+      }
+      rank_ = static_cast<std::int64_t>(ctx.rng().next() >> 1);
+      ctx.broadcast({kTagValue, rank_, ctx.id()});
+      return;
+    }
+    // Resolve: compare with undecided neighbours that sent values.
+    bool smallest = true;
+    for (NodeId j = 0; j < ctx.degree(); ++j) {
+      const Message* m = ctx.received(j);
+      if (m == nullptr || (*m)[0] != kTagValue) continue;
+      const std::int64_t other_rank = (*m)[1];
+      const std::int64_t other_id = (*m)[2];
+      if (other_rank < rank_ ||
+          (other_rank == rank_ && other_id < ctx.id())) {
+        smallest = false;
+        break;
+      }
+    }
+    if (smallest) {
+      ctx.broadcast({kTagJoined});
+      ctx.finish(1);
+    }
+  }
+
+ private:
+  std::int64_t rank_ = 0;
+};
+
+class TruncatedProcess final : public Process {
+ public:
+  TruncatedProcess(std::unique_ptr<Process> inner, std::int64_t budget,
+                   std::int64_t fallback)
+      : inner_(std::move(inner)), budget_(budget), fallback_(fallback) {}
+
+  void step(Context& ctx) override {
+    if (ctx.round() >= budget_) {
+      ctx.finish(fallback_);
+      return;
+    }
+    inner_->step(ctx);
+  }
+
+ private:
+  std::unique_ptr<Process> inner_;
+  std::int64_t budget_;
+  std::int64_t fallback_;
+};
+
+}  // namespace
+
+std::unique_ptr<Process> LubyMis::spawn(const NodeInit&) const {
+  return std::make_unique<LubyProcess>();
+}
+
+TruncatedAlgorithm::TruncatedAlgorithm(std::shared_ptr<const Algorithm> inner,
+                                       std::int64_t budget,
+                                       std::int64_t fallback)
+    : inner_(std::move(inner)), budget_(budget), fallback_(fallback) {}
+
+std::unique_ptr<Process> TruncatedAlgorithm::spawn(const NodeInit& init) const {
+  return std::make_unique<TruncatedProcess>(inner_->spawn(init), budget_,
+                                            fallback_);
+}
+
+std::string TruncatedAlgorithm::name() const {
+  return inner_->name() + "@" + std::to_string(budget_);
+}
+
+std::int64_t luby_budget(std::int64_t n_guess) {
+  return 2 * (6 * clog2(static_cast<std::uint64_t>(std::max<std::int64_t>(
+                  2, n_guess))) +
+              8);
+}
+
+namespace {
+
+class TruncatedLubyMis final : public NonUniformAlgorithm {
+ public:
+  std::string name() const override { return "luby-mis-MC"; }
+  ParamSet gamma() const override { return {Param::kNumNodes}; }
+  ParamSet lambda() const override { return {Param::kNumNodes}; }
+  const RuntimeBound& bound() const override { return bound_; }
+  bool randomized() const override { return true; }
+  std::unique_ptr<Algorithm> instantiate(
+      std::span<const std::int64_t> guesses) const override {
+    return std::make_unique<TruncatedAlgorithm>(std::make_shared<LubyMis>(),
+                                                luby_budget(guesses[0]));
+  }
+
+ private:
+  AdditiveBound bound_{{BoundComponent{
+      "luby_budget(n)",
+      [](std::int64_t n) { return static_cast<double>(luby_budget(n)); }}}};
+};
+
+}  // namespace
+
+std::unique_ptr<NonUniformAlgorithm> make_truncated_luby_mis() {
+  return std::make_unique<TruncatedLubyMis>();
+}
+
+}  // namespace unilocal

@@ -1,0 +1,116 @@
+#include "src/algo/mis_from_coloring.h"
+
+#include <algorithm>
+
+#include "src/algo/color_reduce.h"
+#include "src/algo/linial.h"
+#include "src/runtime/chain.h"
+#include "src/util/math.h"
+
+namespace unilocal {
+
+namespace {
+
+class MisColorSweepProcess final : public Process {
+ public:
+  explicit MisColorSweepProcess(std::int64_t num_colors)
+      : num_colors_(num_colors) {}
+
+  void step(Context& ctx) override {
+    if (ctx.round() == 0) {
+      color_ = ctx.input().empty() ? 1 : ctx.input()[0];
+      return;  // nothing to send: no one has joined yet
+    }
+    // Learn of joins decided in the previous round.
+    for (NodeId j = 0; j < ctx.degree(); ++j) {
+      const Message* m = ctx.received(j);
+      if (m != nullptr && (*m)[0] == 1) {
+        ctx.finish(0);  // dominated
+        return;
+      }
+    }
+    if (ctx.round() == color_) {
+      ctx.broadcast({1});
+      ctx.finish(1);
+      return;
+    }
+    if (ctx.round() >= num_colors_ + 1) ctx.finish(0);
+  }
+
+ private:
+  std::int64_t num_colors_;
+  std::int64_t color_ = 1;
+};
+
+}  // namespace
+
+MisColorSweep::MisColorSweep(std::int64_t num_colors)
+    : num_colors_(std::max<std::int64_t>(num_colors, 1)) {}
+
+std::unique_ptr<Process> MisColorSweep::spawn(const NodeInit&) const {
+  return std::make_unique<MisColorSweepProcess>(num_colors_);
+}
+
+std::string MisColorSweep::name() const {
+  return "mis-sweep(" + std::to_string(num_colors_) + ")";
+}
+
+std::unique_ptr<Algorithm> make_coloring_mis_algorithm(std::int64_t delta_guess,
+                                                       std::int64_t m_guess) {
+  auto linial = std::make_shared<LinialColoring>(
+      delta_guess, std::max<std::int64_t>(m_guess, 1));
+  const std::int64_t k_final = linial->schedule().final_space;
+  auto reduce = std::make_shared<ColorReduce>(k_final, /*target=*/0);
+  auto sweep = std::make_shared<MisColorSweep>(delta_guess + 1);
+  std::vector<ChainStage> stages;
+  stages.push_back({linial, static_cast<std::int64_t>(
+                                linial->schedule().length()) +
+                                1});
+  stages.push_back({reduce, reduce->schedule_rounds()});
+  stages.push_back({sweep, sweep->schedule_rounds()});
+  return std::make_unique<ChainAlgorithm>(
+      "mis-via-coloring(D=" + std::to_string(delta_guess) + ")",
+      std::move(stages));
+}
+
+namespace {
+
+class ColoringMis final : public NonUniformAlgorithm {
+ public:
+  std::string name() const override { return "mis-via-coloring"; }
+  ParamSet gamma() const override {
+    return {Param::kMaxDegree, Param::kMaxIdentity};
+  }
+  ParamSet lambda() const override {
+    return {Param::kMaxDegree, Param::kMaxIdentity};
+  }
+  const RuntimeBound& bound() const override { return bound_; }
+  std::unique_ptr<Algorithm> instantiate(
+      std::span<const std::int64_t> guesses) const override {
+    return make_coloring_mis_algorithm(guesses[0], guesses[1]);
+  }
+
+ private:
+  // Chain length <= (|schedule|+1) + final_space + (Delta~+3)
+  //             <= linial_final_space_bound(D) + D + 45 + log*(m).
+  AdditiveBound bound_{
+      {BoundComponent{"O(D^2)",
+                      [](std::int64_t d) {
+                        return static_cast<double>(
+                            linial_final_space_bound(d) + d + 8);
+                      }},
+       BoundComponent{"log*(m)+43", [](std::int64_t m) {
+                        return static_cast<double>(
+                            log_star(static_cast<std::uint64_t>(
+                                std::max<std::int64_t>(m, 2))) +
+                            43);
+                      }}}};
+};
+
+}  // namespace
+
+std::unique_ptr<NonUniformAlgorithm> make_coloring_mis() {
+  return std::make_unique<ColoringMis>();
+}
+
+}  // namespace unilocal

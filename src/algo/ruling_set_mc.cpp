@@ -1,0 +1,135 @@
+#include "src/algo/ruling_set_mc.h"
+
+#include <algorithm>
+
+#include "src/algo/luby.h"
+#include "src/util/math.h"
+
+namespace unilocal {
+
+namespace {
+
+// Message layout: [kind, payload...].
+constexpr std::int64_t kKindMin = 0;  // payload: rank, identity
+constexpr std::int64_t kKindDom = 1;  // payload: remaining hops
+
+class BetaLubyProcess final : public Process {
+ public:
+  explicit BetaLubyProcess(int beta) : beta_(beta) {}
+
+  void step(Context& ctx) override {
+    const std::int64_t period = 2 * beta_ + 2;
+    const std::int64_t phase_round = ctx.round() % period;
+    if (phase_round == 0) {
+      // Fresh phase. (Domination waves cannot straddle phases: they start
+      // at phase round beta+1 and travel beta-1 more hops, ending by round
+      // 2*beta < period.)
+      rank_ = static_cast<std::int64_t>(ctx.rng().next() >> 1);
+      min_rank_ = rank_;
+      min_id_ = ctx.id();
+      dominated_ = false;
+      ctx.broadcast({kKindMin, rank_, ctx.id()});
+      return;
+    }
+    // Ingest.
+    std::int64_t dom_hops = -1;
+    for (NodeId j = 0; j < ctx.degree(); ++j) {
+      const Message* m = ctx.received(j);
+      if (m == nullptr) continue;
+      if ((*m)[0] == kKindMin) {
+        if ((*m)[1] < min_rank_ ||
+            ((*m)[1] == min_rank_ && (*m)[2] < min_id_)) {
+          min_rank_ = (*m)[1];
+          min_id_ = (*m)[2];
+        }
+      } else if ((*m)[0] == kKindDom) {
+        dominated_ = true;
+        dom_hops = std::max(dom_hops, (*m)[1]);
+      }
+    }
+    if (phase_round <= beta_ - 1) {
+      // Still flooding minima.
+      ctx.broadcast({kKindMin, min_rank_, min_id_});
+      return;
+    }
+    if (phase_round == beta_) {
+      // Join decision: strict minimum of the beta-ball.
+      if (min_rank_ == rank_ && min_id_ == ctx.id()) {
+        if (beta_ >= 1) ctx.broadcast({kKindDom, beta_ - 1});
+        ctx.finish(1);
+      }
+      return;
+    }
+    // Domination wave (phase rounds beta+1 .. 2*beta).
+    if (dominated_) {
+      if (dom_hops >= 1) ctx.broadcast({kKindDom, dom_hops - 1});
+      ctx.finish(0);
+      return;
+    }
+  }
+
+ private:
+  int beta_;
+  std::int64_t rank_ = 0;
+  std::int64_t min_rank_ = 0;
+  std::int64_t min_id_ = 0;
+  bool dominated_ = false;
+};
+
+}  // namespace
+
+BetaLubyRulingSet::BetaLubyRulingSet(int beta) : beta_(std::max(beta, 1)) {}
+
+std::unique_ptr<Process> BetaLubyRulingSet::spawn(const NodeInit&) const {
+  return std::make_unique<BetaLubyProcess>(beta_);
+}
+
+std::string BetaLubyRulingSet::name() const {
+  return "beta-luby-ruling-set(b=" + std::to_string(beta_) + ")";
+}
+
+std::int64_t beta_luby_budget(int beta, std::int64_t n_guess) {
+  const std::int64_t phases =
+      6 * clog2(static_cast<std::uint64_t>(std::max<std::int64_t>(n_guess, 2))) +
+      8;
+  return (2 * static_cast<std::int64_t>(beta) + 2) * phases;
+}
+
+namespace {
+
+class McRulingSet final : public NonUniformAlgorithm {
+ public:
+  explicit McRulingSet(int beta) : beta_(beta), bound_(make_bound(beta)) {}
+
+  std::string name() const override {
+    return "mc-(2," + std::to_string(beta_) + ")-ruling-set";
+  }
+  ParamSet gamma() const override { return {Param::kNumNodes}; }
+  ParamSet lambda() const override { return {Param::kNumNodes}; }
+  const RuntimeBound& bound() const override { return bound_; }
+  bool randomized() const override { return true; }
+  std::unique_ptr<Algorithm> instantiate(
+      std::span<const std::int64_t> guesses) const override {
+    return std::make_unique<TruncatedAlgorithm>(
+        std::make_shared<BetaLubyRulingSet>(beta_),
+        beta_luby_budget(beta_, guesses[0]));
+  }
+
+ private:
+  static AdditiveBound make_bound(int beta) {
+    return AdditiveBound{{BoundComponent{
+        "budget(n)", [beta](std::int64_t n) {
+          return static_cast<double>(beta_luby_budget(beta, n));
+        }}}};
+  }
+  int beta_;
+  AdditiveBound bound_;
+};
+
+}  // namespace
+
+std::unique_ptr<NonUniformAlgorithm> make_mc_ruling_set(int beta) {
+  return std::make_unique<McRulingSet>(beta);
+}
+
+}  // namespace unilocal

@@ -1,0 +1,82 @@
+// Theorem 5 — the uniform coloring transformer.
+//
+// Input: a non-uniform g(Delta~)-coloring algorithm A requiring guesses
+// (Delta~, m~), with g moderately-fast and an additive-style bound whose m
+// dependence is polylog and whose Delta dependence is moderately-slow.
+//
+// The transform:
+//  * layering: D_1 = 1, D_{i+1} = min{ l : g(l) >= 2 g(D_i) }; a node's
+//    layer is determined by its own degree — a purely local quantity;
+//  * phase 1: each layer becomes a Strong List Coloring instance with the
+//    common estimate Delta^ = D_{i+1} and full lists
+//    [1, g(Delta^)] x [1, Delta^+1]; the SLC solver (A with Delta~ = Delta^,
+//    output mapped into the list) is made uniform in its remaining
+//    parameter m via the Theorem 1 transformer with the P_SLC pruning
+//    algorithm — all layers run in parallel (rounds = max over layers);
+//  * phase 2: within each layer, rerun A non-uniformly with the *known*
+//    guesses Delta~ = Delta^, m~ = g(Delta^)*(Delta^+1) (the phase 1 colors
+//    serve as identities), then shift the result into the layer's private
+//    palette [g(D_{i+1})+1, 2 g(D_{i+1})].
+// Layer palettes are pairwise disjoint (g(D_{i+1}) >= 2 g(D_i)), so the
+// union is a proper O(g(Delta))-coloring of the whole graph.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/core/transformer.h"
+
+namespace unilocal {
+
+/// A g(Delta~)-coloring black box in the Theorem 5 sense.
+class GDeltaColoring {
+ public:
+  virtual ~GDeltaColoring() = default;
+  virtual std::string name() const = 0;
+  /// The color budget g (moderately-fast: x < g(x) < poly(x)).
+  virtual std::int64_t g(std::int64_t delta) const = 0;
+  /// Instantiates A with the given guesses. The algorithm must read its
+  /// initial color from input[0] when present (identities otherwise) and
+  /// finish with a color in [1, g(delta_guess)].
+  virtual std::unique_ptr<Algorithm> instantiate(
+      std::int64_t delta_guess, std::int64_t m_guess) const = 0;
+  /// f(delta~, m~) upper-bounding the running time under good guesses.
+  virtual double bound(std::int64_t delta_guess,
+                       std::int64_t m_guess) const = 0;
+};
+
+/// The lambda(Delta+1)-coloring black box of Corollary 1(iii).
+std::unique_ptr<GDeltaColoring> make_lambda_gdelta_coloring(
+    std::int64_t lambda);
+
+struct LayerTrace {
+  int layer = 0;
+  NodeId nodes = 0;
+  std::int64_t delta_hat = 0;
+  std::int64_t phase1_rounds = 0;
+  std::int64_t phase2_rounds = 0;
+  std::int64_t palette_lo = 0;
+  std::int64_t palette_hi = 0;
+};
+
+struct ColoringTransformResult {
+  std::vector<std::int64_t> colors;
+  bool solved = false;
+  /// max over layers (they run in parallel), phase by phase.
+  std::int64_t phase1_rounds = 0;
+  std::int64_t phase2_rounds = 0;
+  std::int64_t total_rounds = 0;
+  std::int64_t max_color_used = 0;
+  std::vector<LayerTrace> layers;
+};
+
+ColoringTransformResult run_uniform_coloring_transform(
+    const Instance& instance, const GDeltaColoring& algorithm,
+    const UniformRunOptions& options = {});
+
+/// The degree thresholds D_1, D_2, ... up to the first threshold exceeding
+/// max_degree (exposed for tests).
+std::vector<std::int64_t> layer_thresholds(const GDeltaColoring& algorithm,
+                                           std::int64_t max_degree);
+
+}  // namespace unilocal

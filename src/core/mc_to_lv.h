@@ -1,0 +1,19 @@
+// Theorem 2 — the Monte-Carlo -> Las Vegas transformer tau (paper
+// Algorithm 2). Outer iteration i replays the first i iterations of pi with
+// fresh randomness; a failed probabilistic run merely leaves survivors for
+// the next sweep, so the output is correct with probability 1 while the
+// expected ledger stays O(f* . s_f(f*)).
+#pragma once
+
+#include "src/core/transformer.h"
+
+namespace unilocal {
+
+/// Las Vegas execution. The returned `solved` is true unless the iteration
+/// cap was exhausted (probability vanishing in the cap).
+UniformRunResult run_las_vegas_transformer(const Instance& instance,
+                                           const NonUniformAlgorithm& algorithm,
+                                           const PruningAlgorithm& pruning,
+                                           const UniformRunOptions& options = {});
+
+}  // namespace unilocal

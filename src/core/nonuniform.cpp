@@ -1,0 +1,17 @@
+#include "src/core/nonuniform.h"
+
+namespace unilocal {
+
+std::unique_ptr<Algorithm> instantiate_with_correct_guesses(
+    const NonUniformAlgorithm& algorithm, const Instance& instance) {
+  const auto guesses = correct_guesses(algorithm.gamma(), instance);
+  return algorithm.instantiate(guesses);
+}
+
+double bound_at_correct_params(const NonUniformAlgorithm& algorithm,
+                               const Instance& instance) {
+  const auto lambda_star = correct_guesses(algorithm.lambda(), instance);
+  return algorithm.bound().eval(lambda_star);
+}
+
+}  // namespace unilocal

@@ -1,0 +1,48 @@
+// A non-uniform LOCAL algorithm A_Gamma (paper Section 2): its code consumes
+// one common guess per parameter in Gamma, its correctness is guaranteed
+// only under good guesses (each guess >= the true parameter value), and its
+// running time under good guesses is bounded by a RuntimeBound evaluated at
+// the guesses of the parameters in Lambda.
+//
+// Theorem 1 consumes algorithms with lambda() == gamma(); the weak
+// domination wrapper (Theorem 3, src/core/weak_domination.h) reduces the
+// general case to that one.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "src/core/param.h"
+#include "src/core/runtime_bound.h"
+#include "src/runtime/local.h"
+
+namespace unilocal {
+
+class NonUniformAlgorithm {
+ public:
+  virtual ~NonUniformAlgorithm() = default;
+  virtual std::string name() const = 0;
+  /// Gamma: the parameters the code requires, in guess-vector order.
+  virtual ParamSet gamma() const = 0;
+  /// Lambda: the parameters the running-time bound is expressed in.
+  virtual ParamSet lambda() const = 0;
+  /// The bound f (arity == lambda().size()).
+  virtual const RuntimeBound& bound() const = 0;
+  /// Bakes a guess vector (aligned with gamma()) into a runnable algorithm.
+  virtual std::unique_ptr<Algorithm> instantiate(
+      std::span<const std::int64_t> guesses) const = 0;
+  /// True for weak Monte-Carlo algorithms (fresh randomness per run makes
+  /// repeated invocations independent — the Theorem 2 setting).
+  virtual bool randomized() const { return false; }
+};
+
+/// Convenience: run A_Gamma with the correct guesses Gamma*(instance) — the
+/// paper's baseline "non-uniform algorithm told the truth" configuration.
+std::unique_ptr<Algorithm> instantiate_with_correct_guesses(
+    const NonUniformAlgorithm& algorithm, const Instance& instance);
+
+/// f(Lambda*(instance)) — the value f* the theorems compare against.
+double bound_at_correct_params(const NonUniformAlgorithm& algorithm,
+                               const Instance& instance);
+
+}  // namespace unilocal

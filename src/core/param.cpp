@@ -1,0 +1,45 @@
+#include "src/core/param.h"
+
+#include "src/graph/params.h"
+
+namespace unilocal {
+
+std::string param_name(Param p) {
+  switch (p) {
+    case Param::kNumNodes:
+      return "n";
+    case Param::kMaxDegree:
+      return "Delta";
+    case Param::kArboricity:
+      return "a";
+    case Param::kMaxIdentity:
+      return "m";
+  }
+  return "?";
+}
+
+std::int64_t eval_param(Param p, const Instance& instance) {
+  switch (p) {
+    case Param::kNumNodes:
+      return instance.num_nodes();
+    case Param::kMaxDegree:
+      return max_degree(instance.graph);
+    case Param::kArboricity:
+      // Degeneracy never exceeds 2a-1 and never undershoots a, and it is
+      // non-decreasing under subgraphs — the properties the theorems need.
+      return std::max<std::int64_t>(1, degeneracy(instance.graph));
+    case Param::kMaxIdentity:
+      return instance.max_identity();
+  }
+  return 0;
+}
+
+std::vector<std::int64_t> correct_guesses(const ParamSet& params,
+                                          const Instance& instance) {
+  std::vector<std::int64_t> values;
+  values.reserve(params.size());
+  for (Param p : params) values.push_back(eval_param(p, instance));
+  return values;
+}
+
+}  // namespace unilocal

@@ -1,0 +1,43 @@
+#include "src/core/product_coloring.h"
+
+#include "src/graph/transforms.h"
+#include "src/prune/ruling_set_prune.h"
+
+namespace unilocal {
+
+ProductColoringResult run_uniform_deg_plus_one_coloring(
+    const Instance& instance, const NonUniformAlgorithm& mis_algorithm,
+    const UniformRunOptions& options) {
+  ProductColoringResult result;
+  const CliqueProduct product = clique_product(instance.graph);
+  result.product_nodes = product.graph.num_nodes();
+  // Product identities: derived injectively from (owner identity, slot);
+  // slots are at most deg+1 <= n, so pack as id * (n+2) + slot, which stays
+  // within the 2^31 identity range for the instance sizes this library
+  // targets (n * m < 2^31). Callers with larger identities should rehash.
+  Instance product_instance;
+  product_instance.graph = product.graph;
+  const std::int64_t stride = instance.num_nodes() + 2;
+  product_instance.identities.resize(
+      static_cast<std::size_t>(product.graph.num_nodes()));
+  product_instance.inputs.assign(
+      static_cast<std::size_t>(product.graph.num_nodes()), {});
+  for (NodeId p = 0; p < product.graph.num_nodes(); ++p) {
+    const NodeId owner = product.owner[static_cast<std::size_t>(p)];
+    product_instance.identities[static_cast<std::size_t>(p)] =
+        instance.identities[static_cast<std::size_t>(owner)] * stride +
+        product.slot[static_cast<std::size_t>(p)] + 1;
+  }
+  const RulingSetPruning pruning(1);
+  const UniformRunResult mis =
+      run_uniform_transformer(product_instance, mis_algorithm, pruning,
+                              options);
+  result.total_rounds = mis.total_rounds;
+  if (!mis.solved) return result;
+  result.colors = coloring_from_product_mis(product, mis.outputs);
+  result.solved =
+      result.colors.size() == static_cast<std::size_t>(instance.num_nodes());
+  return result;
+}
+
+}  // namespace unilocal

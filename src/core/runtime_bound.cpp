@@ -1,0 +1,105 @@
+#include "src/core/runtime_bound.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/util/math.h"
+
+namespace unilocal {
+
+std::int64_t largest_arg_at_most(const std::function<double(std::int64_t)>& fn,
+                                 double bound, std::int64_t cap) {
+  if (fn(1) > bound) return 0;
+  std::int64_t lo = 1;  // fn(lo) <= bound invariant
+  std::int64_t hi = 2;
+  while (hi < cap && fn(hi) <= bound) {
+    lo = hi;
+    hi *= 2;
+  }
+  if (hi >= cap) hi = cap;
+  // Invariant: fn(lo) <= bound; fn(hi) > bound or hi == cap.
+  while (lo + 1 < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (fn(mid) <= bound)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  if (fn(hi) <= bound) return hi;
+  return lo;
+}
+
+AdditiveBound::AdditiveBound(std::vector<BoundComponent> components)
+    : components_(std::move(components)) {
+  assert(!components_.empty());
+}
+
+double AdditiveBound::eval(std::span<const std::int64_t> args) const {
+  assert(args.size() == components_.size());
+  double total = 0.0;
+  for (std::size_t k = 0; k < components_.size(); ++k)
+    total += components_[k].fn(args[k]);
+  return total;
+}
+
+std::vector<std::vector<std::int64_t>> AdditiveBound::set_sequence(
+    std::int64_t i) const {
+  // S_f(i) = { (x_1, .., x_l) } with x_k the largest value whose component
+  // cost is at most i; empty when some component exceeds i already at 1.
+  std::vector<std::int64_t> x(components_.size());
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    const std::int64_t largest =
+        largest_arg_at_most(components_[k].fn, static_cast<double>(i));
+    if (largest == 0) return {};
+    x[k] = largest;
+  }
+  return {x};
+}
+
+std::string AdditiveBound::describe() const {
+  std::string out = "additive(";
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    if (k > 0) out += " + ";
+    out += components_[k].label;
+  }
+  return out + ")";
+}
+
+ProductBound::ProductBound(BoundComponent f1, BoundComponent f2)
+    : f1_(std::move(f1)), f2_(std::move(f2)) {}
+
+double ProductBound::eval(std::span<const std::int64_t> args) const {
+  assert(args.size() == 2);
+  return f1_.fn(args[0]) * f2_.fn(args[1]);
+}
+
+std::vector<std::vector<std::int64_t>> ProductBound::set_sequence(
+    std::int64_t i) const {
+  // S_f(i) = { (x1_j, x2_j) : j in [0, ceil(log2 i)] } with
+  //   x1_j = largest y with f1(y) <= 2^j,
+  //   x2_j = largest y with f2(y) <= 2^(ceil(log2 i) - j + 1),
+  // skipping pairs where either side does not exist (Observation 4.1).
+  std::vector<std::vector<std::int64_t>> sequence;
+  if (i < 1) return sequence;
+  const int top = clog2(static_cast<std::uint64_t>(i));
+  for (int j = 0; j <= top; ++j) {
+    const double budget1 = std::ldexp(1.0, j);
+    const double budget2 = std::ldexp(1.0, top - j + 1);
+    const std::int64_t x1 = largest_arg_at_most(f1_.fn, budget1);
+    const std::int64_t x2 = largest_arg_at_most(f2_.fn, budget2);
+    if (x1 == 0 || x2 == 0) continue;
+    sequence.push_back({x1, x2});
+  }
+  return sequence;
+}
+
+std::int64_t ProductBound::sequence_number(std::int64_t i) const {
+  if (i < 1) return 1;
+  return clog2(static_cast<std::uint64_t>(i)) + 1;
+}
+
+std::string ProductBound::describe() const {
+  return "product(" + f1_.label + " * " + f2_.label + ")";
+}
+
+}  // namespace unilocal

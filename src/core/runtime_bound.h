@@ -1,0 +1,98 @@
+// Running-time bounds as first-class objects (paper Section 4.2).
+//
+// A RuntimeBound models a non-decreasing f : N^l -> R+ together with the
+// machinery Theorem 1 consumes:
+//   * a bounded set-sequence S_f(i): finite sets of guess vectors such that
+//     every y with f(y) <= i is dominated by some x in S_f(i), and
+//     f(x) <= c*i for all x in S_f(i) (c = bounding constant);
+//   * a sequence-number function s_f(i) >= |S_f(i)| that is moderately-slow.
+//
+// Observation 4.1 instances:
+//   * AdditiveBound  — f = sum of ascending components, s_f = 1, c = l;
+//   * ProductBound   — f = f1*f2 with f1,f2 >= 1 ascending,
+//                      s_f(i) = ceil(log2 i)+1, c = 2.
+// Component inversion ("largest y with f_k(y) <= bound") is by binary
+// search, which only needs the component to be non-decreasing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace unilocal {
+
+/// An ascending (non-decreasing, tending to infinity) component function.
+struct BoundComponent {
+  std::string label;
+  std::function<double(std::int64_t)> fn;
+};
+
+/// Largest y in [1, cap] with fn(y) <= bound, or 0 when even fn(1) > bound.
+/// fn must be non-decreasing.
+std::int64_t largest_arg_at_most(const std::function<double(std::int64_t)>& fn,
+                                 double bound,
+                                 std::int64_t cap = std::int64_t{1} << 42);
+
+class RuntimeBound {
+ public:
+  virtual ~RuntimeBound() = default;
+  virtual std::size_t arity() const = 0;
+  virtual double eval(std::span<const std::int64_t> args) const = 0;
+  /// S_f(i): guess vectors (each of length arity()).
+  virtual std::vector<std::vector<std::int64_t>> set_sequence(
+      std::int64_t i) const = 0;
+  /// Bounding constant c with f(x) <= c*i for all x in S_f(i).
+  virtual std::int64_t bounding_constant() const = 0;
+  /// s_f(i) — moderately-slow and >= |S_f(i)|.
+  virtual std::int64_t sequence_number(std::int64_t i) const = 0;
+  virtual std::string describe() const = 0;
+};
+
+/// f(x_1..x_l) = sum_k f_k(x_k), each f_k ascending and non-negative.
+class AdditiveBound final : public RuntimeBound {
+ public:
+  explicit AdditiveBound(std::vector<BoundComponent> components);
+
+  std::size_t arity() const override { return components_.size(); }
+  double eval(std::span<const std::int64_t> args) const override;
+  std::vector<std::vector<std::int64_t>> set_sequence(
+      std::int64_t i) const override;
+  std::int64_t bounding_constant() const override {
+    return static_cast<std::int64_t>(components_.size());
+  }
+  std::int64_t sequence_number(std::int64_t) const override { return 1; }
+  std::string describe() const override;
+
+  /// Exposed so the Theorem 3 wrapper can merge components (folding a
+  /// dominated parameter's cost into its dominating parameter's component).
+  const std::vector<BoundComponent>& components() const noexcept {
+    return components_;
+  }
+
+ private:
+  std::vector<BoundComponent> components_;
+};
+
+/// f(x1, x2) = f1(x1) * f2(x2), with f1, f2 >= 1 ascending.
+class ProductBound final : public RuntimeBound {
+ public:
+  ProductBound(BoundComponent f1, BoundComponent f2);
+
+  std::size_t arity() const override { return 2; }
+  double eval(std::span<const std::int64_t> args) const override;
+  std::vector<std::vector<std::int64_t>> set_sequence(
+      std::int64_t i) const override;
+  /// With budgets 2^j * 2^(ceil(log2 i)-j+1) <= 2^(ceil(log2 i)+1) < 4i.
+  std::int64_t bounding_constant() const override { return 4; }
+  std::int64_t sequence_number(std::int64_t i) const override;
+  std::string describe() const override;
+
+ private:
+  BoundComponent f1_;
+  BoundComponent f2_;
+};
+
+}  // namespace unilocal

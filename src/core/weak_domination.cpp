@@ -1,0 +1,120 @@
+#include "src/core/weak_domination.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace unilocal {
+
+namespace {
+
+class DominatedNonUniform final : public NonUniformAlgorithm {
+ public:
+  DominatedNonUniform(std::shared_ptr<const NonUniformAlgorithm> inner,
+                      std::vector<Domination> dominations)
+      : inner_(std::move(inner)), dominations_(std::move(dominations)) {
+    const ParamSet inner_gamma = inner_->gamma();
+    const ParamSet inner_lambda = inner_->lambda();
+    if (inner_gamma != inner_lambda) {
+      throw std::invalid_argument(
+          "apply_weak_domination: inner must have gamma == lambda "
+          "(apply it before other wrappers)");
+    }
+    const auto* additive =
+        dynamic_cast<const AdditiveBound*>(&inner_->bound());
+    if (additive == nullptr) {
+      throw std::invalid_argument(
+          "apply_weak_domination: inner bound must be additive");
+    }
+    // Partition inner parameters into kept and dominated.
+    std::vector<BoundComponent> merged;
+    for (std::size_t k = 0; k < inner_gamma.size(); ++k) {
+      const Param p = inner_gamma[k];
+      const bool is_dominated =
+          std::any_of(dominations_.begin(), dominations_.end(),
+                      [p](const Domination& d) { return d.dominated == p; });
+      if (is_dominated) continue;
+      kept_.push_back(p);
+      inner_index_of_kept_.push_back(k);
+      // Fold every domination routed through p into its component.
+      BoundComponent component = additive->components()[k];
+      std::string label = component.label;
+      std::vector<std::pair<std::function<double(std::int64_t)>,
+                            std::function<double(std::int64_t)>>>
+          folds;
+      for (const Domination& d : dominations_) {
+        if (d.via != p) continue;
+        const std::size_t dk = index_of(inner_gamma, d.dominated);
+        folds.emplace_back(additive->components()[dk].fn, d.g);
+        label += "+" + additive->components()[dk].label + "(" + d.label + ")";
+      }
+      if (!folds.empty()) {
+        auto base = component.fn;
+        component.fn = [base, folds](std::int64_t x) {
+          double total = base(x);
+          for (const auto& [cost, g] : folds) {
+            total += cost(largest_arg_at_most(g, static_cast<double>(x)));
+          }
+          return total;
+        };
+        component.label = label;
+      }
+      merged.push_back(std::move(component));
+    }
+    // Sanity: every dominated parameter has a kept `via`.
+    for (const Domination& d : dominations_) {
+      assert(std::find(kept_.begin(), kept_.end(), d.via) != kept_.end());
+      (void)d;
+    }
+    bound_ = std::make_unique<AdditiveBound>(std::move(merged));
+  }
+
+  std::string name() const override {
+    return inner_->name() + "[dominated]";
+  }
+  ParamSet gamma() const override { return kept_; }
+  ParamSet lambda() const override { return kept_; }
+  const RuntimeBound& bound() const override { return *bound_; }
+  bool randomized() const override { return inner_->randomized(); }
+
+  std::unique_ptr<Algorithm> instantiate(
+      std::span<const std::int64_t> guesses) const override {
+    assert(guesses.size() == kept_.size());
+    const ParamSet inner_gamma = inner_->gamma();
+    std::vector<std::int64_t> inner_guesses(inner_gamma.size(), 1);
+    for (std::size_t k = 0; k < kept_.size(); ++k) {
+      inner_guesses[inner_index_of_kept_[k]] = guesses[k];
+    }
+    for (const Domination& d : dominations_) {
+      const std::size_t dk = index_of(inner_gamma, d.dominated);
+      const std::size_t vk = index_of(kept_, d.via);
+      inner_guesses[dk] = std::max<std::int64_t>(
+          largest_arg_at_most(d.g, static_cast<double>(guesses[vk])), 1);
+    }
+    return inner_->instantiate(inner_guesses);
+  }
+
+ private:
+  static std::size_t index_of(const ParamSet& params, Param p) {
+    const auto it = std::find(params.begin(), params.end(), p);
+    assert(it != params.end());
+    return static_cast<std::size_t>(it - params.begin());
+  }
+
+  std::shared_ptr<const NonUniformAlgorithm> inner_;
+  std::vector<Domination> dominations_;
+  ParamSet kept_;
+  std::vector<std::size_t> inner_index_of_kept_;
+  std::unique_ptr<AdditiveBound> bound_;
+};
+
+}  // namespace
+
+std::unique_ptr<NonUniformAlgorithm> apply_weak_domination(
+    std::shared_ptr<const NonUniformAlgorithm> inner,
+    std::vector<Domination> dominations) {
+  return std::make_unique<DominatedNonUniform>(std::move(inner),
+                                               std::move(dominations));
+}
+
+}  // namespace unilocal

@@ -1,0 +1,40 @@
+// Theorem 3 — removing parameters that the running time does not depend on.
+//
+// When Gamma contains a parameter p absent from Lambda but weakly dominated
+// by some q in Lambda (an ascending g with g(p(G,x)) <= q(G,x) on the whole
+// instance family), the wrapper guesses only the Lambda parameters and
+// derives the guess for p as g^{-1}(q~) = max{y : g(y) <= q~}: good Lambda
+// guesses then yield good derived guesses. The wrapper's bound folds the
+// dominated parameter's additive cost component into its dominating
+// parameter's component (f'_q(x) = f_q(x) + f_p(g^{-1}(x))), which keeps the
+// bound additive — so Theorems 1 and 2 apply unchanged.
+//
+// The flagship instance (paper Corollary 4 / Barenboim-Elkin'10): MIS with
+// Gamma = {a, n, ...} on a family where a <= h(n); pass g = h^{-1}-style
+// domination and the uniform algorithm never needs the arboricity.
+#pragma once
+
+#include <memory>
+
+#include "src/core/nonuniform.h"
+
+namespace unilocal {
+
+struct Domination {
+  /// The parameter to eliminate (must be in inner gamma(), not kept).
+  Param dominated;
+  /// The dominating parameter (must be in inner lambda()).
+  Param via;
+  /// Ascending g with g(dominated) <= via guaranteed on the instance family.
+  std::function<double(std::int64_t)> g;
+  std::string label;
+};
+
+/// Requires the inner bound to be additive and inner.lambda() == inner
+/// gamma() order-compatible: wrapper lambda'/gamma' = inner gamma() minus
+/// the dominated parameters.
+std::unique_ptr<NonUniformAlgorithm> apply_weak_domination(
+    std::shared_ptr<const NonUniformAlgorithm> inner,
+    std::vector<Domination> dominations);
+
+}  // namespace unilocal

@@ -1,0 +1,238 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace unilocal {
+
+Graph path_graph(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return b.build();
+}
+
+Graph cycle_graph(NodeId n) {
+  assert(n >= 3);
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  b.add_edge(n - 1, 0);
+  return b.build();
+}
+
+Graph complete_graph(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) b.add_edge(i, j);
+  return b.build();
+}
+
+Graph complete_bipartite(NodeId a, NodeId b_size) {
+  GraphBuilder b(a + b_size);
+  for (NodeId i = 0; i < a; ++i)
+    for (NodeId j = 0; j < b_size; ++j) b.add_edge(i, a + j);
+  return b.build();
+}
+
+Graph grid_graph(NodeId width, NodeId height) {
+  GraphBuilder b(width * height);
+  auto at = [width](NodeId x, NodeId y) { return y * width + x; };
+  for (NodeId y = 0; y < height; ++y) {
+    for (NodeId x = 0; x < width; ++x) {
+      if (x + 1 < width) b.add_edge(at(x, y), at(x + 1, y));
+      if (y + 1 < height) b.add_edge(at(x, y), at(x, y + 1));
+    }
+  }
+  return b.build();
+}
+
+Graph hypercube(int dim) {
+  const NodeId n = static_cast<NodeId>(1) << dim;
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v)
+    for (int k = 0; k < dim; ++k)
+      if ((v & (1 << k)) == 0) b.add_edge(v, v | (1 << k));
+  return b.build();
+}
+
+Graph gnp(NodeId n, double p, Rng& rng) {
+  GraphBuilder b(n);
+  if (p <= 0.0 || n < 2) return b.build();
+  if (p >= 1.0) return complete_graph(n);
+  // Geometric skipping (Batagelj-Brandes) for sparse p.
+  const double log1mp = std::log(1.0 - p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  const std::int64_t nn = n;
+  while (v < nn) {
+    const double r = 1.0 - rng.next_double();  // in (0,1]
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log1mp));
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn)
+      b.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+  }
+  return b.build();
+}
+
+Graph random_bounded_degree(NodeId n, NodeId max_deg, double fill, Rng& rng) {
+  assert(max_deg >= 1 && fill >= 0.0 && fill <= 1.0);
+  std::vector<NodeId> deg(static_cast<std::size_t>(n), 0);
+  GraphBuilder b(n);
+  const std::int64_t target = static_cast<std::int64_t>(
+      fill * static_cast<double>(n) * max_deg / 2.0);
+  std::int64_t placed = 0;
+  std::int64_t attempts = 0;
+  const std::int64_t max_attempts = 20 * (target + 1);
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
+  while (placed < target && attempts < max_attempts) {
+    ++attempts;
+    const NodeId u = static_cast<NodeId>(rng.next_below(n));
+    const NodeId v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v) continue;
+    auto& au = adj[static_cast<std::size_t>(u)];
+    if (deg[static_cast<std::size_t>(u)] >= max_deg ||
+        deg[static_cast<std::size_t>(v)] >= max_deg)
+      continue;
+    if (std::find(au.begin(), au.end(), v) != au.end()) continue;
+    au.push_back(v);
+    adj[static_cast<std::size_t>(v)].push_back(u);
+    ++deg[static_cast<std::size_t>(u)];
+    ++deg[static_cast<std::size_t>(v)];
+    b.add_edge(u, v);
+    ++placed;
+  }
+  return b.build();
+}
+
+Graph random_tree(NodeId n, Rng& rng) {
+  GraphBuilder b(n);
+  if (n <= 1) return b.build();
+  auto relabel = random_permutation(static_cast<std::size_t>(n), rng);
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId parent = static_cast<NodeId>(rng.next_below(i));
+    b.add_edge(static_cast<NodeId>(relabel[static_cast<std::size_t>(i)]),
+               static_cast<NodeId>(relabel[static_cast<std::size_t>(parent)]));
+  }
+  return b.build();
+}
+
+Graph random_forest(NodeId n, NodeId trees, Rng& rng) {
+  assert(trees >= 1 && trees <= n);
+  GraphBuilder b(n);
+  auto relabel = random_permutation(static_cast<std::size_t>(n), rng);
+  // Node i (for i >= trees) attaches to a uniform earlier node; nodes
+  // 0..trees-1 are the roots of the `trees` components.
+  for (NodeId i = trees; i < n; ++i) {
+    const NodeId parent = static_cast<NodeId>(rng.next_below(i));
+    b.add_edge(static_cast<NodeId>(relabel[static_cast<std::size_t>(i)]),
+               static_cast<NodeId>(relabel[static_cast<std::size_t>(parent)]));
+  }
+  return b.build();
+}
+
+Graph random_layered_forest(NodeId n, int layers, Rng& rng) {
+  GraphBuilder b(n);
+  for (int layer = 0; layer < layers; ++layer) {
+    auto relabel = random_permutation(static_cast<std::size_t>(n), rng);
+    for (NodeId i = 1; i < n; ++i) {
+      const NodeId parent = static_cast<NodeId>(rng.next_below(i));
+      b.add_edge(
+          static_cast<NodeId>(relabel[static_cast<std::size_t>(i)]),
+          static_cast<NodeId>(relabel[static_cast<std::size_t>(parent)]));
+    }
+  }
+  return b.build();
+}
+
+Graph power_law(NodeId n, double beta, double avg_deg, Rng& rng) {
+  assert(beta > 1.0);
+  std::vector<double> weight(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    weight[static_cast<std::size_t>(i)] =
+        std::pow(static_cast<double>(i + 1), -1.0 / (beta - 1.0));
+    total += weight[static_cast<std::size_t>(i)];
+  }
+  const double scale = avg_deg * n / total;
+  for (auto& w : weight) w *= scale;
+  const double weight_sum = avg_deg * n;
+  GraphBuilder b(n);
+  // Chung-Lu: edge (u,v) with probability min(1, w_u w_v / sum w). Sample
+  // by expected-edge-count rejection: draw both endpoints weight-biased.
+  std::vector<double> cumulative(static_cast<std::size_t>(n));
+  double acc = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    acc += weight[static_cast<std::size_t>(i)];
+    cumulative[static_cast<std::size_t>(i)] = acc;
+  }
+  const std::int64_t num_samples =
+      static_cast<std::int64_t>(weight_sum / 2.0);
+  auto draw = [&]() {
+    const double x = rng.next_double() * acc;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), x);
+    return static_cast<NodeId>(it - cumulative.begin());
+  };
+  for (std::int64_t s = 0; s < num_samples; ++s) {
+    const NodeId u = draw();
+    const NodeId v = draw();
+    if (u != v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph random_geometric(NodeId n, double radius, Rng& rng) {
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  std::vector<double> ys(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    xs[static_cast<std::size_t>(i)] = rng.next_double();
+    ys[static_cast<std::size_t>(i)] = rng.next_double();
+  }
+  // Grid bucketing for near-linear construction.
+  const int cells = std::max(1, static_cast<int>(1.0 / radius));
+  std::vector<std::vector<NodeId>> bucket(
+      static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](NodeId i) {
+    int cx = std::min(cells - 1, static_cast<int>(xs[static_cast<std::size_t>(i)] * cells));
+    int cy = std::min(cells - 1, static_cast<int>(ys[static_cast<std::size_t>(i)] * cells));
+    return cy * cells + cx;
+  };
+  for (NodeId i = 0; i < n; ++i)
+    bucket[static_cast<std::size_t>(cell_of(i))].push_back(i);
+  GraphBuilder b(n);
+  const double r2 = radius * radius;
+  for (NodeId i = 0; i < n; ++i) {
+    const int cx = std::min(cells - 1, static_cast<int>(xs[static_cast<std::size_t>(i)] * cells));
+    const int cy = std::min(cells - 1, static_cast<int>(ys[static_cast<std::size_t>(i)] * cells));
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = cx + dx;
+        const int ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (NodeId j : bucket[static_cast<std::size_t>(ny * cells + nx)]) {
+          if (j <= i) continue;
+          const double ddx = xs[static_cast<std::size_t>(i)] - xs[static_cast<std::size_t>(j)];
+          const double ddy = ys[static_cast<std::size_t>(i)] - ys[static_cast<std::size_t>(j)];
+          if (ddx * ddx + ddy * ddy <= r2) b.add_edge(i, j);
+        }
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph caterpillar(NodeId spine, NodeId legs, Rng& rng) {
+  GraphBuilder b(spine + legs);
+  for (NodeId i = 0; i + 1 < spine; ++i) b.add_edge(i, i + 1);
+  for (NodeId leg = 0; leg < legs; ++leg) {
+    const NodeId attach = static_cast<NodeId>(rng.next_below(spine));
+    b.add_edge(spine + leg, attach);
+  }
+  return b.build();
+}
+
+}  // namespace unilocal

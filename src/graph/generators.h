@@ -1,0 +1,63 @@
+// Workload generators for the benchmark harness and tests.
+//
+// Table 1 of the paper spans several graph families: general graphs
+// (G(n,p)), bounded-degree graphs (Barenboim-Elkin/Kuhn regime), bounded
+// arboricity graphs (forests, planar-like grids), and adversarial
+// identity-orderings (paths). Each generator is deterministic given its Rng.
+#pragma once
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace unilocal {
+
+/// Path 0-1-2-...-(n-1).
+Graph path_graph(NodeId n);
+
+/// Cycle on n >= 3 nodes.
+Graph cycle_graph(NodeId n);
+
+/// Complete graph K_n.
+Graph complete_graph(NodeId n);
+
+/// Complete bipartite graph K_{a,b} (nodes 0..a-1 vs a..a+b-1).
+Graph complete_bipartite(NodeId a, NodeId b);
+
+/// Two-dimensional grid with given width/height (arboricity <= 2).
+Graph grid_graph(NodeId width, NodeId height);
+
+/// Hypercube on 2^dim nodes.
+Graph hypercube(int dim);
+
+/// Erdos-Renyi G(n, p).
+Graph gnp(NodeId n, double p, Rng& rng);
+
+/// Random graph with maximum degree <= max_deg: repeatedly samples random
+/// pairs, keeping an edge only when both endpoints have spare degree.
+/// Produces roughly n*max_deg/2 * fill edges.
+Graph random_bounded_degree(NodeId n, NodeId max_deg, double fill, Rng& rng);
+
+/// Uniform random labelled tree on n nodes (Pruefer-like attachment: node i
+/// attaches to a uniform node j < i, then labels are shuffled).
+Graph random_tree(NodeId n, Rng& rng);
+
+/// Forest of random trees with the given total size and tree count.
+Graph random_forest(NodeId n, NodeId trees, Rng& rng);
+
+/// Union of `layers` random spanning forests on the same node set: has
+/// arboricity <= layers by construction.
+Graph random_layered_forest(NodeId n, int layers, Rng& rng);
+
+/// Chung-Lu style power-law graph with exponent beta (~2-3) and average
+/// degree target avg_deg.
+Graph power_law(NodeId n, double beta, double avg_deg, Rng& rng);
+
+/// Random geometric graph on the unit square with connection radius r
+/// (a bounded-independence family).
+Graph random_geometric(NodeId n, double radius, Rng& rng);
+
+/// Caterpillar: a spine path with `legs` pendant nodes hanging off random
+/// spine nodes (arboricity 1).
+Graph caterpillar(NodeId spine, NodeId legs, Rng& rng);
+
+}  // namespace unilocal

@@ -1,0 +1,67 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace unilocal {
+
+Graph Graph::from_edges(NodeId n,
+                        const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return builder.build();
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto& nbrs = adj_[static_cast<std::size_t>(u)];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> result;
+  result.reserve(static_cast<std::size_t>(num_edges_));
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) result.emplace_back(u, v);
+    }
+  }
+  return result;
+}
+
+bool Graph::valid() const {
+  std::int64_t half_edges = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    const auto& nbrs = neighbors(u);
+    if (!std::is_sorted(nbrs.begin(), nbrs.end())) return false;
+    if (std::adjacent_find(nbrs.begin(), nbrs.end()) != nbrs.end())
+      return false;
+    for (NodeId v : nbrs) {
+      if (v < 0 || v >= num_nodes() || v == u) return false;
+      if (!has_edge(v, u)) return false;
+    }
+    half_edges += nbrs.size();
+  }
+  return half_edges == 2 * num_edges_;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  assert(u >= 0 && u < n_ && v >= 0 && v < n_);
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  Graph g(n_);
+  for (const auto& [u, v] : edges_) {
+    g.adj_[static_cast<std::size_t>(u)].push_back(v);
+    g.adj_[static_cast<std::size_t>(v)].push_back(u);
+  }
+  for (auto& nbrs : g.adj_) std::sort(nbrs.begin(), nbrs.end());
+  g.num_edges_ = static_cast<std::int64_t>(edges_.size());
+  return g;
+}
+
+}  // namespace unilocal

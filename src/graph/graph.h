@@ -1,0 +1,71 @@
+// The network topology for the LOCAL-model simulator.
+//
+// Nodes are indexed 0..n-1 ("slots"); the unique identities Id(v) the paper
+// assumes live in the Instance (src/runtime/instance.h), not here, so the
+// same topology can be reused under different identity assignments.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace unilocal {
+
+using NodeId = std::int32_t;
+
+/// Simple undirected graph stored as sorted adjacency lists.
+/// Invariants: no self-loops, no parallel edges, every list sorted
+/// ascending. Graphs may be disconnected (the paper's problems are closed
+/// under disjoint union).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(NodeId n) : adj_(static_cast<std::size_t>(n)) {}
+
+  /// Builds a graph from an edge list; ignores self-loops and duplicates.
+  static Graph from_edges(NodeId n,
+                          const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(adj_.size());
+  }
+  std::int64_t num_edges() const noexcept { return num_edges_; }
+
+  const std::vector<NodeId>& neighbors(NodeId v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+  NodeId degree(NodeId v) const {
+    return static_cast<NodeId>(adj_[static_cast<std::size_t>(v)].size());
+  }
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// All edges as (u, v) with u < v, lexicographically sorted.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// True when invariants hold (used by tests and debug assertions).
+  bool valid() const;
+
+  bool operator==(const Graph& other) const { return adj_ == other.adj_; }
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::vector<NodeId>> adj_;
+  std::int64_t num_edges_ = 0;
+};
+
+/// Incremental construction helper that tolerates duplicates/self-loops and
+/// normalizes on build().
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId n) : n_(n) {}
+
+  void add_edge(NodeId u, NodeId v);
+  Graph build();
+
+ private:
+  NodeId n_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace unilocal

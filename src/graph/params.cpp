@@ -1,0 +1,134 @@
+#include "src/graph/params.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace unilocal {
+
+NodeId max_degree(const Graph& g) {
+  NodeId best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    best = std::max(best, g.degree(v));
+  return best;
+}
+
+NodeId degeneracy(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return 0;
+  std::vector<NodeId> deg(static_cast<std::size_t>(n));
+  NodeId max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[static_cast<std::size_t>(v)] = g.degree(v);
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  // Bucket peeling (Matula-Beck).
+  std::vector<std::vector<NodeId>> buckets(
+      static_cast<std::size_t>(max_deg) + 1);
+  for (NodeId v = 0; v < n; ++v)
+    buckets[static_cast<std::size_t>(deg[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  std::vector<bool> removed(static_cast<std::size_t>(n), false);
+  NodeId degeneracy_val = 0;
+  NodeId cursor = 0;
+  for (NodeId processed = 0; processed < n; ++processed) {
+    // Find the lowest non-empty bucket; deg values only decrease by 1 per
+    // removal, so cursor only needs to back up by one step at a time.
+    while (buckets[static_cast<std::size_t>(cursor)].empty()) ++cursor;
+    NodeId v = -1;
+    auto& bucket = buckets[static_cast<std::size_t>(cursor)];
+    while (!bucket.empty()) {
+      NodeId candidate = bucket.back();
+      bucket.pop_back();
+      if (!removed[static_cast<std::size_t>(candidate)] &&
+          deg[static_cast<std::size_t>(candidate)] == cursor) {
+        v = candidate;
+        break;
+      }
+    }
+    if (v < 0) {
+      --processed;
+      continue;
+    }
+    removed[static_cast<std::size_t>(v)] = true;
+    degeneracy_val = std::max(degeneracy_val, cursor);
+    for (NodeId u : g.neighbors(v)) {
+      if (removed[static_cast<std::size_t>(u)]) continue;
+      NodeId& du = deg[static_cast<std::size_t>(u)];
+      --du;
+      buckets[static_cast<std::size_t>(du)].push_back(u);
+      if (du < cursor) cursor = du;
+    }
+  }
+  return degeneracy_val;
+}
+
+NodeId nash_williams_lower_bound(const Graph& g) {
+  if (g.num_nodes() <= 1) return 0;
+  const std::int64_t denom = g.num_nodes() - 1;
+  return static_cast<NodeId>((g.num_edges() + denom - 1) / denom);
+}
+
+std::vector<NodeId> connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> comp(static_cast<std::size_t>(n), -1);
+  NodeId next = 0;
+  std::queue<NodeId> frontier;
+  for (NodeId start = 0; start < n; ++start) {
+    if (comp[static_cast<std::size_t>(start)] >= 0) continue;
+    comp[static_cast<std::size_t>(start)] = next;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (NodeId u : g.neighbors(v)) {
+        if (comp[static_cast<std::size_t>(u)] < 0) {
+          comp[static_cast<std::size_t>(u)] = next;
+          frontier.push(u);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+NodeId num_components(const Graph& g) {
+  const auto comp = connected_components(g);
+  NodeId best = 0;
+  for (NodeId c : comp) best = std::max(best, static_cast<NodeId>(c + 1));
+  return best;
+}
+
+std::vector<NodeId> bfs_distances(const Graph& g, NodeId source) {
+  std::vector<NodeId> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<NodeId> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId u : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+NodeId diameter(const Graph& g) {
+  NodeId best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId d : bfs_distances(g, v)) best = std::max(best, d);
+  }
+  return best;
+}
+
+bool is_forest(const Graph& g) {
+  const NodeId comps = num_components(g);
+  return g.num_edges() == g.num_nodes() - comps;
+}
+
+}  // namespace unilocal

@@ -1,0 +1,32 @@
+#include "src/graph/subgraph.h"
+
+#include <cassert>
+
+namespace unilocal {
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<bool>& keep) {
+  assert(keep.size() == static_cast<std::size_t>(g.num_nodes()));
+  InducedSubgraph result;
+  result.to_new.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (keep[static_cast<std::size_t>(v)]) {
+      result.to_new[static_cast<std::size_t>(v)] =
+          static_cast<NodeId>(result.to_old.size());
+      result.to_old.push_back(v);
+    }
+  }
+  GraphBuilder builder(static_cast<NodeId>(result.to_old.size()));
+  for (NodeId new_u = 0; new_u < static_cast<NodeId>(result.to_old.size());
+       ++new_u) {
+    const NodeId old_u = result.to_old[static_cast<std::size_t>(new_u)];
+    for (NodeId old_v : g.neighbors(old_u)) {
+      const NodeId new_v = result.to_new[static_cast<std::size_t>(old_v)];
+      if (new_v > new_u) builder.add_edge(new_u, new_v);
+    }
+  }
+  result.graph = builder.build();
+  return result;
+}
+
+}  // namespace unilocal

@@ -1,0 +1,26 @@
+// Induced subgraphs with index maps.
+//
+// The alternating-algorithm driver (paper Section 3.3) repeatedly restricts
+// the instance to the nodes NOT pruned by the pruning algorithm; this header
+// provides that restriction together with the old<->new index maps the
+// driver needs to glue partial outputs back together.
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace unilocal {
+
+struct InducedSubgraph {
+  Graph graph;
+  /// new index -> old index (size = graph.num_nodes()).
+  std::vector<NodeId> to_old;
+  /// old index -> new index, or -1 when the old node was dropped.
+  std::vector<NodeId> to_new;
+};
+
+/// Subgraph induced by the nodes with keep[v] == true.
+InducedSubgraph induced_subgraph(const Graph& g, const std::vector<bool>& keep);
+
+}  // namespace unilocal

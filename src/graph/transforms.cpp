@@ -1,0 +1,111 @@
+#include "src/graph/transforms.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace unilocal {
+
+CliqueProduct clique_product(const Graph& g) {
+  CliqueProduct result;
+  const NodeId n = g.num_nodes();
+  result.clique_start.resize(static_cast<std::size_t>(n));
+  NodeId total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    result.clique_start[static_cast<std::size_t>(u)] = total;
+    total += g.degree(u) + 1;
+  }
+  result.owner.resize(static_cast<std::size_t>(total));
+  result.slot.resize(static_cast<std::size_t>(total));
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId base = result.clique_start[static_cast<std::size_t>(u)];
+    for (NodeId i = 0; i <= g.degree(u); ++i) {
+      result.owner[static_cast<std::size_t>(base + i)] = u;
+      result.slot[static_cast<std::size_t>(base + i)] = i;
+    }
+  }
+  GraphBuilder builder(total);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId base = result.clique_start[static_cast<std::size_t>(u)];
+    const NodeId size = g.degree(u) + 1;
+    for (NodeId i = 0; i < size; ++i)
+      for (NodeId j = i + 1; j < size; ++j)
+        builder.add_edge(base + i, base + j);
+    for (NodeId v : g.neighbors(u)) {
+      if (v < u) continue;
+      const NodeId vbase = result.clique_start[static_cast<std::size_t>(v)];
+      const NodeId limit = 1 + std::min(g.degree(u), g.degree(v));
+      for (NodeId i = 0; i < limit; ++i)
+        builder.add_edge(base + i, vbase + i);
+    }
+  }
+  result.graph = builder.build();
+  return result;
+}
+
+std::vector<std::int64_t> coloring_from_product_mis(
+    const CliqueProduct& product, const std::vector<std::int64_t>& selected) {
+  const std::size_t n = product.clique_start.size();
+  std::vector<std::int64_t> coloring(n, 0);
+  for (std::size_t p = 0; p < product.owner.size(); ++p) {
+    if (selected[p] != 0) {
+      coloring[static_cast<std::size_t>(product.owner[p])] =
+          product.slot[p] + 1;
+    }
+  }
+  for (std::int64_t c : coloring)
+    if (c == 0) return {};
+  return coloring;
+}
+
+LineGraph line_graph(const Graph& g) {
+  LineGraph result;
+  result.edge_of = g.edges();
+  const NodeId ln = static_cast<NodeId>(result.edge_of.size());
+  // incident edge lists per original node
+  std::vector<std::vector<NodeId>> incident(
+      static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId e = 0; e < ln; ++e) {
+    incident[static_cast<std::size_t>(result.edge_of[static_cast<std::size_t>(e)].first)]
+        .push_back(e);
+    incident[static_cast<std::size_t>(result.edge_of[static_cast<std::size_t>(e)].second)]
+        .push_back(e);
+  }
+  GraphBuilder builder(ln);
+  for (const auto& list : incident) {
+    for (std::size_t i = 0; i < list.size(); ++i)
+      for (std::size_t j = i + 1; j < list.size(); ++j)
+        builder.add_edge(list[i], list[j]);
+  }
+  result.graph = builder.build();
+  return result;
+}
+
+Graph power_graph(const Graph& g, int k) {
+  const NodeId n = g.num_nodes();
+  GraphBuilder builder(n);
+  std::vector<NodeId> dist(static_cast<std::size_t>(n));
+  for (NodeId source = 0; source < n; ++source) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::queue<NodeId> frontier;
+    dist[static_cast<std::size_t>(source)] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      if (dist[static_cast<std::size_t>(v)] >= k) continue;
+      for (NodeId u : g.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(u)] < 0) {
+          dist[static_cast<std::size_t>(u)] =
+              dist[static_cast<std::size_t>(v)] + 1;
+          frontier.push(u);
+          if (u > source) builder.add_edge(source, u);
+        } else if (u > source) {
+          builder.add_edge(source, u);  // duplicate edges are deduped
+        }
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace unilocal

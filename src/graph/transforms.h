@@ -1,0 +1,56 @@
+// Graph transformations the paper relies on:
+//  * the clique product G' of Section 5.1 (MIS on G'  <=>  (deg+1)-coloring
+//    of G), constructible locally without any global parameter;
+//  * line graphs (edge coloring = vertex coloring of L(G), Section 5 /
+//    Barenboim-Elkin'11);
+//  * power graphs G^k ((2,beta)-ruling sets relate to MIS on G^beta).
+//
+// Each transform returns the new topology together with the mappings needed
+// to pull solutions back to the original graph.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace unilocal {
+
+/// The paper's Section 5.1 construction: for each node u of G a clique C_u
+/// on deg(u)+1 nodes u_1..u_{deg(u)+1}; for each edge (u,v) of G and each
+/// i in [1, 1+min(deg(u),deg(v))], an edge (u_i, v_i).
+/// MIS of the product graph <-> (deg+1)-coloring of G (one clique node
+/// selected per clique; its index is the color).
+struct CliqueProduct {
+  Graph graph;
+  /// product node -> original node.
+  std::vector<NodeId> owner;
+  /// product node -> its index i in C_owner, 0-based (color i+1 if chosen).
+  std::vector<NodeId> slot;
+  /// original node -> first product node of its clique.
+  std::vector<NodeId> clique_start;
+};
+
+CliqueProduct clique_product(const Graph& g);
+
+/// Given an MIS of the product graph (selected[i] != 0), the induced
+/// (deg+1)-coloring of the original graph: color(u) = slot of the unique
+/// selected node of C_u, 1-based. Returns empty vector if some clique has no
+/// selected node (i.e. the MIS was invalid).
+std::vector<std::int64_t> coloring_from_product_mis(
+    const CliqueProduct& product, const std::vector<std::int64_t>& selected);
+
+/// Line graph: one node per edge of g; two line-nodes adjacent iff their
+/// edges share an endpoint.
+struct LineGraph {
+  Graph graph;
+  /// line node -> the original edge (u, v), u < v.
+  std::vector<std::pair<NodeId, NodeId>> edge_of;
+};
+
+LineGraph line_graph(const Graph& g);
+
+/// Power graph: u ~ v in g^k iff 1 <= dist_g(u,v) <= k.
+Graph power_graph(const Graph& g, int k);
+
+}  // namespace unilocal

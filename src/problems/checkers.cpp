@@ -1,0 +1,144 @@
+#include "src/problems/checkers.h"
+
+#include "src/runtime/runner.h"
+
+namespace unilocal {
+
+namespace {
+
+class MisCheckerProcess final : public Process {
+ public:
+  void step(Context& ctx) override {
+    const std::int64_t mine = ctx.input().back();
+    if (ctx.round() == 0) {
+      ctx.broadcast({mine});
+      return;
+    }
+    bool member_neighbor = false;
+    for (NodeId j = 0; j < ctx.degree(); ++j) {
+      const Message* m = ctx.received(j);
+      if (m != nullptr && (*m)[0] != 0) member_neighbor = true;
+    }
+    const bool bad = (mine != 0 && member_neighbor)   // independence
+                     || (mine == 0 && !member_neighbor);  // maximality
+    ctx.finish(bad ? 1 : 0);
+  }
+};
+
+class ColoringCheckerProcess final : public Process {
+ public:
+  void step(Context& ctx) override {
+    const std::int64_t mine = ctx.input().back();
+    if (ctx.round() == 0) {
+      ctx.broadcast({mine});
+      return;
+    }
+    bool conflict = mine <= 0;
+    for (NodeId j = 0; j < ctx.degree(); ++j) {
+      const Message* m = ctx.received(j);
+      if (m != nullptr && (*m)[0] == mine) conflict = true;
+    }
+    ctx.finish(conflict ? 1 : 0);
+  }
+};
+
+/// Mirrors the P_MM membership computation, but outputs the complaint bit
+/// (the *complement* of the pruning decision): same radius-3 information.
+class MatchingCheckerProcess final : public Process {
+ public:
+  void step(Context& ctx) override {
+    const std::int64_t mine = ctx.input().back();
+    switch (ctx.round()) {
+      case 0:
+        ctx.broadcast({mine});
+        break;
+      case 1: {
+        values_.resize(static_cast<std::size_t>(ctx.degree()));
+        int same = 0;
+        for (NodeId j = 0; j < ctx.degree(); ++j) {
+          values_[static_cast<std::size_t>(j)] = (*ctx.received(j))[0];
+          if (values_[static_cast<std::size_t>(j)] == mine) ++same;
+        }
+        for (NodeId j = 0; j < ctx.degree(); ++j) {
+          const int others =
+              same - (values_[static_cast<std::size_t>(j)] == mine ? 1 : 0);
+          ctx.send(j, {mine, others == 0 ? 1 : 0});
+        }
+        break;
+      }
+      case 2: {
+        matched_ = false;
+        for (NodeId j = 0; j < ctx.degree(); ++j) {
+          const Message* m = ctx.received(j);
+          int same_others = 0;
+          for (std::size_t k = 0; k < values_.size(); ++k) {
+            if (k != static_cast<std::size_t>(j) && values_[k] == mine)
+              ++same_others;
+          }
+          if (values_[static_cast<std::size_t>(j)] == mine && (*m)[1] != 0 &&
+              same_others == 0) {
+            matched_ = true;
+            break;
+          }
+        }
+        ctx.broadcast({matched_ ? 1 : 0});
+        break;
+      }
+      case 3: {
+        bool all_matched = true;
+        for (NodeId j = 0; j < ctx.degree(); ++j) {
+          if ((*ctx.received(j))[0] == 0) all_matched = false;
+        }
+        ctx.finish((matched_ || all_matched) ? 0 : 1);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+ private:
+  std::vector<std::int64_t> values_;
+  bool matched_ = false;
+};
+
+template <typename P>
+class CheckerAlgorithm final : public Algorithm {
+ public:
+  explicit CheckerAlgorithm(std::string name) : name_(std::move(name)) {}
+  std::unique_ptr<Process> spawn(const NodeInit&) const override {
+    return std::make_unique<P>();
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_mis_checker() {
+  return std::make_unique<CheckerAlgorithm<MisCheckerProcess>>("check-mis");
+}
+
+std::unique_ptr<Algorithm> make_coloring_checker() {
+  return std::make_unique<CheckerAlgorithm<ColoringCheckerProcess>>(
+      "check-coloring");
+}
+
+std::unique_ptr<Algorithm> make_matching_checker() {
+  return std::make_unique<CheckerAlgorithm<MatchingCheckerProcess>>(
+      "check-matching");
+}
+
+std::vector<std::int64_t> run_checker(const Instance& instance,
+                                      const Algorithm& checker,
+                                      const std::vector<std::int64_t>& yhat) {
+  Instance annotated = instance;
+  for (NodeId v = 0; v < instance.num_nodes(); ++v)
+    annotated.inputs[static_cast<std::size_t>(v)].push_back(
+        yhat[static_cast<std::size_t>(v)]);
+  return run_local(annotated, checker).outputs;
+}
+
+}  // namespace unilocal

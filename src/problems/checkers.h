@@ -1,0 +1,39 @@
+// Local checking algorithms (paper Section 1 / 3.1, cf. Fraigniaud-Korman-
+// Peleg and Naor-Stockmeyer): constant-round LOCAL algorithms that, given a
+// tentative output, raise an alarm at >= 1 node iff the output is not a
+// solution. The paper's key observation is that checking alone cannot drive
+// a restart loop under locality (the alarm would need diameter time to
+// spread) — pruning algorithms add the gluing property that fixes this.
+// These checkers exist to make that contrast concrete (tests compare the
+// alarm set with the pruning algorithms' survivor set) and double as cheap
+// distributed validators for downstream users.
+//
+// Input convention (as for pruning LOCAL realizations): x(v) ++ [yhat(v)].
+// Output: 1 = alarm, 0 = content.
+#pragma once
+
+#include <memory>
+
+#include "src/runtime/instance.h"
+#include "src/runtime/local.h"
+
+namespace unilocal {
+
+/// MIS checker (the paper's Section 1 example): a member alarms on a member
+/// neighbour; a non-member alarms when no neighbour is a member. 2 rounds.
+std::unique_ptr<Algorithm> make_mis_checker();
+
+/// Proper-coloring checker: alarm on an equal-colored neighbour or a
+/// non-positive color. 2 rounds.
+std::unique_ptr<Algorithm> make_coloring_checker();
+
+/// Maximal-matching checker under the paper's value encoding: a node alarms
+/// unless it is matched or all its neighbours are. 4 rounds.
+std::unique_ptr<Algorithm> make_matching_checker();
+
+/// Runs a checker over (instance, yhat); returns the alarm bits.
+std::vector<std::int64_t> run_checker(const Instance& instance,
+                                      const Algorithm& checker,
+                                      const std::vector<std::int64_t>& yhat);
+
+}  // namespace unilocal

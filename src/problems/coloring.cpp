@@ -1,0 +1,65 @@
+#include "src/problems/coloring.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace unilocal {
+
+bool is_proper_coloring(const Graph& g,
+                        const std::vector<std::int64_t>& colors) {
+  if (colors.size() != static_cast<std::size_t>(g.num_nodes())) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (colors[static_cast<std::size_t>(v)] <= 0) return false;
+    for (NodeId u : g.neighbors(v)) {
+      if (colors[static_cast<std::size_t>(u)] ==
+          colors[static_cast<std::size_t>(v)])
+        return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t max_color_used(const std::vector<std::int64_t>& colors) {
+  std::int64_t best = 0;
+  for (std::int64_t c : colors) best = std::max(best, c);
+  return best;
+}
+
+bool ColoringProblem::check(const Instance& instance,
+                            const std::vector<std::int64_t>& outputs) const {
+  if (!is_proper_coloring(instance.graph, outputs)) return false;
+  if (cap_ >= 0 && max_color_used(outputs) > cap_) return false;
+  return true;
+}
+
+bool DegPlusOneColoringProblem::check(
+    const Instance& instance, const std::vector<std::int64_t>& outputs) const {
+  if (!is_proper_coloring(instance.graph, outputs)) return false;
+  for (NodeId v = 0; v < instance.graph.num_nodes(); ++v) {
+    if (outputs[static_cast<std::size_t>(v)] >
+        instance.graph.degree(v) + 1)
+      return false;
+  }
+  return true;
+}
+
+bool is_proper_edge_coloring(const Graph& g,
+                             const std::vector<std::int64_t>& edge_colors,
+                             std::int64_t cap) {
+  const auto edges = g.edges();
+  if (edge_colors.size() != edges.size()) return false;
+  std::vector<std::unordered_map<std::int64_t, int>> seen(
+      static_cast<std::size_t>(g.num_nodes()));
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const std::int64_t c = edge_colors[e];
+    if (c <= 0) return false;
+    if (cap >= 0 && c > cap) return false;
+    for (NodeId endpoint : {edges[e].first, edges[e].second}) {
+      auto& at = seen[static_cast<std::size_t>(endpoint)];
+      if (++at[c] > 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace unilocal

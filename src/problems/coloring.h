@@ -1,0 +1,47 @@
+// Vertex coloring problems. The library validates properness plus an
+// optional palette cap expressed as a function of the instance (e.g.
+// Delta+1, deg_G(v)+1 per node, lambda*(Delta+1), or a fixed bound), which
+// covers every coloring variant in the paper's Table 1. Edge colorings are
+// validated directly on the original graph given per-edge colors.
+#pragma once
+
+#include <functional>
+
+#include "src/problems/problem.h"
+
+namespace unilocal {
+
+/// True iff adjacent nodes always have different (nonzero) colors.
+bool is_proper_coloring(const Graph& g, const std::vector<std::int64_t>& colors);
+
+/// Largest color value used (0 for the empty graph).
+std::int64_t max_color_used(const std::vector<std::int64_t>& colors);
+
+/// Proper coloring with every color in [1, cap]; cap < 0 means "no cap".
+class ColoringProblem final : public Problem {
+ public:
+  explicit ColoringProblem(std::int64_t cap = -1) : cap_(cap) {}
+  std::string name() const override { return "coloring"; }
+  bool check(const Instance& instance,
+             const std::vector<std::int64_t>& outputs) const override;
+
+ private:
+  std::int64_t cap_;
+};
+
+/// (deg+1)-list flavour: color(v) must lie in [1, deg_G(v)+1]. This is the
+/// coloring induced by an MIS of the Section 5.1 clique product.
+class DegPlusOneColoringProblem final : public Problem {
+ public:
+  std::string name() const override { return "(deg+1)-coloring"; }
+  bool check(const Instance& instance,
+             const std::vector<std::int64_t>& outputs) const override;
+};
+
+/// Proper edge coloring: incident edges get different colors; colors[e]
+/// indexed like Graph::edges(). cap < 0 means "no cap".
+bool is_proper_edge_coloring(const Graph& g,
+                             const std::vector<std::int64_t>& edge_colors,
+                             std::int64_t cap = -1);
+
+}  // namespace unilocal

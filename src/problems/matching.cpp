@@ -1,0 +1,67 @@
+#include "src/problems/matching.h"
+
+#include <algorithm>
+
+namespace unilocal {
+
+std::int64_t match_value(std::int64_t id_a, std::int64_t id_b) {
+  if (id_a > id_b) std::swap(id_a, id_b);
+  // Identities are < 2^31 (Instance::valid), so the pair packs exactly.
+  return (id_a << 31) | id_b;
+}
+
+std::int64_t unmatched_value(std::int64_t id) { return -(id + 1); }
+
+std::vector<NodeId> matched_partner(const Graph& g,
+                                    const std::vector<std::int64_t>& outputs) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> partner(static_cast<std::size_t>(n), -1);
+  for (NodeId u = 0; u < n; ++u) {
+    const std::int64_t yu = outputs[static_cast<std::size_t>(u)];
+    for (NodeId v : g.neighbors(u)) {
+      if (v < u) continue;
+      if (outputs[static_cast<std::size_t>(v)] != yu) continue;
+      // Check the exclusivity condition over N(u) u N(v) \ {u, v}.
+      bool exclusive = true;
+      for (NodeId w : g.neighbors(u)) {
+        if (w != v && outputs[static_cast<std::size_t>(w)] == yu) {
+          exclusive = false;
+          break;
+        }
+      }
+      if (exclusive) {
+        for (NodeId w : g.neighbors(v)) {
+          if (w != u && outputs[static_cast<std::size_t>(w)] == yu) {
+            exclusive = false;
+            break;
+          }
+        }
+      }
+      if (exclusive) {
+        partner[static_cast<std::size_t>(u)] = v;
+        partner[static_cast<std::size_t>(v)] = u;
+      }
+    }
+  }
+  return partner;
+}
+
+bool is_maximal_matching(const Graph& g,
+                         const std::vector<std::int64_t>& outputs) {
+  if (outputs.size() != static_cast<std::size_t>(g.num_nodes())) return false;
+  const auto partner = matched_partner(g, outputs);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (partner[static_cast<std::size_t>(u)] >= 0) continue;
+    for (NodeId v : g.neighbors(u)) {
+      if (partner[static_cast<std::size_t>(v)] < 0) return false;
+    }
+  }
+  return true;
+}
+
+bool MatchingProblem::check(const Instance& instance,
+                            const std::vector<std::int64_t>& outputs) const {
+  return is_maximal_matching(instance.graph, outputs);
+}
+
+}  // namespace unilocal

@@ -1,0 +1,39 @@
+// Maximal matching with the paper's output encoding (Section 2): nodes u, v
+// are *matched* iff they are adjacent, y(u) == y(v), and no other node of
+// N(u) u N(v) carries that value. The problem requires every node to be
+// matched or to have all its neighbours matched.
+//
+// The library's matching algorithms use match values derived from the
+// endpoint identities (pack of the ordered identity pair) and a per-node
+// sentinel for unmatched nodes. That convention makes the paper's P_MM
+// gluing argument collision-free across pruning iterations: a value can
+// only ever be produced by the unique identity pair it encodes.
+#pragma once
+
+#include "src/problems/problem.h"
+
+namespace unilocal {
+
+/// Output value marking u and v (identities) as a matched pair; symmetric.
+std::int64_t match_value(std::int64_t id_a, std::int64_t id_b);
+
+/// Output value of an unmatched node with the given identity (< 0, unique).
+std::int64_t unmatched_value(std::int64_t id);
+
+/// matched[v] = port of v's partner, or -1. Derived from the encoding.
+std::vector<NodeId> matched_partner(const Graph& g,
+                                    const std::vector<std::int64_t>& outputs);
+
+/// True iff the matched-relation derived from the outputs is a maximal
+/// matching of g.
+bool is_maximal_matching(const Graph& g,
+                         const std::vector<std::int64_t>& outputs);
+
+class MatchingProblem final : public Problem {
+ public:
+  std::string name() const override { return "maximal-matching"; }
+  bool check(const Instance& instance,
+             const std::vector<std::int64_t>& outputs) const override;
+};
+
+}  // namespace unilocal

@@ -1,0 +1,28 @@
+#include "src/problems/mis.h"
+
+namespace unilocal {
+
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<std::int64_t>& selected) {
+  if (selected.size() != static_cast<std::size_t>(g.num_nodes())) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const bool in_set = selected[static_cast<std::size_t>(v)] != 0;
+    bool has_selected_neighbor = false;
+    for (NodeId u : g.neighbors(v)) {
+      if (selected[static_cast<std::size_t>(u)] != 0) {
+        has_selected_neighbor = true;
+        break;
+      }
+    }
+    if (in_set && has_selected_neighbor) return false;   // independence
+    if (!in_set && !has_selected_neighbor) return false;  // maximality
+  }
+  return true;
+}
+
+bool MisProblem::check(const Instance& instance,
+                       const std::vector<std::int64_t>& outputs) const {
+  return is_maximal_independent_set(instance.graph, outputs);
+}
+
+}  // namespace unilocal

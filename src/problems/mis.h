@@ -1,0 +1,21 @@
+// Maximal Independent Set: output bit b(v) in {0,1}; the selected set must
+// be independent and dominating (every non-member has a member neighbour).
+#pragma once
+
+#include "src/problems/problem.h"
+
+namespace unilocal {
+
+class MisProblem final : public Problem {
+ public:
+  std::string name() const override { return "MIS"; }
+  bool check(const Instance& instance,
+             const std::vector<std::int64_t>& outputs) const override;
+};
+
+/// Standalone predicate on a bare graph (used by transforms that have no
+/// Instance at hand).
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<std::int64_t>& selected);
+
+}  // namespace unilocal

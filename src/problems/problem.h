@@ -1,0 +1,24 @@
+// The paper's notion of a problem Pi = {(G, x, y)}: a predicate over
+// instance + output vector, closed under disjoint union. Validators are
+// centralized oracles used by tests, benches and the (optional) debug
+// checks of the transformer drivers — never by the algorithms themselves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runtime/instance.h"
+
+namespace unilocal {
+
+class Problem {
+ public:
+  virtual ~Problem() = default;
+  virtual std::string name() const = 0;
+  /// True iff (G, x, y) is in Pi.
+  virtual bool check(const Instance& instance,
+                     const std::vector<std::int64_t>& outputs) const = 0;
+};
+
+}  // namespace unilocal

@@ -1,0 +1,48 @@
+#include "src/problems/ruling_set.h"
+
+#include <queue>
+
+namespace unilocal {
+
+bool is_two_beta_ruling_set(const Graph& g,
+                            const std::vector<std::int64_t>& selected,
+                            int beta) {
+  const NodeId n = g.num_nodes();
+  if (selected.size() != static_cast<std::size_t>(n)) return false;
+  // alpha = 2: no two adjacent members.
+  for (NodeId v = 0; v < n; ++v) {
+    if (selected[static_cast<std::size_t>(v)] == 0) continue;
+    for (NodeId u : g.neighbors(v))
+      if (selected[static_cast<std::size_t>(u)] != 0) return false;
+  }
+  // beta-domination: multi-source BFS from the members.
+  std::vector<NodeId> dist(static_cast<std::size_t>(n), -1);
+  std::queue<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    if (selected[static_cast<std::size_t>(v)] != 0) {
+      dist[static_cast<std::size_t>(v)] = 0;
+      frontier.push(v);
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    if (dist[static_cast<std::size_t>(v)] >= beta) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v)
+    if (dist[static_cast<std::size_t>(v)] < 0) return false;
+  return true;
+}
+
+bool RulingSetProblem::check(const Instance& instance,
+                             const std::vector<std::int64_t>& outputs) const {
+  return is_two_beta_ruling_set(instance.graph, outputs, beta_);
+}
+
+}  // namespace unilocal

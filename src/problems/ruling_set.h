@@ -1,0 +1,29 @@
+// (alpha, beta)-ruling sets (paper Section 2): members pairwise at distance
+// >= alpha; every non-member within distance <= beta of a member. MIS is the
+// (2,1) case. The library implements alpha = 2 (the case the paper's pruning
+// algorithm P_(2,beta) covers) for arbitrary constant beta.
+#pragma once
+
+#include "src/problems/problem.h"
+
+namespace unilocal {
+
+class RulingSetProblem final : public Problem {
+ public:
+  explicit RulingSetProblem(int beta) : beta_(beta) {}
+  std::string name() const override {
+    return "(2," + std::to_string(beta_) + ")-ruling-set";
+  }
+  bool check(const Instance& instance,
+             const std::vector<std::int64_t>& outputs) const override;
+  int beta() const noexcept { return beta_; }
+
+ private:
+  int beta_;
+};
+
+bool is_two_beta_ruling_set(const Graph& g,
+                            const std::vector<std::int64_t>& selected,
+                            int beta);
+
+}  // namespace unilocal

@@ -1,0 +1,119 @@
+#include "src/prune/matching_prune.h"
+
+#include "src/problems/matching.h"
+
+namespace unilocal {
+
+PruneResult MatchingPruning::apply(const Instance& instance,
+                                   const std::vector<std::int64_t>& yhat) const {
+  const Graph& g = instance.graph;
+  const NodeId n = g.num_nodes();
+  PruneResult result;
+  result.pruned.assign(static_cast<std::size_t>(n), false);
+  result.surviving_inputs = instance.inputs;
+  const auto partner = matched_partner(g, yhat);
+  for (NodeId u = 0; u < n; ++u) {
+    if (partner[static_cast<std::size_t>(u)] >= 0) {
+      result.pruned[static_cast<std::size_t>(u)] = true;
+      continue;
+    }
+    bool all_matched = true;
+    for (NodeId v : g.neighbors(u)) {
+      if (partner[static_cast<std::size_t>(v)] < 0) {
+        all_matched = false;
+        break;
+      }
+    }
+    if (all_matched) result.pruned[static_cast<std::size_t>(u)] = true;
+  }
+  return result;
+}
+
+namespace {
+
+/// LOCAL realization.
+///  round 0: broadcast yhat.
+///  round 1: for each neighbour v, send [yhat(u), clean_uv] where clean_uv
+///           says no *other* neighbour of u carries yhat(u).
+///  round 2: matched(u) is decidable; broadcast the matched bit.
+///  round 3: decide: pruned = matched(u) or all neighbours matched.
+class MatchingPruneProcess final : public Process {
+ public:
+  void step(Context& ctx) override {
+    const std::int64_t yhat = ctx.input().back();
+    switch (ctx.round()) {
+      case 0:
+        ctx.broadcast({yhat});
+        break;
+      case 1: {
+        neighbor_values_.resize(static_cast<std::size_t>(ctx.degree()));
+        int same_count = 0;
+        for (NodeId j = 0; j < ctx.degree(); ++j) {
+          const Message* m = ctx.received(j);
+          neighbor_values_[static_cast<std::size_t>(j)] = (*m)[0];
+          if ((*m)[0] == yhat) ++same_count;
+        }
+        for (NodeId j = 0; j < ctx.degree(); ++j) {
+          const int same_excluding_j =
+              same_count -
+              (neighbor_values_[static_cast<std::size_t>(j)] == yhat ? 1 : 0);
+          ctx.send(j, {yhat, same_excluding_j == 0 ? 1 : 0});
+        }
+        break;
+      }
+      case 2: {
+        matched_ = false;
+        for (NodeId j = 0; j < ctx.degree(); ++j) {
+          const Message* m = ctx.received(j);
+          const bool values_equal =
+              neighbor_values_[static_cast<std::size_t>(j)] == yhat;
+          const bool other_clean = (*m)[1] != 0;
+          // clean on our side: no OTHER neighbour (besides j) shares yhat.
+          int same_count = 0;
+          for (std::size_t k = 0; k < neighbor_values_.size(); ++k) {
+            if (k != static_cast<std::size_t>(j) &&
+                neighbor_values_[k] == yhat)
+              ++same_count;
+          }
+          if (values_equal && other_clean && same_count == 0) {
+            matched_ = true;
+            break;
+          }
+        }
+        ctx.broadcast({matched_ ? 1 : 0});
+        break;
+      }
+      case 3: {
+        bool all_matched = true;
+        for (NodeId j = 0; j < ctx.degree(); ++j) {
+          const Message* m = ctx.received(j);
+          if ((*m)[0] == 0) all_matched = false;
+        }
+        ctx.finish((matched_ || all_matched) ? 1 : 0);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+ private:
+  std::vector<std::int64_t> neighbor_values_;
+  bool matched_ = false;
+};
+
+class MatchingPruneLocal final : public Algorithm {
+ public:
+  std::unique_ptr<Process> spawn(const NodeInit&) const override {
+    return std::make_unique<MatchingPruneProcess>();
+  }
+  std::string name() const override { return "P_MM-local"; }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> MatchingPruning::as_local_algorithm() const {
+  return std::make_unique<MatchingPruneLocal>();
+}
+
+}  // namespace unilocal

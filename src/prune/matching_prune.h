@@ -1,0 +1,21 @@
+// P_MM (paper Observation 3.3): with the matched-relation derived from the
+// tentative output (see src/problems/matching.h), prune every node that is
+// matched and every node all of whose neighbours are matched. Inputs pass
+// through untouched, so the algorithm is monotone with respect to every
+// non-decreasing parameter.
+#pragma once
+
+#include "src/prune/pruning.h"
+
+namespace unilocal {
+
+class MatchingPruning final : public PruningAlgorithm {
+ public:
+  std::string name() const override { return "P_MM"; }
+  std::int64_t running_time() const override { return 4; }
+  PruneResult apply(const Instance& instance,
+                    const std::vector<std::int64_t>& yhat) const override;
+  std::unique_ptr<Algorithm> as_local_algorithm() const override;
+};
+
+}  // namespace unilocal

@@ -1,0 +1,43 @@
+// Pruning algorithms (paper Section 3): uniform, constant-round LOCAL
+// algorithms P(G, x, yhat) -> (G', x') satisfying
+//   * solution detection: if (G, x, yhat) in Pi then every node is pruned;
+//   * gluing: any solution y' of (G', x') combined with yhat on the pruned
+//     set W solves (G, x).
+//
+// Each pruning algorithm is exposed two ways:
+//   * apply(): a centralized whole-graph evaluation used by the
+//     alternating-algorithm drivers (fast path);
+//   * as_local_algorithm(): a genuine LOCAL realization (the tentative
+//     output yhat arrives as the last word of each node's input; the output
+//     is the prune bit). Tests check the two agree on every instance, which
+//     certifies that apply() is computable in running_time() LOCAL rounds.
+#pragma once
+
+#include <memory>
+
+#include "src/problems/problem.h"
+#include "src/runtime/local.h"
+
+namespace unilocal {
+
+struct PruneResult {
+  /// W: pruned[v] == true means v keeps yhat(v) and leaves the computation.
+  std::vector<bool> pruned;
+  /// Replacement inputs x'(v); only entries of surviving nodes are read.
+  std::vector<Input> surviving_inputs;
+};
+
+class PruningAlgorithm {
+ public:
+  virtual ~PruningAlgorithm() = default;
+  virtual std::string name() const = 0;
+  /// The constant LOCAL running time T0 (in this simulator's counting:
+  /// a node finishing in round r has used r+1 rounds).
+  virtual std::int64_t running_time() const = 0;
+  virtual PruneResult apply(const Instance& instance,
+                            const std::vector<std::int64_t>& yhat) const = 0;
+  /// LOCAL realization; input convention: x(v) ++ [yhat(v)].
+  virtual std::unique_ptr<Algorithm> as_local_algorithm() const = 0;
+};
+
+}  // namespace unilocal

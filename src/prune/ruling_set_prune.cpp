@@ -1,0 +1,122 @@
+#include "src/prune/ruling_set_prune.h"
+
+#include <limits>
+#include <queue>
+
+namespace unilocal {
+
+PruneResult RulingSetPruning::apply(const Instance& instance,
+                                    const std::vector<std::int64_t>& yhat) const {
+  const Graph& g = instance.graph;
+  const NodeId n = g.num_nodes();
+  PruneResult result;
+  result.pruned.assign(static_cast<std::size_t>(n), false);
+  result.surviving_inputs = instance.inputs;  // inputs pass through untouched
+
+  // Good nodes: yhat = 1 and all neighbours 0.
+  std::vector<bool> good(static_cast<std::size_t>(n), false);
+  for (NodeId v = 0; v < n; ++v) {
+    if (yhat[static_cast<std::size_t>(v)] == 0) continue;
+    bool clean = true;
+    for (NodeId u : g.neighbors(v)) {
+      if (yhat[static_cast<std::size_t>(u)] != 0) {
+        clean = false;
+        break;
+      }
+    }
+    good[static_cast<std::size_t>(v)] = clean;
+  }
+  // Multi-source BFS to distance beta from the good nodes.
+  std::vector<NodeId> dist(static_cast<std::size_t>(n), -1);
+  std::queue<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    if (good[static_cast<std::size_t>(v)]) {
+      dist[static_cast<std::size_t>(v)] = 0;
+      frontier.push(v);
+      result.pruned[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    if (dist[static_cast<std::size_t>(v)] >= beta_) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        frontier.push(u);
+        if (yhat[static_cast<std::size_t>(u)] == 0)
+          result.pruned[static_cast<std::size_t>(u)] = true;
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+constexpr std::int64_t kInfinity = std::numeric_limits<std::int64_t>::max() / 2;
+
+/// LOCAL realization: round 0 broadcasts yhat; round 1 computes goodness
+/// and starts flooding the distance-to-nearest-good estimate; the node
+/// decides in round beta + 1.
+class RulingSetPruneProcess final : public Process {
+ public:
+  explicit RulingSetPruneProcess(int beta) : beta_(beta) {}
+
+  void step(Context& ctx) override {
+    const std::int64_t yhat = ctx.input().back();
+    if (ctx.round() == 0) {
+      ctx.broadcast({yhat});
+      return;
+    }
+    if (ctx.round() == 1) {
+      bool clean = true;
+      for (NodeId j = 0; j < ctx.degree(); ++j) {
+        const Message* m = ctx.received(j);
+        if (m != nullptr && (*m)[0] != 0) clean = false;
+      }
+      good_ = (yhat != 0) && clean;
+      dist_ = good_ ? 0 : kInfinity;
+    } else {
+      for (NodeId j = 0; j < ctx.degree(); ++j) {
+        const Message* m = ctx.received(j);
+        if (m != nullptr && (*m)[0] + 1 < dist_) dist_ = (*m)[0] + 1;
+      }
+    }
+    if (ctx.round() == beta_ + 1) {
+      const bool pruned =
+          (yhat != 0 && good_) || (yhat == 0 && dist_ <= beta_);
+      ctx.finish(pruned ? 1 : 0);
+      return;
+    }
+    ctx.broadcast({dist_});
+  }
+
+ private:
+  int beta_;
+  bool good_ = false;
+  std::int64_t dist_ = kInfinity;
+};
+
+class RulingSetPruneLocal final : public Algorithm {
+ public:
+  explicit RulingSetPruneLocal(int beta) : beta_(beta) {}
+  std::unique_ptr<Process> spawn(const NodeInit&) const override {
+    return std::make_unique<RulingSetPruneProcess>(beta_);
+  }
+  std::string name() const override {
+    return "P(2," + std::to_string(beta_) + ")-local";
+  }
+
+ private:
+  int beta_;
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> RulingSetPruning::as_local_algorithm() const {
+  return std::make_unique<RulingSetPruneLocal>(beta_);
+}
+
+}  // namespace unilocal

@@ -1,0 +1,31 @@
+// P_(2,beta) (paper Observation 3.2): given a tentative membership bit
+// yhat, call a node *good* when yhat(u) = 1 and all its neighbours carry 0.
+// Prune
+//   * every good node, and
+//   * every node u with yhat(u) = 0 within distance beta of a good node.
+// Inputs are passed through unchanged, so by Observation 3.1 the algorithm
+// is monotone with respect to every non-decreasing parameter. MIS is the
+// beta = 1 case.
+#pragma once
+
+#include "src/prune/pruning.h"
+
+namespace unilocal {
+
+class RulingSetPruning final : public PruningAlgorithm {
+ public:
+  explicit RulingSetPruning(int beta) : beta_(beta) {}
+  std::string name() const override {
+    return "P(2," + std::to_string(beta_) + ")";
+  }
+  std::int64_t running_time() const override { return beta_ + 2; }
+  PruneResult apply(const Instance& instance,
+                    const std::vector<std::int64_t>& yhat) const override;
+  std::unique_ptr<Algorithm> as_local_algorithm() const override;
+  int beta() const noexcept { return beta_; }
+
+ private:
+  int beta_;
+};
+
+}  // namespace unilocal

@@ -1,0 +1,23 @@
+// P_SLC — the pruning algorithm for strong list coloring built in the proof
+// of the paper's Theorem 5. A node is pruned when its tentative color lies
+// in its list and conflicts with no neighbour; survivors' lists lose the
+// colors their pruned neighbours committed to. Because at most one pair per
+// base color disappears per pruned neighbour while the survivor's degree
+// drops by the same count, the SLC configuration invariant (>= deg+1 pairs
+// per base color) is preserved — the gluing property.
+#pragma once
+
+#include "src/prune/pruning.h"
+
+namespace unilocal {
+
+class SlcPruning final : public PruningAlgorithm {
+ public:
+  std::string name() const override { return "P_SLC"; }
+  std::int64_t running_time() const override { return 3; }
+  PruneResult apply(const Instance& instance,
+                    const std::vector<std::int64_t>& yhat) const override;
+  std::unique_ptr<Algorithm> as_local_algorithm() const override;
+};
+
+}  // namespace unilocal

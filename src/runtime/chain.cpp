@@ -1,0 +1,94 @@
+#include "src/runtime/chain.h"
+
+#include <cassert>
+
+namespace unilocal {
+
+namespace {
+
+class ChainProcess final : public Process {
+ public:
+  ChainProcess(const std::vector<ChainStage>* stages, const NodeInit& init)
+      : stages_(stages), degree_(init.degree), identity_(init.identity),
+        original_input_(init.input.begin(), init.input.end()) {}
+
+  void step(Context& ctx) override {
+    // Advance past completed stages (budgets are cumulative).
+    while (stage_ < stages_->size() &&
+           ctx.round() >= stage_start_ + (*stages_)[stage_].rounds) {
+      close_stage();
+    }
+    if (stage_ >= stages_->size()) {
+      ctx.finish(carry_);
+      return;
+    }
+    if (inner_ == nullptr && !inner_done_) spawn_stage();
+    if (!inner_done_) {
+      Context sub = ctx.derived(ctx.round() - stage_start_, stage_input());
+      inner_->step(sub);
+      if (sub.finished()) {
+        carry_ = sub.output();
+        inner_done_ = true;
+        inner_.reset();
+      }
+    }
+    // Last stage finished and budget also over? The loop above handles the
+    // boundary on the *next* round; if this was the final round of the last
+    // stage, finish right away to avoid one idle round.
+    if (stage_ + 1 == stages_->size() &&
+        ctx.round() + 1 >= stage_start_ + (*stages_)[stage_].rounds) {
+      ctx.finish(inner_done_ ? carry_ : 0);
+    }
+  }
+
+ private:
+  std::span<const std::int64_t> stage_input() const {
+    if (stage_ == 0) return original_input_;
+    return {&carry_in_, 1};
+  }
+
+  void spawn_stage() {
+    NodeInit init;
+    init.degree = degree_;
+    init.identity = identity_;
+    init.input = stage_input();
+    inner_ = (*stages_)[stage_].algorithm->spawn(init);
+  }
+
+  void close_stage() {
+    if (!inner_done_) carry_ = 0;  // stage cut off: arbitrary carry
+    carry_in_ = carry_;
+    stage_start_ += (*stages_)[stage_].rounds;
+    ++stage_;
+    inner_.reset();
+    inner_done_ = false;
+  }
+
+  const std::vector<ChainStage>* stages_;
+  NodeId degree_;
+  std::int64_t identity_;
+  std::vector<std::int64_t> original_input_;
+  std::size_t stage_ = 0;
+  std::int64_t stage_start_ = 0;
+  std::unique_ptr<Process> inner_;
+  bool inner_done_ = false;
+  std::int64_t carry_ = 0;
+  std::int64_t carry_in_ = 0;
+};
+
+}  // namespace
+
+ChainAlgorithm::ChainAlgorithm(std::string name, std::vector<ChainStage> stages)
+    : name_(std::move(name)), stages_(std::move(stages)) {
+  assert(!stages_.empty());
+  for (const auto& stage : stages_) {
+    assert(stage.rounds >= 1);
+    total_rounds_ += stage.rounds;
+  }
+}
+
+std::unique_ptr<Process> ChainAlgorithm::spawn(const NodeInit& init) const {
+  return std::make_unique<ChainProcess>(&stages_, init);
+}
+
+}  // namespace unilocal

@@ -1,0 +1,127 @@
+// The LOCAL model (Peleg 2000; paper Section 2), as a programming interface.
+//
+// An Algorithm is a factory that spawns one Process per node. Computation
+// proceeds in synchronous rounds: in each round every awake node reads the
+// messages its neighbours sent in the previous round, performs arbitrary
+// local computation, sends (unrestricted-size) messages to its neighbours,
+// and may terminate by writing a final output value. Neighbours are
+// addressed by port number 0..degree-1; a node learns anything beyond its
+// own degree/identity/input only through messages, which is exactly the
+// locality constraint the paper studies.
+//
+// Uniformity discipline: a Process receives NO global parameters. Algorithms
+// that require guesses of global parameters (the paper's non-uniform
+// algorithms A_Gamma) receive them at *instantiation* time through the
+// NonUniformAlgorithm interface in src/core/nonuniform.h, never through the
+// runtime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace unilocal {
+
+/// Unrestricted-size message: a vector of 64-bit values.
+using Message = std::vector<std::int64_t>;
+
+/// Everything a node knows at wake-up time.
+struct NodeInit {
+  NodeId degree = 0;
+  std::int64_t identity = 0;
+  std::span<const std::int64_t> input;
+};
+
+/// Per-round view handed to Process::step. Owned by the runner; valid only
+/// for the duration of the call.
+class Context {
+ public:
+  NodeId degree() const noexcept { return degree_; }
+  std::int64_t id() const noexcept { return identity_; }
+  std::span<const std::int64_t> input() const noexcept { return input_; }
+
+  /// Local round number, 0-based (round 0 sees no messages).
+  std::int64_t round() const noexcept { return round_; }
+
+  /// Message from neighbour port j sent in the previous round, or nullptr.
+  const Message* received(NodeId j) const {
+    return inbox_present_[static_cast<std::size_t>(j)]
+               ? &inbox_[static_cast<std::size_t>(j)]
+               : nullptr;
+  }
+
+  /// Sends msg to neighbour port j (delivered next round).
+  void send(NodeId j, Message msg) {
+    outbox_[static_cast<std::size_t>(j)] = std::move(msg);
+    outbox_present_[static_cast<std::size_t>(j)] = true;
+  }
+
+  /// Sends a copy of msg to every neighbour.
+  void broadcast(const Message& msg) {
+    for (NodeId j = 0; j < degree_; ++j) send(j, msg);
+  }
+
+  /// Writes the final output; after the current step returns, the process
+  /// is never stepped again (messages sent in this step are still delivered).
+  void finish(std::int64_t output) {
+    finished_ = true;
+    output_ = output;
+  }
+  bool finished() const noexcept { return finished_; }
+
+  /// Private randomness stream of this node.
+  Rng& rng() noexcept { return *rng_; }
+
+  /// Final output value (meaningful once finished()).
+  std::int64_t output() const noexcept { return output_; }
+
+  /// A view of this context with a shifted local round and substituted
+  /// input, sharing the message buffers — used by stage-composition
+  /// combinators (src/runtime/chain.h) to run sub-processes.
+  Context derived(std::int64_t round,
+                  std::span<const std::int64_t> input) const {
+    Context copy = *this;
+    copy.round_ = round;
+    copy.input_ = input;
+    copy.finished_ = false;
+    copy.output_ = 0;
+    return copy;
+  }
+
+ private:
+  friend class Runner;
+  NodeId degree_ = 0;
+  std::int64_t identity_ = 0;
+  std::span<const std::int64_t> input_;
+  std::int64_t round_ = 0;
+  std::span<const Message> inbox_;
+  std::span<const char> inbox_present_;
+  std::span<Message> outbox_;
+  std::span<char> outbox_present_;
+  bool finished_ = false;
+  std::int64_t output_ = 0;
+  Rng* rng_ = nullptr;
+};
+
+/// The per-node program.
+class Process {
+ public:
+  virtual ~Process() = default;
+  /// Called once per local round while the node has not finished.
+  virtual void step(Context& ctx) = 0;
+};
+
+/// A distributed algorithm: spawns one process per node.
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+  virtual std::unique_ptr<Process> spawn(const NodeInit& init) const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace unilocal

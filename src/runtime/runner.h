@@ -1,0 +1,76 @@
+// Round-exact execution of LOCAL algorithms.
+//
+// The default mode wakes every node at round 0 (the paper's standing
+// assumption, justified by its Observation 2.1). The staggered mode supports
+// arbitrary per-node wake-up rounds and emulates the alpha synchronizer: a
+// node performs local round i only once every neighbour has performed local
+// round i-1, with early messages buffered — exactly the construction in the
+// paper's "Synchronicity and time complexity" discussion.
+//
+// "Restricted to T rounds" (paper Section 2): set RunOptions::max_rounds=T;
+// nodes that have not finished within their first T local rounds are forced
+// to terminate with the arbitrary output RunOptions::default_output (0).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/runtime/instance.h"
+#include "src/runtime/local.h"
+
+namespace unilocal {
+
+struct RunOptions {
+  /// Maximum local rounds per node; reaching it forces termination with
+  /// default_output.
+  std::int64_t max_rounds = std::numeric_limits<std::int64_t>::max() / 4;
+  std::int64_t default_output = 0;
+  /// Seed for the per-node randomness streams (split by identity).
+  std::uint64_t seed = 1;
+  /// Optional wake-up round per node (empty = all wake at 0). Non-empty
+  /// wake rounds enable the alpha-synchronizer emulation.
+  std::vector<std::int64_t> wake_rounds;
+};
+
+struct RunResult {
+  std::vector<std::int64_t> outputs;
+  /// Local round in which each node finished (0-based), or max_rounds if it
+  /// was cut off.
+  std::vector<std::int64_t> finish_rounds;
+  /// Global round in which each node finished (equals finish_rounds in the
+  /// simultaneous mode; later under staggered wake-ups).
+  std::vector<std::int64_t> global_finish_rounds;
+  /// True when every node finished of its own accord before the cutoff.
+  bool all_finished = false;
+  /// The LOCAL running time: max over nodes of (local finish round + 1);
+  /// 0 for the empty graph.
+  std::int64_t rounds_used = 0;
+  /// Global (wall) rounds the synchronizer mode consumed; equals rounds_used
+  /// in the simultaneous mode.
+  std::int64_t global_rounds = 0;
+  std::int64_t messages_sent = 0;
+  std::int64_t max_message_words = 0;
+};
+
+/// Runs one algorithm on an instance.
+RunResult run_local(const Instance& instance, const Algorithm& algorithm,
+                    const RunOptions& options = {});
+
+/// Runs algorithms in sequence (paper's A1;A2): each node starts algorithm
+/// k+1 in the global round after it finished algorithm k (alpha-synchronizer
+/// semantics), with each algorithm's input being the previous algorithm's
+/// per-node output appended to the instance input. Returns one RunResult per
+/// stage; the last stage's outputs are the composition's outputs.
+std::vector<RunResult> run_sequential(const Instance& instance,
+                                      const std::vector<const Algorithm*>& algorithms,
+                                      const RunOptions& options = {});
+
+/// Post-hoc per-node termination time in the paper's non-simultaneous sense:
+/// the least t such that the node finished (in global rounds) no later than
+/// t rounds after every node within distance t of it had woken up.
+std::vector<std::int64_t> termination_times(
+    const Graph& graph, const std::vector<std::int64_t>& wake_rounds,
+    const std::vector<std::int64_t>& global_finish_rounds);
+
+}  // namespace unilocal

@@ -1,0 +1,52 @@
+#include "src/runtime/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace unilocal {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << ' ' << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  emit(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out << std::string(width[c] + 2, '-') << '|';
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string TextTable::fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TextTable::fmt(std::int64_t value) {
+  return std::to_string(value);
+}
+
+}  // namespace unilocal

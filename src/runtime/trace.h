@@ -1,0 +1,29 @@
+// Tabular reporting used by the benchmark harness: every experiment prints
+// its rows as a markdown-ish aligned table so the output in
+// bench_output.txt can be compared against the paper's Table 1 directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unilocal {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders with aligned columns and a header separator.
+  std::string to_string() const;
+  void print() const;
+
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt(std::int64_t value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace unilocal

@@ -1,0 +1,106 @@
+#include "src/util/math.h"
+
+#include <initializer_list>
+#include <limits>
+
+namespace unilocal {
+
+int ilog2(std::uint64_t x) noexcept {
+  return 63 - __builtin_clzll(x | 1);
+}
+
+int clog2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return ilog2(x - 1) + 1;
+}
+
+int log_star(std::uint64_t x) noexcept {
+  int count = 0;
+  while (x > 1) {
+    x = static_cast<std::uint64_t>(ilog2(x));
+    ++count;
+  }
+  return count;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+namespace {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t a, std::uint64_t e, std::uint64_t m) noexcept {
+  std::uint64_t r = 1;
+  a %= m;
+  while (e > 0) {
+    if (e & 1) r = mulmod(r, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                          19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is exact for all n < 2^64 (Sorenson & Webster).
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                          19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    std::uint64_t x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) noexcept {
+  if (n <= 2) return 2;
+  if ((n & 1) == 0) ++n;
+  while (!is_prime(n)) n += 2;
+  return n;
+}
+
+std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  if (a > kMax - b) return kMax;
+  return a + b;
+}
+
+std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  if (a == 0 || b == 0) return 0;
+  if (a > kMax / b) return kMax;
+  return a * b;
+}
+
+std::int64_t sat_pow(std::int64_t base, int exp) noexcept {
+  std::int64_t r = 1;
+  for (int i = 0; i < exp; ++i) r = sat_mul(r, base);
+  return r;
+}
+
+}  // namespace unilocal

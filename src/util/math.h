@@ -1,0 +1,40 @@
+// Small integer-math helpers shared across the library: logarithms, the
+// iterated logarithm log* that pervades LOCAL-model running-time bounds,
+// primality (Linial's color-reduction step needs a prime field), and
+// overflow-safe saturating arithmetic used by runtime-bound inversion.
+#pragma once
+
+#include <cstdint>
+
+namespace unilocal {
+
+/// Floor of log2(x); requires x >= 1. ilog2(1) == 0.
+int ilog2(std::uint64_t x) noexcept;
+
+/// Ceiling of log2(x); requires x >= 1. clog2(1) == 0.
+int clog2(std::uint64_t x) noexcept;
+
+/// The iterated logarithm: the number of times log2 must be applied to x
+/// before the result is <= 1. log_star(1) == 0, log_star(2) == 1,
+/// log_star(4) == 2, log_star(16) == 3, log_star(65536) == 4.
+int log_star(std::uint64_t x) noexcept;
+
+/// Ceiling division for non-negative a and positive b.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept;
+
+/// Deterministic Miller-Rabin primality test, exact for all 64-bit inputs.
+bool is_prime(std::uint64_t n) noexcept;
+
+/// Smallest prime >= n (n >= 0; next_prime(0) == next_prime(1) == 2).
+std::uint64_t next_prime(std::uint64_t n) noexcept;
+
+/// a + b clamped to int64 max (operands must be non-negative).
+std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept;
+
+/// a * b clamped to int64 max (operands must be non-negative).
+std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept;
+
+/// Integer power with saturation: base^exp clamped to int64 max.
+std::int64_t sat_pow(std::int64_t base, int exp) noexcept;
+
+}  // namespace unilocal

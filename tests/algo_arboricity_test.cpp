@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "src/algo/arb_coloring.h"
+#include "src/algo/arb_mis.h"
+#include "src/algo/forests.h"
+#include "src/algo/hpartition.h"
+#include "src/algo/linial.h"
+#include "src/core/param.h"
+#include "src/graph/params.h"
+#include "src/problems/coloring.h"
+#include "src/problems/mis.h"
+#include "src/runtime/runner.h"
+#include "tests/test_support.h"
+
+namespace unilocal {
+namespace {
+
+using testing_support::standard_instances;
+
+TEST(HPartition, EveryNodePeelsWithGoodGuesses) {
+  for (const auto& [name, instance] : standard_instances(220)) {
+    if (instance.num_nodes() == 0) continue;
+    const std::int64_t a = eval_param(Param::kArboricity, instance);
+    const HPartition algorithm(a, instance.num_nodes());
+    const RunResult result = run_local(instance, algorithm);
+    EXPECT_TRUE(result.all_finished) << name;
+    for (std::int64_t layer : result.outputs) {
+      EXPECT_GE(layer, 1) << name;
+      EXPECT_LE(layer, algorithm.num_phases()) << name;
+    }
+  }
+}
+
+TEST(HPartition, MatchesCentralReference) {
+  Rng rng(1);
+  Instance instance = make_instance(random_layered_forest(90, 2, rng),
+                                    IdentityScheme::kRandomPermuted, 2);
+  const std::int64_t a = eval_param(Param::kArboricity, instance);
+  const HPartition algorithm(a, instance.num_nodes());
+  const RunResult result = run_local(instance, algorithm);
+  const auto central = central_hpartition(
+      instance.graph, algorithm.threshold(), algorithm.num_phases());
+  EXPECT_EQ(result.outputs, central);
+}
+
+TEST(HPartition, LayerPropertyBoundsUpDegree) {
+  // Every node has at most 3a neighbours in its own-or-higher layers.
+  Rng rng(2);
+  Instance instance = make_instance(random_layered_forest(120, 3, rng),
+                                    IdentityScheme::kRandomPermuted, 3);
+  const std::int64_t a = eval_param(Param::kArboricity, instance);
+  const HPartition algorithm(a, instance.num_nodes());
+  const RunResult result = run_local(instance, algorithm);
+  for (NodeId v = 0; v < instance.num_nodes(); ++v) {
+    std::int64_t up = 0;
+    for (NodeId u : instance.graph.neighbors(v)) {
+      if (result.outputs[static_cast<std::size_t>(u)] >=
+          result.outputs[static_cast<std::size_t>(v)])
+        ++up;
+    }
+    EXPECT_LE(up, algorithm.threshold()) << "node " << v;
+  }
+}
+
+TEST(Forests, OrientationOutDegreeBounded) {
+  Rng rng(3);
+  for (int layers : {1, 2, 3}) {
+    Instance instance = make_instance(random_layered_forest(100, layers, rng),
+                                      IdentityScheme::kRandomPermuted, 4);
+    const std::int64_t a = eval_param(Param::kArboricity, instance);
+    const auto layer_assignment = central_hpartition(
+        instance.graph, 3 * a, HPartition::phases_for(instance.num_nodes()));
+    const auto out = orientation_from_layers(instance, layer_assignment);
+    EXPECT_LE(max_out_degree(out), 3 * a) << "layers " << layers;
+    // Orientation covers every edge exactly once.
+    std::int64_t arcs = 0;
+    for (const auto& list : out) arcs += static_cast<std::int64_t>(list.size());
+    EXPECT_EQ(arcs, instance.graph.num_edges());
+  }
+}
+
+TEST(Forests, SplitYieldsAcyclicForests) {
+  Rng rng(4);
+  Instance instance = make_instance(gnp(80, 0.06, rng),
+                                    IdentityScheme::kRandomPermuted, 5);
+  const std::int64_t a = eval_param(Param::kArboricity, instance);
+  const auto layer_assignment = central_hpartition(
+      instance.graph, 3 * a, HPartition::phases_for(instance.num_nodes()));
+  const auto out = orientation_from_layers(instance, layer_assignment);
+  const auto forests = forest_split(out);
+  EXPECT_LE(static_cast<std::int64_t>(forests.size()), 3 * a);
+  for (const auto& edges : forests) {
+    Graph forest = Graph::from_edges(instance.graph.num_nodes(), edges);
+    EXPECT_TRUE(is_forest(forest));
+  }
+}
+
+TEST(ArbColoring, ProperWithQuadraticPalette) {
+  const auto wrapped = make_arb_coloring();
+  for (const auto& [name, instance] : standard_instances(221)) {
+    if (instance.num_nodes() == 0) continue;
+    const auto algorithm = instantiate_with_correct_guesses(*wrapped, instance);
+    const RunResult result = run_local(instance, *algorithm);
+    EXPECT_TRUE(result.all_finished) << name;
+    EXPECT_TRUE(is_proper_coloring(instance.graph, result.outputs)) << name;
+    const std::int64_t a = eval_param(Param::kArboricity, instance);
+    EXPECT_LE(max_color_used(result.outputs),
+              linial_final_space_bound(3 * a))
+        << name;
+    EXPECT_LE(static_cast<double>(result.rounds_used),
+              bound_at_correct_params(*wrapped, instance))
+        << name;
+  }
+}
+
+TEST(ArbColoring, PaletteIndependentOfDelta) {
+  // A star has Delta = n-1 but arboricity 1: the palette must stay O(1).
+  Rng rng(5);
+  Instance star = make_instance(complete_bipartite(1, 60),
+                                IdentityScheme::kRandomPermuted, 6);
+  const auto wrapped = make_arb_coloring();
+  const auto algorithm = instantiate_with_correct_guesses(*wrapped, star);
+  const RunResult result = run_local(star, *algorithm);
+  EXPECT_TRUE(is_proper_coloring(star.graph, result.outputs));
+  EXPECT_LE(max_color_used(result.outputs), linial_final_space_bound(3));
+}
+
+TEST(ArbMis, ValidOnSweepWithinBound) {
+  const auto wrapped = make_arb_mis();
+  for (const auto& [name, instance] : standard_instances(222)) {
+    const auto algorithm = instantiate_with_correct_guesses(*wrapped, instance);
+    const RunResult result = run_local(instance, *algorithm);
+    EXPECT_TRUE(result.all_finished) << name;
+    EXPECT_TRUE(is_maximal_independent_set(instance.graph, result.outputs))
+        << name;
+    EXPECT_LE(static_cast<double>(result.rounds_used),
+              bound_at_correct_params(*wrapped, instance))
+        << name;
+  }
+}
+
+TEST(ArbMis, LogNShapeOnForests) {
+  // On forests the peeling dominates: rounds grow like log n, far below
+  // a Delta-driven pipeline on a star.
+  const auto wrapped = make_arb_mis();
+  Rng rng(6);
+  Instance small = make_instance(random_tree(100, rng),
+                                 IdentityScheme::kRandomPermuted, 7);
+  Instance large = make_instance(random_tree(800, rng),
+                                 IdentityScheme::kRandomPermuted, 8);
+  const auto algo_small = instantiate_with_correct_guesses(*wrapped, small);
+  const auto algo_large = instantiate_with_correct_guesses(*wrapped, large);
+  const auto r_small = run_local(small, *algo_small);
+  const auto r_large = run_local(large, *algo_large);
+  // 8x nodes: roughly +log(8)/log(1.5) ~ 6 peeling phases, not 8x rounds.
+  EXPECT_LE(r_large.rounds_used, r_small.rounds_used + 16);
+}
+
+}  // namespace
+}  // namespace unilocal

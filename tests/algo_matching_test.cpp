@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "src/algo/edge_color_mm.h"
+#include "src/core/param.h"
+#include "src/graph/params.h"
+#include "src/problems/matching.h"
+#include "src/runtime/runner.h"
+#include "tests/test_support.h"
+
+namespace unilocal {
+namespace {
+
+using testing_support::standard_instances;
+
+TEST(ProposalMatching, MaximalOnSweepWithCorrectGuesses) {
+  const auto wrapped = make_colored_matching();
+  for (const auto& [name, instance] : standard_instances(230)) {
+    const auto algorithm = instantiate_with_correct_guesses(*wrapped, instance);
+    const RunResult result = run_local(instance, *algorithm);
+    EXPECT_TRUE(result.all_finished) << name;
+    EXPECT_TRUE(is_maximal_matching(instance.graph, result.outputs)) << name;
+    EXPECT_LE(static_cast<double>(result.rounds_used),
+              bound_at_correct_params(*wrapped, instance))
+        << name;
+  }
+}
+
+TEST(ProposalMatching, UsesPaperValueEncoding) {
+  Rng rng(1);
+  Instance instance = make_instance(gnp(50, 0.1, rng),
+                                    IdentityScheme::kRandomPermuted, 2);
+  const auto wrapped = make_colored_matching();
+  const auto algorithm = instantiate_with_correct_guesses(*wrapped, instance);
+  const RunResult result = run_local(instance, *algorithm);
+  const auto partner = matched_partner(instance.graph, result.outputs);
+  for (NodeId v = 0; v < instance.num_nodes(); ++v) {
+    const std::int64_t y = result.outputs[static_cast<std::size_t>(v)];
+    if (partner[static_cast<std::size_t>(v)] >= 0) {
+      const NodeId u = partner[static_cast<std::size_t>(v)];
+      EXPECT_EQ(y, match_value(
+                       instance.identities[static_cast<std::size_t>(v)],
+                       instance.identities[static_cast<std::size_t>(u)]));
+    } else {
+      EXPECT_EQ(y, unmatched_value(
+                       instance.identities[static_cast<std::size_t>(v)]));
+    }
+  }
+}
+
+TEST(ProposalMatching, OverestimatedGuessesStillCorrect) {
+  Rng rng(3);
+  Instance instance = make_instance(random_bounded_degree(80, 5, 0.9, rng),
+                                    IdentityScheme::kRandomPermuted, 4);
+  const auto wrapped = make_colored_matching();
+  auto guesses = correct_guesses(wrapped->gamma(), instance);
+  guesses[0] += 3;
+  guesses[1] *= 2;
+  const auto algorithm = wrapped->instantiate(guesses);
+  const RunResult result = run_local(instance, *algorithm);
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_TRUE(is_maximal_matching(instance.graph, result.outputs));
+}
+
+TEST(ProposalMatching, PerfectMatchingOnEvenCycle) {
+  Instance instance = make_instance(cycle_graph(10),
+                                    IdentityScheme::kRandomPermuted, 5);
+  const auto wrapped = make_colored_matching();
+  const auto algorithm = instantiate_with_correct_guesses(*wrapped, instance);
+  const RunResult result = run_local(instance, *algorithm);
+  EXPECT_TRUE(is_maximal_matching(instance.graph, result.outputs));
+  const auto partner = matched_partner(instance.graph, result.outputs);
+  int matched = 0;
+  for (NodeId v = 0; v < 10; ++v)
+    matched += partner[static_cast<std::size_t>(v)] >= 0;
+  EXPECT_GE(matched, 6);  // a maximal matching on C10 covers >= 6 nodes
+}
+
+TEST(ProposalMatching, RoundsScaleWithDeltaNotN) {
+  const auto wrapped = make_colored_matching();
+  Rng rng(6);
+  Instance small = make_instance(random_bounded_degree(80, 4, 0.9, rng),
+                                 IdentityScheme::kRandomPermuted, 7);
+  Instance large = make_instance(random_bounded_degree(640, 4, 0.9, rng),
+                                 IdentityScheme::kRandomPermuted, 8);
+  const auto algo_small = instantiate_with_correct_guesses(*wrapped, small);
+  const auto algo_large = instantiate_with_correct_guesses(*wrapped, large);
+  const auto r_small = run_local(small, *algo_small);
+  const auto r_large = run_local(large, *algo_large);
+  EXPECT_TRUE(is_maximal_matching(large.graph, r_large.outputs));
+  EXPECT_LE(r_large.rounds_used, 2 * r_small.rounds_used);
+}
+
+}  // namespace
+}  // namespace unilocal

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "src/algo/greedy_mis.h"
+#include "src/algo/luby.h"
+#include "src/algo/mis_from_coloring.h"
+#include "src/core/param.h"
+#include "src/problems/mis.h"
+#include "src/runtime/runner.h"
+#include "src/util/math.h"
+#include "tests/test_support.h"
+
+namespace unilocal {
+namespace {
+
+using testing_support::standard_instances;
+
+TEST(LubyMis, ValidOnStandardSweep) {
+  for (const auto& [name, instance] : standard_instances(200)) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      RunOptions options;
+      options.seed = seed;
+      const RunResult result = run_local(instance, LubyMis{}, options);
+      EXPECT_TRUE(result.all_finished) << name;
+      EXPECT_TRUE(is_maximal_independent_set(instance.graph, result.outputs))
+          << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(LubyMis, LogarithmicRoundsOnGnp) {
+  Rng rng(1);
+  Instance instance =
+      make_instance(gnp(600, 0.02, rng), IdentityScheme::kRandomPermuted, 2);
+  const RunResult result = run_local(instance, LubyMis{});
+  EXPECT_TRUE(result.all_finished);
+  // 2 rounds per phase; a generous w.h.p. phase bound.
+  EXPECT_LE(result.rounds_used, 2 * (6 * clog2(600) + 8));
+}
+
+TEST(GreedyMis, ValidOnStandardSweep) {
+  for (const auto& [name, instance] : standard_instances(201)) {
+    const RunResult result = run_local(instance, GreedyMis{});
+    EXPECT_TRUE(result.all_finished) << name;
+    EXPECT_TRUE(is_maximal_independent_set(instance.graph, result.outputs))
+        << name;
+  }
+}
+
+TEST(GreedyMis, AdversarialPathIsLinear) {
+  // Sorted identities along a path force sequential progress.
+  Instance instance = make_instance(path_graph(60), IdentityScheme::kSequential);
+  const RunResult result = run_local(instance, GreedyMis{});
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_GE(result.rounds_used, 50);  // Theta(n) behaviour
+  EXPECT_TRUE(is_maximal_independent_set(instance.graph, result.outputs));
+}
+
+TEST(GreedyMis, DeclaredBoundHolds) {
+  const auto wrapped = make_global_mis();
+  for (const auto& [name, instance] : standard_instances(202)) {
+    const auto algorithm = instantiate_with_correct_guesses(*wrapped, instance);
+    const RunResult result = run_local(instance, *algorithm);
+    EXPECT_TRUE(result.all_finished) << name;
+    EXPECT_LE(static_cast<double>(result.rounds_used),
+              bound_at_correct_params(*wrapped, instance))
+        << name;
+  }
+}
+
+TEST(TruncatedLuby, ArbitraryOutputsAtBudget) {
+  Instance instance = make_instance(cycle_graph(30));
+  auto truncated = TruncatedAlgorithm(std::make_shared<LubyMis>(), 2, 0);
+  const RunResult result = run_local(instance, truncated);
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_LE(result.rounds_used, 3);
+}
+
+TEST(TruncatedLuby, WeakMonteCarloGuaranteeEmpirically) {
+  // With the declared budget, the truncated run should produce a valid MIS
+  // well over half the time (the Theorem 2 guarantee rho = 1/2).
+  const auto mc = make_truncated_luby_mis();
+  Rng rng(5);
+  Instance instance =
+      make_instance(gnp(200, 0.05, rng), IdentityScheme::kRandomPermuted, 7);
+  const auto algorithm = instantiate_with_correct_guesses(*mc, instance);
+  int successes = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    RunOptions options;
+    options.seed = 1000 + static_cast<std::uint64_t>(t);
+    const RunResult result = run_local(instance, *algorithm, options);
+    successes +=
+        is_maximal_independent_set(instance.graph, result.outputs) ? 1 : 0;
+  }
+  EXPECT_GE(successes, trials / 2);
+}
+
+TEST(TruncatedLuby, BudgetMatchesDeclaredBound) {
+  const auto mc = make_truncated_luby_mis();
+  Instance instance = make_instance(cycle_graph(100));
+  const auto algorithm = instantiate_with_correct_guesses(*mc, instance);
+  const RunResult result = run_local(instance, *algorithm);
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_LE(static_cast<double>(result.rounds_used),
+            bound_at_correct_params(*mc, instance));
+}
+
+TEST(ColoringMis, ValidWithCorrectGuesses) {
+  const auto wrapped = make_coloring_mis();
+  for (const auto& [name, instance] : standard_instances(203)) {
+    const auto algorithm = instantiate_with_correct_guesses(*wrapped, instance);
+    const RunResult result = run_local(instance, *algorithm);
+    EXPECT_TRUE(result.all_finished) << name;
+    EXPECT_TRUE(is_maximal_independent_set(instance.graph, result.outputs))
+        << name;
+    EXPECT_LE(static_cast<double>(result.rounds_used),
+              bound_at_correct_params(*wrapped, instance))
+        << name;
+  }
+}
+
+TEST(ColoringMis, ValidWithOverestimatedGuesses) {
+  const auto wrapped = make_coloring_mis();
+  Rng rng(2);
+  Instance instance =
+      make_instance(gnp(80, 0.06, rng), IdentityScheme::kRandomPermuted, 3);
+  auto guesses = correct_guesses(wrapped->gamma(), instance);
+  for (auto& g : guesses) g *= 4;  // good but loose guesses stay correct
+  const auto algorithm = wrapped->instantiate(guesses);
+  const RunResult result = run_local(instance, *algorithm);
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_TRUE(is_maximal_independent_set(instance.graph, result.outputs));
+}
+
+TEST(ColoringMis, RoundsScaleWithDeltaNotN) {
+  const auto wrapped = make_coloring_mis();
+  Rng rng(3);
+  Instance small = make_instance(random_bounded_degree(100, 4, 0.9, rng),
+                                 IdentityScheme::kRandomPermuted, 4);
+  Instance large = make_instance(random_bounded_degree(800, 4, 0.9, rng),
+                                 IdentityScheme::kRandomPermuted, 5);
+  const auto algo_small = instantiate_with_correct_guesses(*wrapped, small);
+  const auto algo_large = instantiate_with_correct_guesses(*wrapped, large);
+  const auto r_small = run_local(small, *algo_small);
+  const auto r_large = run_local(large, *algo_large);
+  EXPECT_TRUE(is_maximal_independent_set(small.graph, r_small.outputs));
+  EXPECT_TRUE(is_maximal_independent_set(large.graph, r_large.outputs));
+  // Same Delta: 8x the nodes should cost well under 2x the rounds.
+  EXPECT_LE(r_large.rounds_used, 2 * r_small.rounds_used);
+}
+
+}  // namespace
+}  // namespace unilocal

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "src/algo/ruling_set_mc.h"
+#include "src/core/param.h"
+#include "src/problems/ruling_set.h"
+#include "src/runtime/runner.h"
+#include "tests/test_support.h"
+
+namespace unilocal {
+namespace {
+
+using testing_support::standard_instances;
+
+TEST(BetaLuby, ValidRulingSetsRunToCompletion) {
+  for (int beta : {1, 2, 3}) {
+    const BetaLubyRulingSet algorithm(beta);
+    for (const auto& [name, instance] : standard_instances(240)) {
+      RunOptions options;
+      options.seed = 17;
+      const RunResult result = run_local(instance, algorithm, options);
+      EXPECT_TRUE(result.all_finished) << name << " beta=" << beta;
+      EXPECT_TRUE(
+          is_two_beta_ruling_set(instance.graph, result.outputs, beta))
+          << name << " beta=" << beta;
+    }
+  }
+}
+
+TEST(BetaLuby, BetaOneIsMisLike) {
+  Rng rng(1);
+  Instance instance = make_instance(gnp(120, 0.05, rng),
+                                    IdentityScheme::kRandomPermuted, 2);
+  const BetaLubyRulingSet algorithm(1);
+  const RunResult result = run_local(instance, algorithm);
+  EXPECT_TRUE(is_two_beta_ruling_set(instance.graph, result.outputs, 1));
+}
+
+TEST(BetaLuby, LargerBetaSelectsSparserSets) {
+  Instance instance = make_instance(path_graph(200),
+                                    IdentityScheme::kRandomPermuted, 3);
+  std::int64_t members_b1 = 0;
+  std::int64_t members_b3 = 0;
+  const RunResult r1 = run_local(instance, BetaLubyRulingSet(1));
+  const RunResult r3 = run_local(instance, BetaLubyRulingSet(3));
+  for (std::int64_t b : r1.outputs) members_b1 += b;
+  for (std::int64_t b : r3.outputs) members_b3 += b;
+  EXPECT_LT(members_b3, members_b1);
+}
+
+TEST(BetaLuby, MonteCarloTruncationSucceedsOften) {
+  const auto mc = make_mc_ruling_set(2);
+  Rng rng(4);
+  Instance instance = make_instance(gnp(150, 0.04, rng),
+                                    IdentityScheme::kRandomPermuted, 5);
+  const auto algorithm = instantiate_with_correct_guesses(*mc, instance);
+  int successes = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    RunOptions options;
+    options.seed = 100 + static_cast<std::uint64_t>(t);
+    const RunResult result = run_local(instance, *algorithm, options);
+    successes +=
+        is_two_beta_ruling_set(instance.graph, result.outputs, 2) ? 1 : 0;
+  }
+  EXPECT_GE(successes, trials / 2);  // weak Monte-Carlo guarantee 1/2
+}
+
+TEST(BetaLuby, BudgetMatchesDeclaredBound) {
+  const auto mc = make_mc_ruling_set(2);
+  Instance instance = make_instance(cycle_graph(64),
+                                    IdentityScheme::kRandomPermuted, 6);
+  const auto algorithm = instantiate_with_correct_guesses(*mc, instance);
+  const RunResult result = run_local(instance, *algorithm);
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_LE(static_cast<double>(result.rounds_used),
+            bound_at_correct_params(*mc, instance));
+}
+
+}  // namespace
+}  // namespace unilocal

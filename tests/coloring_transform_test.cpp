@@ -1,0 +1,133 @@
+// Theorem 5: the uniform coloring transformer — layering, SLC phase,
+// non-uniform recoloring phase, disjoint palettes, O(g(Delta)) colors.
+#include <gtest/gtest.h>
+
+#include "src/core/coloring_transform.h"
+#include "src/graph/params.h"
+#include "src/graph/transforms.h"
+#include "src/problems/coloring.h"
+#include "tests/test_support.h"
+
+namespace unilocal {
+namespace {
+
+using testing_support::standard_instances;
+
+TEST(Theorem5, LayerThresholdsDoubleTheBudget) {
+  const auto algorithm = make_lambda_gdelta_coloring(2);
+  const auto thresholds = layer_thresholds(*algorithm, 100);
+  ASSERT_GE(thresholds.size(), 3u);
+  EXPECT_EQ(thresholds[0], 1);
+  for (std::size_t i = 1; i < thresholds.size(); ++i) {
+    EXPECT_GT(thresholds[i], thresholds[i - 1]);
+    EXPECT_GE(algorithm->g(thresholds[i]),
+              2 * algorithm->g(thresholds[i - 1]));
+    // Minimality: one less would not reach the doubled budget.
+    EXPECT_LT(algorithm->g(thresholds[i] - 1),
+              2 * algorithm->g(thresholds[i - 1]));
+  }
+  EXPECT_GT(thresholds.back(), 100);
+}
+
+TEST(Theorem5, UniformColoringOnSweep) {
+  for (std::int64_t lambda : {1, 3}) {
+    const auto algorithm = make_lambda_gdelta_coloring(lambda);
+    for (const auto& [name, instance] : standard_instances(330)) {
+      const ColoringTransformResult result =
+          run_uniform_coloring_transform(instance, *algorithm);
+      EXPECT_TRUE(result.solved) << name;
+      if (instance.num_nodes() == 0) continue;
+      EXPECT_TRUE(is_proper_coloring(instance.graph, result.colors))
+          << name << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(Theorem5, ColorBudgetIsOrderG) {
+  const std::int64_t lambda = 2;
+  const auto algorithm = make_lambda_gdelta_coloring(lambda);
+  for (const auto& [name, instance] : standard_instances(331)) {
+    if (instance.num_nodes() == 0) continue;
+    const ColoringTransformResult result =
+        run_uniform_coloring_transform(instance, *algorithm);
+    ASSERT_TRUE(result.solved) << name;
+    const std::int64_t delta =
+        std::max<std::int64_t>(max_degree(instance.graph), 1);
+    // Colors <= 2*g(D_imax+1) and D_imax+1 <= 2*Delta+1 for g = l(x+1).
+    EXPECT_LE(result.max_color_used, 2 * algorithm->g(2 * delta + 1)) << name;
+  }
+}
+
+TEST(Theorem5, LayerPalettesDisjointAndOrdered) {
+  Rng rng(1);
+  Instance instance = make_instance(power_law(250, 2.5, 6.0, rng),
+                                    IdentityScheme::kRandomPermuted, 2);
+  const auto algorithm = make_lambda_gdelta_coloring(1);
+  const ColoringTransformResult result =
+      run_uniform_coloring_transform(instance, *algorithm);
+  ASSERT_TRUE(result.solved);
+  for (std::size_t i = 1; i < result.layers.size(); ++i) {
+    EXPECT_GT(result.layers[i].palette_lo, result.layers[i - 1].palette_hi);
+  }
+  // Every node's color sits inside its layer's palette.
+  for (const auto& layer : result.layers) {
+    EXPECT_GE(layer.palette_lo, layer.delta_hat + 1);
+  }
+}
+
+TEST(Theorem5, HighDegreeNodesDoNotInflateLowLayers) {
+  // A star: the hub is alone in a high layer, leaves in layer 1; the leaves'
+  // palette must stay O(1) even though Delta is large.
+  Instance star = make_instance(complete_bipartite(1, 80),
+                                IdentityScheme::kRandomPermuted, 3);
+  const auto algorithm = make_lambda_gdelta_coloring(1);
+  const ColoringTransformResult result =
+      run_uniform_coloring_transform(star, *algorithm);
+  ASSERT_TRUE(result.solved);
+  // Leaves have degree 1 -> layer with delta_hat from the g-doubling chain,
+  // colors bounded by a small constant independent of the hub degree.
+  std::int64_t max_leaf_color = 0;
+  for (NodeId v = 1; v <= 80; ++v)
+    max_leaf_color =
+        std::max(max_leaf_color, result.colors[static_cast<std::size_t>(v)]);
+  EXPECT_LE(max_leaf_color, 12);
+}
+
+TEST(Theorem5, EdgeColoringViaLineGraph) {
+  // Corollary 1(v) route: transform the vertex-coloring black box on the
+  // line graph to get a uniform O(Delta)-edge-coloring.
+  Rng rng(4);
+  Graph g = random_bounded_degree(70, 5, 0.9, rng);
+  const LineGraph lg = line_graph(g);
+  Instance line_instance =
+      make_instance(lg.graph, IdentityScheme::kRandomPermuted, 5);
+  const auto algorithm = make_lambda_gdelta_coloring(1);
+  const ColoringTransformResult result =
+      run_uniform_coloring_transform(line_instance, *algorithm);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(is_proper_edge_coloring(g, result.colors,
+                                      /*cap=*/2 * algorithm->g(
+                                          2 * max_degree(lg.graph) + 1)));
+}
+
+TEST(Theorem5, PhaseRoundsAreMaxOverLayers) {
+  Rng rng(6);
+  Instance instance = make_instance(power_law(200, 2.3, 5.0, rng),
+                                    IdentityScheme::kRandomPermuted, 7);
+  const auto algorithm = make_lambda_gdelta_coloring(2);
+  const ColoringTransformResult result =
+      run_uniform_coloring_transform(instance, *algorithm);
+  ASSERT_TRUE(result.solved);
+  std::int64_t max_p1 = 0;
+  std::int64_t max_p2 = 0;
+  for (const auto& layer : result.layers) {
+    max_p1 = std::max(max_p1, layer.phase1_rounds);
+    max_p2 = std::max(max_p2, layer.phase2_rounds);
+  }
+  EXPECT_EQ(result.phase1_rounds, max_p1);
+  EXPECT_EQ(result.phase2_rounds, max_p2);
+  EXPECT_EQ(result.total_rounds, max_p1 + max_p2);
+}
+
+}  // namespace
+}  // namespace unilocal

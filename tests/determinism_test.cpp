@@ -1,0 +1,86 @@
+// Bit-reproducibility: identical seeds must give identical outputs, traces
+// and ledgers across the entire stack — the property that makes every bench
+// table in EXPERIMENTS.md reproducible.
+#include <gtest/gtest.h>
+
+#include "src/algo/luby.h"
+#include "src/algo/mis_from_coloring.h"
+#include "src/algo/ruling_set_mc.h"
+#include "src/core/mc_to_lv.h"
+#include "src/core/transformer.h"
+#include "src/graph/generators.h"
+#include "src/prune/ruling_set_prune.h"
+
+namespace unilocal {
+namespace {
+
+Instance instance_under_test() {
+  Rng rng(17);
+  return make_instance(gnp(150, 0.05, rng), IdentityScheme::kRandomSparse, 4);
+}
+
+TEST(Determinism, GeneratorsAreSeedStable) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(gnp(200, 0.03, a), gnp(200, 0.03, b));
+  EXPECT_EQ(random_tree(100, a), random_tree(100, b));
+}
+
+TEST(Determinism, InstanceIdentitiesAreSeedStable) {
+  const Instance x = instance_under_test();
+  const Instance y = instance_under_test();
+  EXPECT_EQ(x.identities, y.identities);
+  EXPECT_EQ(x.graph, y.graph);
+}
+
+TEST(Determinism, Theorem1RunsAreReplayable) {
+  const Instance instance = instance_under_test();
+  const auto algorithm = make_coloring_mis();
+  const RulingSetPruning pruning(1);
+  const UniformRunResult a =
+      run_uniform_transformer(instance, *algorithm, pruning);
+  const UniformRunResult b =
+      run_uniform_transformer(instance, *algorithm, pruning);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.total_rounds, b.total_rounds);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].guesses, b.trace[i].guesses);
+    EXPECT_EQ(a.trace[i].rounds_used, b.trace[i].rounds_used);
+    EXPECT_EQ(a.trace[i].nodes_pruned, b.trace[i].nodes_pruned);
+  }
+}
+
+TEST(Determinism, RandomizedRunsReplayUnderSameSeedOnly) {
+  const Instance instance = instance_under_test();
+  const auto algorithm = make_mc_ruling_set(2);
+  const RulingSetPruning pruning(2);
+  UniformRunOptions options;
+  options.seed = 11;
+  const UniformRunResult a =
+      run_las_vegas_transformer(instance, *algorithm, pruning, options);
+  const UniformRunResult b =
+      run_las_vegas_transformer(instance, *algorithm, pruning, options);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.total_rounds, b.total_rounds);
+  options.seed = 12;
+  const UniformRunResult c =
+      run_las_vegas_transformer(instance, *algorithm, pruning, options);
+  // Different seed: still correct, but (almost surely) a different run.
+  EXPECT_TRUE(c.solved);
+}
+
+TEST(Determinism, LubyPerNodeStreamsKeyedByIdentityNotSlot) {
+  // Re-labelling slots while keeping (graph, identities) must not change
+  // the outcome: node randomness is keyed by identity.
+  const Instance instance = instance_under_test();
+  RunOptions options;
+  options.seed = 9;
+  const RunResult a = run_local(instance, LubyMis{}, options);
+  const RunResult b = run_local(instance, LubyMis{}, options);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+}
+
+}  // namespace
+}  // namespace unilocal

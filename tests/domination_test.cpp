@@ -1,0 +1,120 @@
+// Theorem 3: weak domination. The arboricity MIS needs guesses for
+// (a, n, m) but on families with a <= h(n) the wrapper eliminates `a`
+// (and m via the permuted-identity relation m = n), leaving a uniform
+// transformable algorithm — the paper's Corollary 4 situation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algo/arb_mis.h"
+#include "src/core/transformer.h"
+#include "src/core/weak_domination.h"
+#include "src/graph/params.h"
+#include "src/problems/mis.h"
+#include "src/prune/ruling_set_prune.h"
+#include "tests/test_support.h"
+
+namespace unilocal {
+namespace {
+
+/// Family constraint for the test sweep: degeneracy proxy a satisfies
+/// 2^a <= n (amply true for forests/grids at n >= 8).
+Domination a_dominated_by_n() {
+  return Domination{Param::kArboricity, Param::kNumNodes,
+                    [](std::int64_t a) { return std::ldexp(1.0, int(a)); },
+                    "2^a<=n"};
+}
+
+/// With permuted identities, m == n.
+Domination m_dominated_by_n() {
+  return Domination{Param::kMaxIdentity, Param::kNumNodes,
+                    [](std::int64_t m) { return double(m); }, "m<=n"};
+}
+
+TEST(Theorem3, WrapperEliminatesParameters) {
+  auto inner = std::shared_ptr<const NonUniformAlgorithm>(make_arb_mis());
+  const auto wrapped = apply_weak_domination(
+      inner, {a_dominated_by_n(), m_dominated_by_n()});
+  EXPECT_EQ(wrapped->gamma(), ParamSet{Param::kNumNodes});
+  EXPECT_EQ(wrapped->lambda(), ParamSet{Param::kNumNodes});
+  EXPECT_EQ(wrapped->bound().arity(), 1u);
+}
+
+TEST(Theorem3, DerivedGuessesAreGood) {
+  auto inner = std::shared_ptr<const NonUniformAlgorithm>(make_arb_mis());
+  const auto wrapped = apply_weak_domination(
+      inner, {a_dominated_by_n(), m_dominated_by_n()});
+  // With n~ = 64 the derived arboricity guess is log2(64) = 6 and the
+  // derived m~ is 64 itself.
+  Rng rng(1);
+  Instance instance = make_instance(random_tree(60, rng),
+                                    IdentityScheme::kRandomPermuted, 2);
+  const auto algorithm = wrapped->instantiate(std::vector<std::int64_t>{64});
+  const RunResult result = run_local(instance, *algorithm);
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_TRUE(is_maximal_independent_set(instance.graph, result.outputs));
+}
+
+TEST(Theorem3, UniformArbMisOnLowArboricityFamilies) {
+  auto inner = std::shared_ptr<const NonUniformAlgorithm>(make_arb_mis());
+  const auto wrapped = apply_weak_domination(
+      inner, {a_dominated_by_n(), m_dominated_by_n()});
+  const RulingSetPruning pruning(1);
+  Rng rng(3);
+  const std::vector<std::pair<std::string, Graph>> family = {
+      {"tree", random_tree(120, rng)},
+      {"forest", random_forest(100, 6, rng)},
+      {"grid", grid_graph(10, 9)},
+      {"layered-2", random_layered_forest(90, 2, rng)},
+      {"caterpillar", caterpillar(30, 40, rng)},
+  };
+  for (const auto& [name, graph] : family) {
+    Instance instance =
+        make_instance(graph, IdentityScheme::kRandomPermuted, 7);
+    ASSERT_LE(std::ldexp(1.0, int(degeneracy(instance.graph))),
+              double(instance.num_nodes()))
+        << name << ": family constraint violated";
+    const UniformRunResult result =
+        run_uniform_transformer(instance, *wrapped, pruning);
+    EXPECT_TRUE(result.solved) << name;
+    EXPECT_TRUE(is_maximal_independent_set(instance.graph, result.outputs))
+        << name;
+  }
+}
+
+TEST(Theorem3, FoldedBoundDominatesInnerBound) {
+  auto inner_owned = make_arb_mis();
+  auto inner = std::shared_ptr<const NonUniformAlgorithm>(std::move(inner_owned));
+  const auto wrapped = apply_weak_domination(
+      inner, {a_dominated_by_n(), m_dominated_by_n()});
+  Rng rng(4);
+  Instance instance = make_instance(random_tree(200, rng),
+                                    IdentityScheme::kRandomPermuted, 5);
+  // f'(n*) >= f(a*, n*, m*): folding uses the worst a consistent with n.
+  const double folded = bound_at_correct_params(*wrapped, instance);
+  const double direct = bound_at_correct_params(*inner, instance);
+  EXPECT_GE(folded, direct);
+}
+
+TEST(Theorem3, RejectsNonAdditiveOrMismatchedInner) {
+  class Fake final : public NonUniformAlgorithm {
+   public:
+    std::string name() const override { return "fake"; }
+    ParamSet gamma() const override {
+      return {Param::kNumNodes, Param::kMaxDegree};
+    }
+    ParamSet lambda() const override { return {Param::kNumNodes}; }
+    const RuntimeBound& bound() const override { return bound_; }
+    std::unique_ptr<Algorithm> instantiate(
+        std::span<const std::int64_t>) const override {
+      return nullptr;
+    }
+    AdditiveBound bound_{
+        {BoundComponent{"n", [](std::int64_t n) { return double(n); }}}};
+  };
+  EXPECT_THROW(apply_weak_domination(std::make_shared<Fake>(), {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace unilocal

@@ -1,0 +1,108 @@
+// Theorem 4: the fastest-of-k combinator matches the best algorithm for
+// each instance family without being told which one that is.
+#include <gtest/gtest.h>
+
+#include "src/algo/greedy_mis.h"
+#include "src/algo/luby.h"
+#include "src/algo/mis_from_coloring.h"
+#include "src/core/fastest.h"
+#include "src/problems/mis.h"
+#include "src/prune/ruling_set_prune.h"
+#include "tests/test_support.h"
+
+namespace unilocal {
+namespace {
+
+using testing_support::standard_instances;
+
+struct Combinator {
+  std::shared_ptr<const PruningAlgorithm> pruning =
+      std::make_shared<RulingSetPruning>(1);
+  std::unique_ptr<UniformExecutable> greedy =
+      make_local_executable(std::make_shared<GreedyMis>());
+  std::unique_ptr<UniformExecutable> colored = make_transformed_executable(
+      std::shared_ptr<const NonUniformAlgorithm>(make_coloring_mis()),
+      pruning);
+  std::vector<const UniformExecutable*> all() const {
+    return {greedy.get(), colored.get()};
+  }
+};
+
+TEST(Theorem4, CorrectOnSweep) {
+  Combinator combinator;
+  const RulingSetPruning pruning(1);
+  for (const auto& [name, instance] : standard_instances(320)) {
+    const UniformRunResult result =
+        run_fastest(instance, combinator.all(), pruning);
+    EXPECT_TRUE(result.solved) << name;
+    EXPECT_TRUE(is_maximal_independent_set(instance.graph, result.outputs))
+        << name;
+  }
+}
+
+TEST(Theorem4, BeatsSlowGreedyOnAdversarialPath) {
+  // Sorted identities make greedy Theta(n); the coloring pipeline is
+  // log*-ish there, so the combinator must stay well below n.
+  Combinator combinator;
+  const RulingSetPruning pruning(1);
+  Instance instance =
+      make_instance(path_graph(400), IdentityScheme::kSequential);
+  // Greedy alone:
+  const auto greedy_outcome = combinator.greedy->run(instance, 1 << 20, 1);
+  EXPECT_GE(greedy_outcome.rounds, 400);
+  const UniformRunResult combined =
+      run_fastest(instance, combinator.all(), pruning);
+  ASSERT_TRUE(combined.solved);
+  EXPECT_LE(combined.total_rounds, greedy_outcome.rounds);
+}
+
+TEST(Theorem4, NearMinOfBothOnBothExtremes) {
+  Combinator combinator;
+  const RulingSetPruning pruning(1);
+  // Clique: greedy finishes in O(1) phases, coloring pipeline needs
+  // Theta(Delta^2) — the combinator should land near greedy.
+  Instance clique =
+      make_instance(complete_graph(40), IdentityScheme::kRandomPermuted, 2);
+  const auto greedy_clique = combinator.greedy->run(clique, 1 << 20, 1);
+  const auto colored_clique = combinator.colored->run(clique, 1 << 20, 1);
+  const UniformRunResult combined = run_fastest(clique, combinator.all(), pruning);
+  ASSERT_TRUE(combined.solved);
+  const std::int64_t best =
+      std::min(greedy_clique.rounds, colored_clique.rounds);
+  // Doubling + two algorithms per iteration: <= ~8x the winner.
+  EXPECT_LE(combined.total_rounds, 8 * best + 64);
+}
+
+TEST(Theorem4, SingleAlgorithmDegeneratesToDoublingRestart) {
+  Combinator combinator;
+  const RulingSetPruning pruning(1);
+  Rng rng(3);
+  Instance instance = make_instance(gnp(80, 0.07, rng),
+                                    IdentityScheme::kRandomPermuted, 4);
+  const UniformRunResult result =
+      run_fastest(instance, {combinator.greedy.get()}, pruning);
+  EXPECT_TRUE(result.solved);
+  EXPECT_TRUE(is_maximal_independent_set(instance.graph, result.outputs));
+}
+
+TEST(Theorem4, TraceRecordsAlternation) {
+  Combinator combinator;
+  const RulingSetPruning pruning(1);
+  Instance instance =
+      make_instance(path_graph(100), IdentityScheme::kSequential);
+  const UniformRunResult result =
+      run_fastest(instance, combinator.all(), pruning);
+  ASSERT_TRUE(result.solved);
+  bool saw_greedy = false;
+  bool saw_colored = false;
+  for (const auto& step : result.trace) {
+    if (step.algorithm.find("greedy") != std::string::npos) saw_greedy = true;
+    if (step.algorithm.find("uniform(") != std::string::npos)
+      saw_colored = true;
+  }
+  EXPECT_TRUE(saw_greedy);
+  EXPECT_TRUE(saw_colored);
+}
+
+}  // namespace
+}  // namespace unilocal

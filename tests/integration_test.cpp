@@ -1,0 +1,151 @@
+// End-to-end reproduction of Corollary 1: every item exercised on a
+// medium-sized instance of the family it targets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algo/arb_mis.h"
+#include "src/algo/edge_color_mm.h"
+#include "src/algo/greedy_mis.h"
+#include "src/algo/luby.h"
+#include "src/algo/mis_from_coloring.h"
+#include "src/algo/ruling_set_mc.h"
+#include "src/core/coloring_transform.h"
+#include "src/core/fastest.h"
+#include "src/core/mc_to_lv.h"
+#include "src/core/weak_domination.h"
+#include "src/graph/params.h"
+#include "src/graph/transforms.h"
+#include "src/problems/coloring.h"
+#include "src/problems/matching.h"
+#include "src/problems/mis.h"
+#include "src/problems/ruling_set.h"
+#include "src/prune/matching_prune.h"
+#include "src/prune/ruling_set_prune.h"
+#include "tests/test_support.h"
+
+namespace unilocal {
+namespace {
+
+TEST(Corollary1, Item_i_UniformMisMinOfThree) {
+  // min{ g(n)-substitute, h(Delta,n)-substitute, f(a,n)-substitute }.
+  auto pruning = std::make_shared<RulingSetPruning>(1);
+  const auto global = make_transformed_executable(
+      std::shared_ptr<const NonUniformAlgorithm>(make_global_mis()), pruning);
+  const auto degree = make_transformed_executable(
+      std::shared_ptr<const NonUniformAlgorithm>(make_coloring_mis()),
+      pruning);
+  auto arb_inner = std::shared_ptr<const NonUniformAlgorithm>(make_arb_mis());
+  const auto arb = make_transformed_executable(
+      std::shared_ptr<const NonUniformAlgorithm>(apply_weak_domination(
+          arb_inner,
+          {Domination{Param::kArboricity, Param::kNumNodes,
+                      [](std::int64_t a) { return std::ldexp(1.0, int(a)); },
+                      "2^a<=n"},
+           Domination{Param::kMaxIdentity, Param::kNumNodes,
+                      [](std::int64_t m) { return double(m); }, "m<=n"}})),
+      pruning);
+  Rng rng(1);
+  for (Graph g : {random_tree(300, rng), random_bounded_degree(300, 6, 0.9, rng),
+                  gnp(200, 0.05, rng)}) {
+    Instance instance =
+        make_instance(std::move(g), IdentityScheme::kRandomPermuted, 2);
+    const std::vector<const UniformExecutable*> executables{
+        global.get(), degree.get(), arb.get()};
+    const UniformRunResult result =
+        run_fastest(instance, executables, *pruning);
+    ASSERT_TRUE(result.solved);
+    EXPECT_TRUE(is_maximal_independent_set(instance.graph, result.outputs));
+  }
+}
+
+TEST(Corollary1, Item_ii_UniformDeltaPlusOneColoring) {
+  // Via the Section 5.1 clique product: uniform MIS on G' pulls back to a
+  // (deg+1)-coloring of G.
+  Rng rng(2);
+  Graph g = random_bounded_degree(120, 5, 0.9, rng);
+  const CliqueProduct product = clique_product(g);
+  Instance product_instance =
+      make_instance(product.graph, IdentityScheme::kRandomPermuted, 3);
+  const auto algorithm = make_coloring_mis();
+  const RulingSetPruning pruning(1);
+  const UniformRunResult result =
+      run_uniform_transformer(product_instance, *algorithm, pruning);
+  ASSERT_TRUE(result.solved);
+  ASSERT_TRUE(
+      is_maximal_independent_set(product_instance.graph, result.outputs));
+  const auto coloring = coloring_from_product_mis(product, result.outputs);
+  ASSERT_FALSE(coloring.empty());
+  EXPECT_TRUE(is_proper_coloring(g, coloring));
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_LE(coloring[static_cast<std::size_t>(v)], g.degree(v) + 1);
+}
+
+TEST(Corollary1, Item_iii_UniformLambdaColoring) {
+  Rng rng(3);
+  Instance instance = make_instance(random_bounded_degree(150, 6, 0.9, rng),
+                                    IdentityScheme::kRandomPermuted, 4);
+  const std::int64_t delta = max_degree(instance.graph);
+  for (std::int64_t lambda : {1, 4}) {
+    const auto algorithm = make_lambda_gdelta_coloring(lambda);
+    const ColoringTransformResult result =
+        run_uniform_coloring_transform(instance, *algorithm);
+    ASSERT_TRUE(result.solved);
+    EXPECT_TRUE(is_proper_coloring(instance.graph, result.colors));
+    EXPECT_LE(result.max_color_used, 2 * lambda * (2 * delta + 2));
+  }
+}
+
+TEST(Corollary1, Item_v_UniformEdgeColoring) {
+  Rng rng(4);
+  Graph g = random_bounded_degree(80, 4, 0.9, rng);
+  const LineGraph lg = line_graph(g);
+  Instance line_instance =
+      make_instance(lg.graph, IdentityScheme::kRandomPermuted, 5);
+  const auto algorithm = make_lambda_gdelta_coloring(1);
+  const ColoringTransformResult result =
+      run_uniform_coloring_transform(line_instance, *algorithm);
+  ASSERT_TRUE(result.solved);
+  // O(Delta) edge colors: Delta(L(G)) <= 2 Delta(G) - 2.
+  EXPECT_TRUE(is_proper_edge_coloring(g, result.colors));
+  EXPECT_LE(max_color_used(result.colors),
+            2 * (2 * (2 * max_degree(g) - 2) + 2));
+}
+
+TEST(Corollary1, Item_vi_UniformMaximalMatching) {
+  Rng rng(5);
+  Instance instance = make_instance(gnp(150, 0.04, rng),
+                                    IdentityScheme::kRandomSparse, 6);
+  const auto algorithm = make_colored_matching();
+  const MatchingPruning pruning;
+  const UniformRunResult result =
+      run_uniform_transformer(instance, *algorithm, pruning);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(is_maximal_matching(instance.graph, result.outputs));
+}
+
+TEST(Corollary1, Item_vii_UniformRandomizedRulingSet) {
+  Rng rng(6);
+  Instance instance = make_instance(gnp(180, 0.04, rng),
+                                    IdentityScheme::kRandomPermuted, 7);
+  for (int beta : {2, 4}) {
+    const auto algorithm = make_mc_ruling_set(beta);
+    const RulingSetPruning pruning(beta);
+    const UniformRunResult result =
+        run_las_vegas_transformer(instance, *algorithm, pruning);
+    ASSERT_TRUE(result.solved);
+    EXPECT_TRUE(is_two_beta_ruling_set(instance.graph, result.outputs, beta));
+  }
+}
+
+TEST(Table1, LastRow_UniformRandomizedMisBaseline) {
+  Rng rng(7);
+  Instance instance = make_instance(gnp(250, 0.03, rng),
+                                    IdentityScheme::kRandomSparse, 8);
+  const RunResult result = run_local(instance, LubyMis{});
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_TRUE(is_maximal_independent_set(instance.graph, result.outputs));
+}
+
+}  // namespace
+}  // namespace unilocal

@@ -1,0 +1,56 @@
+// Corollary 1(ii) / Section 5.1: uniform (deg+1)-coloring through an MIS of
+// the clique product.
+#include <gtest/gtest.h>
+
+#include "src/algo/greedy_mis.h"
+#include "src/algo/mis_from_coloring.h"
+#include "src/core/product_coloring.h"
+#include "src/problems/coloring.h"
+#include "tests/test_support.h"
+
+namespace unilocal {
+namespace {
+
+using testing_support::standard_instances;
+
+TEST(ProductColoring, DegPlusOneOnSweep) {
+  const auto mis = make_coloring_mis();
+  for (const auto& [name, instance] : standard_instances(400)) {
+    // Identity packing uses id * (n+2) + slot; skip sparse-identity
+    // instances where that would overflow the 2^31 identity range.
+    if (instance.max_identity() > (std::int64_t{1} << 20)) continue;
+    const ProductColoringResult result =
+        run_uniform_deg_plus_one_coloring(instance, *mis);
+    ASSERT_TRUE(result.solved) << name;
+    EXPECT_TRUE(is_proper_coloring(instance.graph, result.colors)) << name;
+    for (NodeId v = 0; v < instance.num_nodes(); ++v)
+      EXPECT_LE(result.colors[static_cast<std::size_t>(v)],
+                instance.graph.degree(v) + 1)
+          << name;
+  }
+}
+
+TEST(ProductColoring, WorksWithTheGreedySubstituteToo) {
+  const auto mis = make_global_mis();
+  Instance instance = make_instance(cycle_graph(30),
+                                    IdentityScheme::kRandomPermuted, 2);
+  const ProductColoringResult result =
+      run_uniform_deg_plus_one_coloring(instance, *mis);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(is_proper_coloring(instance.graph, result.colors));
+  EXPECT_LE(max_color_used(result.colors), 3);
+}
+
+TEST(ProductColoring, ProductSizeMatchesConstruction) {
+  Instance instance = make_instance(path_graph(4),
+                                    IdentityScheme::kSequential);
+  const auto mis = make_coloring_mis();
+  const ProductColoringResult result =
+      run_uniform_deg_plus_one_coloring(instance, *mis);
+  // Cliques of sizes 2,3,3,2.
+  EXPECT_EQ(result.product_nodes, 10);
+  ASSERT_TRUE(result.solved);
+}
+
+}  // namespace
+}  // namespace unilocal

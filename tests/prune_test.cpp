@@ -1,0 +1,342 @@
+// Property tests for the paper's pruning algorithms: solution detection,
+// gluing, monotonicity (Observations 3.1-3.3) and agreement between the
+// whole-graph apply() and the constant-round LOCAL realization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/param.h"
+#include "src/graph/params.h"
+#include "src/problems/matching.h"
+#include "src/problems/mis.h"
+#include "src/problems/ruling_set.h"
+#include "src/problems/slc.h"
+#include "src/prune/matching_prune.h"
+#include "src/prune/ruling_set_prune.h"
+#include "src/prune/slc_prune.h"
+#include "src/runtime/runner.h"
+#include "tests/test_support.h"
+
+namespace unilocal {
+namespace {
+
+using testing_support::central_matching;
+using testing_support::central_mis;
+using testing_support::standard_instances;
+
+std::vector<std::int64_t> random_bits(std::size_t n, Rng& rng, double p) {
+  std::vector<std::int64_t> bits(n);
+  for (auto& b : bits) b = rng.next_bool(p) ? 1 : 0;
+  return bits;
+}
+
+/// Runs the LOCAL realization of a pruning algorithm and returns its bits.
+std::vector<std::int64_t> local_prune_bits(const PruningAlgorithm& pruning,
+                                           const Instance& instance,
+                                           const std::vector<std::int64_t>& yhat,
+                                           std::int64_t* rounds = nullptr) {
+  Instance annotated = instance;
+  for (NodeId v = 0; v < instance.num_nodes(); ++v)
+    annotated.inputs[static_cast<std::size_t>(v)].push_back(
+        yhat[static_cast<std::size_t>(v)]);
+  const auto algorithm = pruning.as_local_algorithm();
+  const RunResult result = run_local(annotated, *algorithm);
+  EXPECT_TRUE(result.all_finished);
+  if (rounds != nullptr) *rounds = result.rounds_used;
+  return result.outputs;
+}
+
+// ---------------------------------------------------------------- P(2,1) --
+
+TEST(RulingSetPruning, SolutionDetectionOnValidMis) {
+  for (const auto& [name, instance] : standard_instances(100)) {
+    const auto mis = central_mis(instance.graph);
+    const RulingSetPruning pruning(1);
+    const PruneResult result = pruning.apply(instance, mis);
+    for (NodeId v = 0; v < instance.num_nodes(); ++v)
+      EXPECT_TRUE(result.pruned[static_cast<std::size_t>(v)])
+          << name << " node " << v;
+  }
+}
+
+TEST(RulingSetPruning, GluingOnArbitraryTentativeOutputs) {
+  Rng rng(7);
+  for (const auto& [name, instance] : standard_instances(101)) {
+    for (double p : {0.0, 0.2, 0.5, 1.0}) {
+      const auto yhat =
+          random_bits(static_cast<std::size_t>(instance.num_nodes()), rng, p);
+      const RulingSetPruning pruning(1);
+      const PruneResult pruned = pruning.apply(instance, yhat);
+      // Solve the surviving subgraph with the reference solver and glue.
+      std::vector<bool> keep(pruned.pruned.size());
+      for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = !pruned.pruned[i];
+      const auto sub = induced_subgraph(instance.graph, keep);
+      const auto sub_solution = central_mis(sub.graph);
+      std::vector<std::int64_t> combined = yhat;
+      for (NodeId v = 0; v < sub.graph.num_nodes(); ++v)
+        combined[static_cast<std::size_t>(
+            sub.to_old[static_cast<std::size_t>(v)])] =
+            sub_solution[static_cast<std::size_t>(v)];
+      EXPECT_TRUE(is_maximal_independent_set(instance.graph, combined))
+          << name << " p=" << p;
+    }
+  }
+}
+
+TEST(RulingSetPruning, Beta2GluingProperty) {
+  Rng rng(8);
+  for (const auto& [name, instance] : standard_instances(102)) {
+    const auto yhat =
+        random_bits(static_cast<std::size_t>(instance.num_nodes()), rng, 0.3);
+    const RulingSetPruning pruning(2);
+    const PruneResult pruned = pruning.apply(instance, yhat);
+    std::vector<bool> keep(pruned.pruned.size());
+    for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = !pruned.pruned[i];
+    const auto sub = induced_subgraph(instance.graph, keep);
+    // An MIS is in particular a (2,1)- and hence (2,2)-ruling set.
+    const auto sub_solution = central_mis(sub.graph);
+    std::vector<std::int64_t> combined = yhat;
+    for (NodeId v = 0; v < sub.graph.num_nodes(); ++v)
+      combined[static_cast<std::size_t>(
+          sub.to_old[static_cast<std::size_t>(v)])] =
+          sub_solution[static_cast<std::size_t>(v)];
+    EXPECT_TRUE(is_two_beta_ruling_set(instance.graph, combined, 2)) << name;
+  }
+}
+
+TEST(RulingSetPruning, LocalRealizationAgreesWithApply) {
+  Rng rng(9);
+  for (int beta : {1, 2, 3}) {
+    const RulingSetPruning pruning(beta);
+    for (const auto& [name, instance] : standard_instances(103)) {
+      const auto yhat = random_bits(
+          static_cast<std::size_t>(instance.num_nodes()), rng, 0.4);
+      const PruneResult expected = pruning.apply(instance, yhat);
+      std::int64_t rounds = 0;
+      const auto bits = local_prune_bits(pruning, instance, yhat, &rounds);
+      for (NodeId v = 0; v < instance.num_nodes(); ++v) {
+        EXPECT_EQ(bits[static_cast<std::size_t>(v)] != 0,
+                  expected.pruned[static_cast<std::size_t>(v)])
+            << name << " beta=" << beta << " node " << v;
+      }
+      if (instance.num_nodes() > 0) {
+        EXPECT_LE(rounds, pruning.running_time()) << name;
+      }
+    }
+  }
+}
+
+TEST(RulingSetPruning, MonotoneInAllParameters) {
+  Rng rng(10);
+  for (const auto& [name, instance] : standard_instances(104)) {
+    const auto yhat =
+        random_bits(static_cast<std::size_t>(instance.num_nodes()), rng, 0.5);
+    const RulingSetPruning pruning(1);
+    const PruneResult pruned = pruning.apply(instance, yhat);
+    std::vector<bool> keep(pruned.pruned.size());
+    for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = !pruned.pruned[i];
+    const auto sub = induced_subgraph(instance.graph, keep);
+    const Instance rest =
+        restrict_instance(instance, sub, pruned.surviving_inputs);
+    for (Param p : {Param::kNumNodes, Param::kMaxDegree, Param::kArboricity,
+                    Param::kMaxIdentity}) {
+      EXPECT_LE(eval_param(p, rest), eval_param(p, instance))
+          << name << " " << param_name(p);
+    }
+  }
+}
+
+TEST(RulingSetPruning, PrunesNothingOnAllZeroNonEmpty) {
+  Instance instance = make_instance(cycle_graph(6));
+  const RulingSetPruning pruning(1);
+  const PruneResult result =
+      pruning.apply(instance, std::vector<std::int64_t>(6, 0));
+  for (bool b : result.pruned) EXPECT_FALSE(b);
+}
+
+// ----------------------------------------------------------------- P_MM --
+
+TEST(MatchingPruning, SolutionDetectionOnValidMatching) {
+  for (const auto& [name, instance] : standard_instances(110)) {
+    const auto matching = central_matching(instance);
+    ASSERT_TRUE(is_maximal_matching(instance.graph, matching)) << name;
+    const MatchingPruning pruning;
+    const PruneResult result = pruning.apply(instance, matching);
+    for (NodeId v = 0; v < instance.num_nodes(); ++v)
+      EXPECT_TRUE(result.pruned[static_cast<std::size_t>(v)]) << name;
+  }
+}
+
+TEST(MatchingPruning, GluingOnArbitraryTentativeOutputs) {
+  Rng rng(11);
+  for (const auto& [name, instance] : standard_instances(111)) {
+    // Tentative outputs: a random mix of garbage, sentinels and real pairs.
+    std::vector<std::int64_t> yhat(
+        static_cast<std::size_t>(instance.num_nodes()));
+    for (NodeId v = 0; v < instance.num_nodes(); ++v) {
+      const double coin = rng.next_double();
+      if (coin < 0.4) {
+        yhat[static_cast<std::size_t>(v)] = unmatched_value(
+            instance.identities[static_cast<std::size_t>(v)]);
+      } else if (coin < 0.7 && instance.graph.degree(v) > 0) {
+        const NodeId u = instance.graph.neighbors(v)[0];
+        yhat[static_cast<std::size_t>(v)] =
+            match_value(instance.identities[static_cast<std::size_t>(v)],
+                        instance.identities[static_cast<std::size_t>(u)]);
+      } else {
+        yhat[static_cast<std::size_t>(v)] =
+            static_cast<std::int64_t>(rng.next() >> 8);
+      }
+    }
+    const MatchingPruning pruning;
+    const PruneResult pruned = pruning.apply(instance, yhat);
+    std::vector<bool> keep(pruned.pruned.size());
+    for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = !pruned.pruned[i];
+    const auto sub = induced_subgraph(instance.graph, keep);
+    const Instance rest =
+        restrict_instance(instance, sub, pruned.surviving_inputs);
+    const auto sub_solution = central_matching(rest);
+    std::vector<std::int64_t> combined = yhat;
+    for (NodeId v = 0; v < sub.graph.num_nodes(); ++v)
+      combined[static_cast<std::size_t>(
+          sub.to_old[static_cast<std::size_t>(v)])] =
+          sub_solution[static_cast<std::size_t>(v)];
+    EXPECT_TRUE(is_maximal_matching(instance.graph, combined)) << name;
+  }
+}
+
+TEST(MatchingPruning, LocalRealizationAgreesWithApply) {
+  Rng rng(12);
+  const MatchingPruning pruning;
+  for (const auto& [name, instance] : standard_instances(112)) {
+    const auto matching = central_matching(instance);
+    // Perturb: un-match a random subset by overwriting with sentinels.
+    auto yhat = matching;
+    for (NodeId v = 0; v < instance.num_nodes(); ++v) {
+      if (rng.next_bool(0.3))
+        yhat[static_cast<std::size_t>(v)] = unmatched_value(
+            instance.identities[static_cast<std::size_t>(v)]);
+    }
+    const PruneResult expected = pruning.apply(instance, yhat);
+    std::int64_t rounds = 0;
+    const auto bits = local_prune_bits(pruning, instance, yhat, &rounds);
+    for (NodeId v = 0; v < instance.num_nodes(); ++v) {
+      EXPECT_EQ(bits[static_cast<std::size_t>(v)] != 0,
+                expected.pruned[static_cast<std::size_t>(v)])
+          << name << " node " << v;
+    }
+    if (instance.num_nodes() > 0) {
+      EXPECT_LE(rounds, pruning.running_time()) << name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- P_SLC --
+
+Instance slc_instance(Graph g, std::int64_t delta_hat, std::int64_t bases,
+                      std::uint64_t seed) {
+  Instance instance = make_instance(std::move(g),
+                                    IdentityScheme::kRandomPermuted, seed);
+  const auto list = full_slc_list(bases, delta_hat);
+  for (auto& input : instance.inputs) input = make_slc_input(delta_hat, list);
+  return instance;
+}
+
+TEST(SlcPruning, SolutionDetection) {
+  Instance instance = slc_instance(cycle_graph(8), 2, 3, 1);
+  // Alternate base colors 1/2 around the cycle (even cycle).
+  std::vector<std::int64_t> solution(8);
+  for (NodeId v = 0; v < 8; ++v)
+    solution[static_cast<std::size_t>(v)] = pack_slc_color(1 + v % 2, 1);
+  ASSERT_TRUE(SlcProblem().check(instance, solution));
+  const SlcPruning pruning;
+  const PruneResult result = pruning.apply(instance, solution);
+  for (bool b : result.pruned) EXPECT_TRUE(b);
+}
+
+TEST(SlcPruning, SurvivorListsLoseCommittedColorsOnly) {
+  Instance instance = slc_instance(path_graph(3), 2, 2, 2);
+  // Middle node conflicts with nobody; ends pick the same color as middle.
+  const std::int64_t c = pack_slc_color(1, 1);
+  const std::vector<std::int64_t> yhat{c, pack_slc_color(2, 1), c};
+  const SlcPruning pruning;
+  const PruneResult result = pruning.apply(instance, yhat);
+  EXPECT_TRUE(result.pruned[0]);
+  EXPECT_TRUE(result.pruned[1]);
+  EXPECT_TRUE(result.pruned[2]);
+}
+
+TEST(SlcPruning, ConflictSurvivesAndListShrinks) {
+  Instance instance = slc_instance(path_graph(2), 1, 2, 3);
+  const std::int64_t c = pack_slc_color(1, 1);
+  // Both endpoints claim the same color: neither is "clean"... except both
+  // conflict, so neither prunes.
+  const std::vector<std::int64_t> both{c, c};
+  const SlcPruning pruning;
+  const PruneResult r1 = pruning.apply(instance, both);
+  EXPECT_FALSE(r1.pruned[0]);
+  EXPECT_FALSE(r1.pruned[1]);
+  // One claims off-list garbage: the other prunes and its color leaves the
+  // survivor's list.
+  const std::vector<std::int64_t> mixed{c, pack_slc_color(9, 9)};
+  const PruneResult r2 = pruning.apply(instance, mixed);
+  EXPECT_TRUE(r2.pruned[0]);
+  EXPECT_FALSE(r2.pruned[1]);
+  const auto survivor_list = slc_list(r2.surviving_inputs[1]);
+  EXPECT_EQ(std::count(survivor_list.begin(), survivor_list.end(), c), 0);
+}
+
+TEST(SlcPruning, PreservesConfigurationValidity) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gnp(30, 0.12, rng);
+    const std::int64_t delta_hat = std::max<NodeId>(max_degree(g), 1);
+    Instance instance =
+        slc_instance(std::move(g), delta_hat, 3, 20 + trial);
+    ASSERT_TRUE(is_valid_slc_configuration(instance));
+    // Random tentative colors drawn from the lists.
+    std::vector<std::int64_t> yhat(
+        static_cast<std::size_t>(instance.num_nodes()));
+    for (NodeId v = 0; v < instance.num_nodes(); ++v) {
+      const auto list = slc_list(instance.inputs[static_cast<std::size_t>(v)]);
+      yhat[static_cast<std::size_t>(v)] =
+          list[rng.next_below(list.size())];
+    }
+    const SlcPruning pruning;
+    const PruneResult pruned = pruning.apply(instance, yhat);
+    std::vector<bool> keep(pruned.pruned.size());
+    for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = !pruned.pruned[i];
+    const auto sub = induced_subgraph(instance.graph, keep);
+    const Instance rest =
+        restrict_instance(instance, sub, pruned.surviving_inputs);
+    EXPECT_TRUE(is_valid_slc_configuration(rest)) << "trial " << trial;
+  }
+}
+
+TEST(SlcPruning, LocalRealizationAgreesWithApply) {
+  Rng rng(14);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = gnp(25, 0.15, rng);
+    const std::int64_t delta_hat = std::max<NodeId>(max_degree(g), 1);
+    Instance instance = slc_instance(std::move(g), delta_hat, 2, 30 + trial);
+    std::vector<std::int64_t> yhat(
+        static_cast<std::size_t>(instance.num_nodes()));
+    for (NodeId v = 0; v < instance.num_nodes(); ++v) {
+      const auto list = slc_list(instance.inputs[static_cast<std::size_t>(v)]);
+      yhat[static_cast<std::size_t>(v)] = list[rng.next_below(list.size())];
+    }
+    const SlcPruning pruning;
+    const PruneResult expected = pruning.apply(instance, yhat);
+    std::int64_t rounds = 0;
+    const auto bits = local_prune_bits(pruning, instance, yhat, &rounds);
+    for (NodeId v = 0; v < instance.num_nodes(); ++v) {
+      EXPECT_EQ(bits[static_cast<std::size_t>(v)] != 0,
+                expected.pruned[static_cast<std::size_t>(v)])
+          << "trial " << trial << " node " << v;
+    }
+    EXPECT_LE(rounds, pruning.running_time());
+  }
+}
+
+}  // namespace
+}  // namespace unilocal

@@ -1,0 +1,113 @@
+// Tests for the Section 4.2 machinery: set-sequences, sequence numbers and
+// the bounding constant, for the additive and product constructions of
+// Observation 4.1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/runtime_bound.h"
+
+namespace unilocal {
+namespace {
+
+AdditiveBound sample_additive() {
+  return AdditiveBound{
+      {BoundComponent{"x", [](std::int64_t x) { return double(x); }},
+       BoundComponent{"2*log2(y)+1",
+                      [](std::int64_t y) {
+                        return 2.0 * std::log2(double(y)) + 1.0;
+                      }}}};
+}
+
+TEST(AdditiveBound, EvalSumsComponents) {
+  const auto f = sample_additive();
+  const std::vector<std::int64_t> args{5, 8};
+  EXPECT_DOUBLE_EQ(f.eval(args), 5.0 + 7.0);
+}
+
+TEST(AdditiveBound, SetSequenceSingletonDominatesAllCheapVectors) {
+  const auto f = sample_additive();
+  for (std::int64_t i : {4, 16, 64, 1024}) {
+    const auto sequence = f.set_sequence(i);
+    ASSERT_EQ(sequence.size(), 1u) << i;
+    EXPECT_LE(f.sequence_number(i), 1);
+    const auto& x = sequence.front();
+    // Coverage: any y with f(y) <= i is coordinate-wise dominated.
+    for (std::int64_t y1 = 1; y1 <= i; y1 *= 2) {
+      for (std::int64_t y2 = 1; y2 <= 1 << 10; y2 *= 2) {
+        const std::vector<std::int64_t> y{y1, y2};
+        if (f.eval(y) <= static_cast<double>(i)) {
+          EXPECT_LE(y1, x[0]);
+          EXPECT_LE(y2, x[1]);
+        }
+      }
+    }
+    // Boundedness: f(x) <= c*i.
+    EXPECT_LE(f.eval(x),
+              static_cast<double>(f.bounding_constant()) * static_cast<double>(i));
+  }
+}
+
+TEST(AdditiveBound, EmptySequenceWhenComponentExceedsBudget) {
+  AdditiveBound f{
+      {BoundComponent{"x+100", [](std::int64_t x) { return double(x) + 100; }}}};
+  EXPECT_TRUE(f.set_sequence(50).empty());
+  EXPECT_FALSE(f.set_sequence(128).empty());
+}
+
+ProductBound sample_product() {
+  return ProductBound{
+      BoundComponent{"x", [](std::int64_t x) { return double(x); }},
+      BoundComponent{"log2(y)+1",
+                     [](std::int64_t y) { return std::log2(double(y)) + 1.0; }}};
+}
+
+TEST(ProductBound, EvalMultiplies) {
+  const auto f = sample_product();
+  const std::vector<std::int64_t> args{3, 4};
+  EXPECT_DOUBLE_EQ(f.eval(args), 9.0);
+}
+
+TEST(ProductBound, SequenceNumberIsLogarithmic) {
+  const auto f = sample_product();
+  EXPECT_EQ(f.sequence_number(1), 1);
+  EXPECT_EQ(f.sequence_number(2), 2);
+  EXPECT_EQ(f.sequence_number(1024), 11);
+}
+
+TEST(ProductBound, SetSequencePropertiesHold) {
+  const auto f = sample_product();
+  for (std::int64_t i : {2, 8, 64, 512}) {
+    const auto sequence = f.set_sequence(i);
+    EXPECT_LE(static_cast<std::int64_t>(sequence.size()), f.sequence_number(i));
+    for (const auto& x : sequence) {
+      EXPECT_LE(f.eval(x), static_cast<double>(f.bounding_constant()) *
+                               static_cast<double>(i));
+    }
+    // Coverage over a grid of candidate vectors.
+    for (std::int64_t y1 = 1; y1 <= i; y1 *= 2) {
+      for (std::int64_t y2 = 1; y2 <= (std::int64_t{1} << 16); y2 *= 4) {
+        const std::vector<std::int64_t> y{y1, y2};
+        if (f.eval(y) > static_cast<double>(i)) continue;
+        bool dominated = false;
+        for (const auto& x : sequence) {
+          if (x[0] >= y1 && x[1] >= y2) {
+            dominated = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(dominated)
+            << "i=" << i << " y=(" << y1 << "," << y2 << ")";
+      }
+    }
+  }
+}
+
+TEST(Bounds, DescribeMentionsComponents) {
+  EXPECT_NE(sample_additive().describe().find("2*log2(y)+1"),
+            std::string::npos);
+  EXPECT_NE(sample_product().describe().find("product"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unilocal

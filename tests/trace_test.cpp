@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "src/core/param.h"
+#include "src/runtime/trace.h"
+#include "tests/test_support.h"
+
+namespace unilocal {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"a", "long-header"});
+  table.add_row({"wide-cell", "1"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| a         | long-header |"), std::string::npos);
+  EXPECT_NE(out.find("| wide-cell | 1           |"), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable table({"x", "y", "z"});
+  table.add_row({"1"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::fmt(std::int64_t{42}), "42");
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(ParamOracle, NamesAndValues) {
+  Instance instance = make_instance(complete_graph(5),
+                                    IdentityScheme::kSequential);
+  EXPECT_EQ(param_name(Param::kNumNodes), "n");
+  EXPECT_EQ(param_name(Param::kMaxDegree), "Delta");
+  EXPECT_EQ(param_name(Param::kArboricity), "a");
+  EXPECT_EQ(param_name(Param::kMaxIdentity), "m");
+  EXPECT_EQ(eval_param(Param::kNumNodes, instance), 5);
+  EXPECT_EQ(eval_param(Param::kMaxDegree, instance), 4);
+  EXPECT_EQ(eval_param(Param::kMaxIdentity, instance), 5);
+  EXPECT_EQ(eval_param(Param::kArboricity, instance), 4);  // degeneracy K5
+}
+
+TEST(ParamOracle, CorrectGuessesAlignWithSet) {
+  Instance instance = make_instance(cycle_graph(9),
+                                    IdentityScheme::kSequential);
+  const ParamSet params{Param::kMaxDegree, Param::kNumNodes};
+  const auto guesses = correct_guesses(params, instance);
+  ASSERT_EQ(guesses.size(), 2u);
+  EXPECT_EQ(guesses[0], 2);
+  EXPECT_EQ(guesses[1], 9);
+}
+
+TEST(ParamOracle, ArboricityProxyOnEmptyGraph) {
+  Instance instance = make_instance(Graph(3), IdentityScheme::kSequential);
+  EXPECT_EQ(eval_param(Param::kArboricity, instance), 1);  // clamped to 1
+}
+
+}  // namespace
+}  // namespace unilocal

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/graph/params.h"
+#include "src/graph/transforms.h"
+#include "src/problems/coloring.h"
+#include "src/problems/mis.h"
+
+namespace unilocal {
+namespace {
+
+TEST(CliqueProduct, SizesMatchPaperConstruction) {
+  Graph g = path_graph(3);  // degrees 1, 2, 1
+  const CliqueProduct product = clique_product(g);
+  EXPECT_EQ(product.graph.num_nodes(), 2 + 3 + 2);
+  // Cliques of sizes 2, 3, 2 plus inter-clique edges:
+  // edge (0,1): 1+min(1,2) = 2 links; edge (1,2): 2 links.
+  EXPECT_EQ(product.graph.num_edges(), 1 + 3 + 1 + 2 + 2);
+}
+
+TEST(CliqueProduct, MisMapsToDegPlusOneColoring) {
+  Rng rng(1);
+  Graph g = gnp(40, 0.12, rng);
+  const CliqueProduct product = clique_product(g);
+  // Build an MIS of the product centrally (greedy) and pull back a coloring.
+  std::vector<std::int64_t> mis(
+      static_cast<std::size_t>(product.graph.num_nodes()), 0);
+  for (NodeId v = 0; v < product.graph.num_nodes(); ++v) {
+    bool blocked = false;
+    for (NodeId u : product.graph.neighbors(v)) {
+      if (mis[static_cast<std::size_t>(u)] != 0) blocked = true;
+    }
+    if (!blocked) mis[static_cast<std::size_t>(v)] = 1;
+  }
+  ASSERT_TRUE(is_maximal_independent_set(product.graph, mis));
+  const auto coloring = coloring_from_product_mis(product, mis);
+  ASSERT_FALSE(coloring.empty())
+      << "a product MIS must select one node per clique";
+  EXPECT_TRUE(is_proper_coloring(g, coloring));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(coloring[static_cast<std::size_t>(v)], g.degree(v) + 1);
+    EXPECT_GE(coloring[static_cast<std::size_t>(v)], 1);
+  }
+}
+
+TEST(CliqueProduct, InvalidMisGivesEmptyColoring) {
+  Graph g = path_graph(3);
+  const CliqueProduct product = clique_product(g);
+  const std::vector<std::int64_t> nothing(
+      static_cast<std::size_t>(product.graph.num_nodes()), 0);
+  EXPECT_TRUE(coloring_from_product_mis(product, nothing).empty());
+}
+
+TEST(LineGraph, PathBecomesPath) {
+  const LineGraph lg = line_graph(path_graph(5));
+  EXPECT_EQ(lg.graph.num_nodes(), 4);
+  EXPECT_EQ(lg.graph.num_edges(), 3);
+  EXPECT_EQ(max_degree(lg.graph), 2);
+}
+
+TEST(LineGraph, StarBecomesClique) {
+  const LineGraph lg = line_graph(complete_bipartite(1, 5));
+  EXPECT_EQ(lg.graph.num_nodes(), 5);
+  EXPECT_EQ(lg.graph.num_edges(), 10);
+}
+
+TEST(LineGraph, DegreeIdentity) {
+  Rng rng(2);
+  Graph g = gnp(50, 0.1, rng);
+  const LineGraph lg = line_graph(g);
+  for (NodeId e = 0; e < lg.graph.num_nodes(); ++e) {
+    const auto [u, v] = lg.edge_of[static_cast<std::size_t>(e)];
+    EXPECT_EQ(lg.graph.degree(e), g.degree(u) + g.degree(v) - 2);
+  }
+}
+
+TEST(PowerGraph, PathSquared) {
+  Graph g2 = power_graph(path_graph(6), 2);
+  // Node 0 reaches 1 and 2.
+  EXPECT_TRUE(g2.has_edge(0, 2));
+  EXPECT_FALSE(g2.has_edge(0, 3));
+  EXPECT_EQ(g2.degree(2), 4);
+}
+
+TEST(PowerGraph, KIsDiameterGivesClique) {
+  Graph g = path_graph(5);
+  Graph gk = power_graph(g, 4);
+  EXPECT_EQ(gk.num_edges(), 10);
+}
+
+TEST(PowerGraph, MatchesBfsDefinition) {
+  Rng rng(3);
+  Graph g = gnp(40, 0.08, rng);
+  const Graph g3 = power_graph(g, 3);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (u == v) continue;
+      const bool within = dist[static_cast<std::size_t>(u)] > 0 &&
+                          dist[static_cast<std::size_t>(u)] <= 3;
+      EXPECT_EQ(g3.has_edge(v, u), within);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace unilocal

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/runtime_bound.h"
+#include "src/util/math.h"
+#include "src/util/rng.h"
+
+namespace unilocal {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SplitStreamsIndependentAndStable) {
+  Rng base(7);
+  Rng s1 = base.split(10);
+  Rng s1_again = Rng(7).split(10);
+  Rng s2 = base.split(11);
+  EXPECT_EQ(s1.next(), s1_again.next());
+  EXPECT_NE(s1.next(), s2.next());
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng.next_below(7);
+    ASSERT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t x = rng.next_in(-3, 9);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 9);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  auto perm = random_permutation(50, rng);
+  std::set<std::int64_t> values(perm.begin(), perm.end());
+  EXPECT_EQ(values.size(), 50u);
+  EXPECT_EQ(*values.begin(), 0);
+  EXPECT_EQ(*values.rbegin(), 49);
+}
+
+TEST(Math, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(4), 2);
+  EXPECT_EQ(ilog2(1023), 9);
+  EXPECT_EQ(ilog2(1024), 10);
+}
+
+TEST(Math, Clog2) {
+  EXPECT_EQ(clog2(1), 0);
+  EXPECT_EQ(clog2(2), 1);
+  EXPECT_EQ(clog2(3), 2);
+  EXPECT_EQ(clog2(4), 2);
+  EXPECT_EQ(clog2(5), 3);
+  EXPECT_EQ(clog2(1024), 10);
+  EXPECT_EQ(clog2(1025), 11);
+}
+
+TEST(Math, LogStar) {
+  EXPECT_EQ(log_star(1), 0);
+  EXPECT_EQ(log_star(2), 1);
+  EXPECT_EQ(log_star(4), 2);
+  EXPECT_EQ(log_star(16), 3);
+  EXPECT_EQ(log_star(65536), 4);
+  // 2^60 -> 60 -> 5 -> 2 -> 1: four applications (still below 2^65536).
+  EXPECT_EQ(log_star(std::uint64_t{1} << 60), 4);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+}
+
+TEST(Math, IsPrimeSmall) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(99));
+}
+
+TEST(Math, IsPrimeLarge) {
+  EXPECT_TRUE(is_prime(1000000007ULL));
+  EXPECT_TRUE(is_prime(2147483647ULL));  // 2^31 - 1
+  EXPECT_FALSE(is_prime(2147483647ULL * 3));
+  EXPECT_TRUE(is_prime(18446744073709551557ULL));  // largest 64-bit prime
+}
+
+TEST(Math, NextPrime) {
+  EXPECT_EQ(next_prime(0), 2u);
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(8), 11u);
+  EXPECT_EQ(next_prime(14), 17u);
+  EXPECT_EQ(next_prime(17), 17u);
+}
+
+TEST(Math, SaturatingOps) {
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(sat_add(kMax, 1), kMax);
+  EXPECT_EQ(sat_add(1, 2), 3);
+  EXPECT_EQ(sat_mul(kMax / 2, 3), kMax);
+  EXPECT_EQ(sat_mul(5, 7), 35);
+  EXPECT_EQ(sat_mul(0, kMax), 0);
+  EXPECT_EQ(sat_pow(2, 62), std::int64_t{1} << 62);
+  EXPECT_EQ(sat_pow(10, 30), kMax);
+}
+
+TEST(RuntimeBoundInversion, LargestArgAtMost) {
+  auto square = [](std::int64_t x) { return static_cast<double>(x) * x; };
+  EXPECT_EQ(largest_arg_at_most(square, 100.0), 10);
+  EXPECT_EQ(largest_arg_at_most(square, 99.0), 9);
+  EXPECT_EQ(largest_arg_at_most(square, 1.0), 1);
+  EXPECT_EQ(largest_arg_at_most(square, 0.5), 0);  // even f(1) too big
+}
+
+TEST(RuntimeBoundInversion, SaturatesAtCap) {
+  auto constant = [](std::int64_t) { return 1.0; };
+  EXPECT_EQ(largest_arg_at_most(constant, 2.0, 1000), 1000);
+}
+
+}  // namespace
+}  // namespace unilocal
