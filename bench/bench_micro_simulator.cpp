@@ -8,6 +8,7 @@
 #include "src/graph/generators.h"
 #include "src/graph/subgraph.h"
 #include "src/prune/ruling_set_prune.h"
+#include "src/runtime/reference.h"
 #include "src/runtime/runner.h"
 
 namespace unilocal {
@@ -72,6 +73,78 @@ void BM_RulingSetPruneApply(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RulingSetPruneApply)->Arg(4096)->Arg(32768);
+
+// --- engine before/after (BENCH_engine.json) --------------------------------
+//
+// The seed engine (run_local_reference: vector-per-message, per-run
+// reverse-port recomputation) against the arena engine (run_local: CSR +
+// flat double-buffered arena) on the acceptance workloads: Luby MIS on a
+// 100k-node random graph and on a 100k-node bounded-arboricity graph.
+// "steps/s" counters are Process::step invocations per wall second.
+
+Instance engine_gnp_instance() {
+  const NodeId n = 100000;
+  Rng rng(7);
+  return make_instance(gnp(n, 8.0 / n, rng), IdentityScheme::kRandomSparse, 3);
+}
+
+Instance engine_arboricity_instance() {
+  Rng rng(8);
+  return make_instance(random_layered_forest(100000, 2, rng),
+                       IdentityScheme::kRandomSparse, 4);
+}
+
+void run_engine_bench(benchmark::State& state, const Instance& instance,
+                      bool arena, int threads) {
+  std::uint64_t seed = 1;
+  std::int64_t steps = 0;
+  EngineWorkspace workspace;
+  for (auto _ : state) {
+    RunOptions options;
+    options.seed = seed++;
+    options.num_threads = threads;
+    const RunResult result =
+        arena ? run_local(instance, LubyMis{}, options, &workspace)
+              : run_local_reference(instance, LubyMis{}, options);
+    steps += result.stats.total_steps;
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+  state.counters["nodes"] = static_cast<double>(instance.num_nodes());
+}
+
+void BM_EngineSeed_Gnp100k(benchmark::State& state) {
+  run_engine_bench(state, engine_gnp_instance(), /*arena=*/false, 1);
+}
+BENCHMARK(BM_EngineSeed_Gnp100k)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_EngineArena_Gnp100k(benchmark::State& state) {
+  run_engine_bench(state, engine_gnp_instance(), /*arena=*/true,
+                   static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_EngineArena_Gnp100k)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_EngineSeed_Arboricity100k(benchmark::State& state) {
+  run_engine_bench(state, engine_arboricity_instance(), /*arena=*/false, 1);
+}
+BENCHMARK(BM_EngineSeed_Arboricity100k)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_EngineArena_Arboricity100k(benchmark::State& state) {
+  run_engine_bench(state, engine_arboricity_instance(), /*arena=*/true,
+                   static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_EngineArena_Arboricity100k)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 
 }  // namespace
 }  // namespace unilocal

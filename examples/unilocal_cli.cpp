@@ -1,10 +1,12 @@
 // unilocal_cli — run a uniform LOCAL algorithm on your own graph.
 //
-//   unilocal_cli <problem> [file]
+//   unilocal_cli <problem> [file] [--stats]
 //
 //   <problem>: mis | matching | coloring | rulingset2
 //   [file]:    edge list ("n m" header then "u v" per line);
 //              reads stdin when omitted.
+//   --stats:   also print per-run engine statistics (arena bytes, peak
+//              messages/round, steps/sec) on stderr.
 //
 // Prints one line per node: "<identity> <output>" (plus a summary on
 // stderr). Every algorithm here is the uniform product of the paper's
@@ -36,8 +38,18 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: unilocal_cli <mis|matching|coloring|rulingset2> "
-               "[edge-list-file]\n");
+               "[edge-list-file] [--stats]\n");
   return 2;
+}
+
+void emit_stats(const EngineStats& stats, const char* what) {
+  std::fprintf(stderr,
+               "%s engine: arena_bytes=%lld peak_messages_per_round=%lld "
+               "steps=%lld steps_per_sec=%.0f threads=%d\n",
+               what, static_cast<long long>(stats.arena_bytes),
+               static_cast<long long>(stats.peak_round_messages),
+               static_cast<long long>(stats.total_steps),
+               stats.steps_per_second, stats.threads);
 }
 
 void emit(const Instance& instance, const std::vector<std::int64_t>& outputs,
@@ -56,13 +68,27 @@ void emit(const Instance& instance, const std::vector<std::int64_t>& outputs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+  bool want_stats = false;
+  const char* file = nullptr;
+  const char* problem_arg = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      want_stats = true;
+    } else if (problem_arg == nullptr) {
+      problem_arg = argv[i];
+    } else if (file == nullptr) {
+      file = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (problem_arg == nullptr) return usage();
   Graph g;
   try {
-    if (argc >= 3) {
-      std::ifstream in(argv[2]);
+    if (file != nullptr) {
+      std::ifstream in(file);
       if (!in) {
-        std::fprintf(stderr, "cannot open %s\n", argv[2]);
+        std::fprintf(stderr, "cannot open %s\n", file);
         return 1;
       }
       g = read_edge_list(in);
@@ -76,7 +102,7 @@ int main(int argc, char** argv) {
   Instance instance = make_instance(std::move(g),
                                     IdentityScheme::kRandomPermuted, 1);
 
-  const std::string problem = argv[1];
+  const std::string problem = problem_arg;
   if (problem == "mis") {
     const auto algorithm = make_coloring_mis();
     const RulingSetPruning pruning(1);
@@ -85,6 +111,7 @@ int main(int argc, char** argv) {
          result.solved &&
              is_maximal_independent_set(instance.graph, result.outputs),
          "mis");
+    if (want_stats) emit_stats(result.engine_stats, "mis");
   } else if (problem == "matching") {
     const auto algorithm = make_colored_matching();
     const MatchingPruning pruning;
@@ -92,12 +119,14 @@ int main(int argc, char** argv) {
     emit(instance, result.outputs, result.total_rounds,
          result.solved && is_maximal_matching(instance.graph, result.outputs),
          "matching");
+    if (want_stats) emit_stats(result.engine_stats, "matching");
   } else if (problem == "coloring") {
     const auto algorithm = make_lambda_gdelta_coloring(1);
     const auto result = run_uniform_coloring_transform(instance, *algorithm);
     emit(instance, result.colors, result.total_rounds,
          result.solved && is_proper_coloring(instance.graph, result.colors),
          "coloring");
+    if (want_stats) emit_stats(result.engine_stats, "coloring");
   } else if (problem == "rulingset2") {
     const auto algorithm = make_mc_ruling_set(2);
     const RulingSetPruning pruning(2);
@@ -107,6 +136,7 @@ int main(int argc, char** argv) {
          result.solved &&
              is_two_beta_ruling_set(instance.graph, result.outputs, 2),
          "rulingset2");
+    if (want_stats) emit_stats(result.engine_stats, "rulingset2");
   } else {
     return usage();
   }

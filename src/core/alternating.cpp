@@ -20,7 +20,8 @@ NodeId AlternatingDriver::run_step(const Algorithm& algorithm,
   RunOptions options;
   options.max_rounds = budget;
   options.seed = seed;
-  const RunResult result = run_local(current_, algorithm, options);
+  const RunResult result = run_local(current_, algorithm, options, &workspace_);
+  stats_.merge(result.stats);
   if (trace != nullptr) {
     trace->algorithm = algorithm.name();
     trace->budget = budget;
@@ -34,6 +35,7 @@ NodeId AlternatingDriver::run_custom_step(const CustomStep& execute,
   CustomOutcome outcome = execute(current_);
   assert(outcome.outputs.size() ==
          static_cast<std::size_t>(current_.num_nodes()));
+  stats_.merge(outcome.stats);
   return prune_and_glue(outcome.outputs, outcome.rounds, trace);
 }
 

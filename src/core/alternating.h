@@ -34,10 +34,17 @@ class AlternatingDriver {
  public:
   AlternatingDriver(Instance initial, const PruningAlgorithm& pruning);
 
+  /// Engine buffers shared by every step of the alternation (and lendable
+  /// to the executables run_custom_step drives): one arena for the whole
+  /// composed algorithm instead of per-stage re-allocation.
+  EngineWorkspace& workspace() noexcept { return workspace_; }
+
   bool done() const noexcept { return current_.num_nodes() == 0; }
   NodeId remaining() const noexcept { return current_.num_nodes(); }
   const Instance& current() const noexcept { return current_; }
   std::int64_t total_rounds() const noexcept { return total_rounds_; }
+  /// Aggregated engine stats over every step executed so far.
+  const EngineStats& stats() const noexcept { return stats_; }
   /// Outputs per node of the ORIGINAL instance (pruned nodes keep the
   /// tentative value they were pruned with).
   const std::vector<std::int64_t>& outputs() const noexcept {
@@ -56,6 +63,8 @@ class AlternatingDriver {
   struct CustomOutcome {
     std::vector<std::int64_t> outputs;
     std::int64_t rounds = 0;
+    /// Engine stats of the executable's run (merged into stats()).
+    EngineStats stats;
   };
   using CustomStep = std::function<CustomOutcome(const Instance&)>;
   NodeId run_custom_step(const CustomStep& execute,
@@ -68,9 +77,11 @@ class AlternatingDriver {
 
   const PruningAlgorithm& pruning_;
   Instance current_;
+  EngineWorkspace workspace_;
   std::vector<NodeId> to_original_;
   std::vector<std::int64_t> outputs_;
   std::int64_t total_rounds_ = 0;
+  EngineStats stats_;
 };
 
 }  // namespace unilocal

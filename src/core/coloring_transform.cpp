@@ -132,6 +132,7 @@ ColoringTransformResult run_uniform_coloring_transform(
   };
 
   std::uint64_t seed = options.seed;
+  EngineWorkspace workspace;  // one arena across every layer's phase-2 run
   for (int layer = 0; layer + 1 < static_cast<int>(thresholds.size());
        ++layer) {
     std::vector<bool> keep(static_cast<std::size_t>(n), false);
@@ -164,6 +165,7 @@ ColoringTransformResult run_uniform_coloring_transform(
     phase1_options.check_problem = nullptr;
     const UniformRunResult phase1 = run_uniform_transformer(
         layer_instance, solver, slc_pruning, phase1_options);
+    result.engine_stats.merge(phase1.engine_stats);
     if (!phase1.solved) {
       result.solved = false;
       return result;
@@ -185,7 +187,9 @@ ColoringTransformResult run_uniform_coloring_transform(
     RunOptions run_options;
     run_options.seed = seed++;
     const RunResult phase2 =
-        run_local(recolor_instance, *phase2_algorithm, run_options);
+        run_local(recolor_instance, *phase2_algorithm, run_options,
+                  &workspace);
+    result.engine_stats.merge(phase2.stats);
     if (!phase2.all_finished) {
       result.solved = false;
       return result;

@@ -68,6 +68,8 @@ struct ColoringTransformResult {
   std::int64_t total_rounds = 0;
   std::int64_t max_color_used = 0;
   std::vector<LayerTrace> layers;
+  /// Aggregated engine stats over both phases of every layer.
+  EngineStats engine_stats;
 };
 
 ColoringTransformResult run_uniform_coloring_transform(

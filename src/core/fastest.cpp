@@ -12,14 +12,14 @@ class LocalExecutable final : public UniformExecutable {
   explicit LocalExecutable(std::shared_ptr<const Algorithm> algorithm)
       : algorithm_(std::move(algorithm)) {}
   std::string name() const override { return algorithm_->name(); }
-  AlternatingDriver::CustomOutcome run(const Instance& instance,
-                                       std::int64_t budget,
-                                       std::uint64_t seed) const override {
+  AlternatingDriver::CustomOutcome run(
+      const Instance& instance, std::int64_t budget, std::uint64_t seed,
+      EngineWorkspace* workspace) const override {
     RunOptions options;
     options.max_rounds = budget;
     options.seed = seed;
-    RunResult result = run_local(instance, *algorithm_, options);
-    return {std::move(result.outputs), result.rounds_used};
+    RunResult result = run_local(instance, *algorithm_, options, workspace);
+    return {std::move(result.outputs), result.rounds_used, result.stats};
   }
 
  private:
@@ -34,15 +34,20 @@ class TransformedExecutable final : public UniformExecutable {
   std::string name() const override {
     return "uniform(" + algorithm_->name() + ")";
   }
-  AlternatingDriver::CustomOutcome run(const Instance& instance,
-                                       std::int64_t budget,
-                                       std::uint64_t seed) const override {
+  AlternatingDriver::CustomOutcome run(
+      const Instance& instance, std::int64_t budget, std::uint64_t seed,
+      EngineWorkspace* workspace) const override {
+    // The nested transformer owns an AlternatingDriver of its own (and with
+    // it a workspace reused across all its sub-iterations); the lent
+    // workspace is not threaded further down.
+    (void)workspace;
     UniformRunOptions options;
     options.seed = seed;
     options.round_cap = budget;
     UniformRunResult result =
         run_uniform_transformer(instance, *algorithm_, *pruning_, options);
-    return {std::move(result.outputs), result.total_rounds};
+    return {std::move(result.outputs), result.total_rounds,
+            result.engine_stats};
   }
 
  private:
@@ -85,7 +90,8 @@ UniformRunResult run_fastest(
       const std::uint64_t step_seed = seed++;
       driver.run_custom_step(
           [&](const Instance& current) {
-            return algorithm->run(current, budget, step_seed);
+            return algorithm->run(current, budget, step_seed,
+                                  &driver.workspace());
           },
           &trace);
       result.trace.push_back(std::move(trace));
@@ -94,6 +100,7 @@ UniformRunResult run_fastest(
   result.outputs = driver.outputs();
   result.total_rounds = driver.total_rounds();
   result.solved = driver.done();
+  result.engine_stats = driver.stats();
   if (result.solved && options.check_problem != nullptr) {
     assert(options.check_problem->check(instance, result.outputs));
   }

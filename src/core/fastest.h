@@ -22,10 +22,11 @@ class UniformExecutable {
   /// Returns tentative outputs (arbitrary 0 where unfinished) and the
   /// rounds consumed (<= budget for plain algorithms; transformer-backed
   /// executables may overshoot by their last sub-iteration, a constant
-  /// factor absorbed by the doubling).
-  virtual AlternatingDriver::CustomOutcome run(const Instance& instance,
-                                               std::int64_t budget,
-                                               std::uint64_t seed) const = 0;
+  /// factor absorbed by the doubling). When the caller lends a workspace
+  /// (run_fastest lends its driver's), the executable runs in that arena.
+  virtual AlternatingDriver::CustomOutcome run(
+      const Instance& instance, std::int64_t budget, std::uint64_t seed,
+      EngineWorkspace* workspace = nullptr) const = 0;
 };
 
 /// Wraps a plain LOCAL algorithm (e.g. Luby, greedy MIS).

@@ -36,6 +36,7 @@ UniformRunResult run_las_vegas_transformer(const Instance& instance,
   result.outputs = driver.outputs();
   result.total_rounds = driver.total_rounds();
   result.solved = driver.done();
+  result.engine_stats = driver.stats();
   if (result.solved && options.check_problem != nullptr) {
     assert(options.check_problem->check(instance, result.outputs));
   }

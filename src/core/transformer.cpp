@@ -13,6 +13,9 @@ UniformRunResult run_uniform_transformer(const Instance& instance,
   assert(algorithm.gamma() == algorithm.lambda());
   assert(algorithm.bound().arity() == algorithm.gamma().size());
 
+  // The driver's workspace carries one message arena through every
+  // (A restricted to c*2^i ; P) sub-iteration below — the sequential
+  // composition never re-allocates engine state between stages.
   AlternatingDriver driver(instance, pruning);
   UniformRunResult result;
   std::uint64_t seed = options.seed;
@@ -40,6 +43,7 @@ UniformRunResult run_uniform_transformer(const Instance& instance,
   result.outputs = driver.outputs();
   result.total_rounds = driver.total_rounds();
   result.solved = driver.done();
+  result.engine_stats = driver.stats();
   if (result.solved && options.check_problem != nullptr) {
     assert(options.check_problem->check(instance, result.outputs));
   }

@@ -35,6 +35,9 @@ struct UniformRunResult {
   bool solved = false;
   int iterations_used = 0;
   std::vector<SubIterationTrace> trace;
+  /// Aggregated engine stats over every sub-iteration (arena bytes, peak
+  /// messages/round, steps/sec).
+  EngineStats engine_stats;
 };
 
 /// The Theorem 1 transformer (also correct for weak Monte-Carlo inputs in

@@ -22,7 +22,10 @@ class Graph {
   Graph() = default;
   explicit Graph(NodeId n) : adj_(static_cast<std::size_t>(n)) {}
 
-  /// Builds a graph from an edge list; ignores self-loops and duplicates.
+  /// Builds a graph from an edge list; ignores self-loops, duplicates in
+  /// either orientation, and edges with endpoints outside [0, n). n = 0
+  /// yields the empty graph, and nodes no edge mentions stay isolated —
+  /// num_edges() always equals edges().size().
   static Graph from_edges(NodeId n,
                           const std::vector<std::pair<NodeId, NodeId>>& edges);
 
@@ -54,8 +57,9 @@ class Graph {
   std::int64_t num_edges_ = 0;
 };
 
-/// Incremental construction helper that tolerates duplicates/self-loops and
-/// normalizes on build().
+/// Incremental construction helper that tolerates duplicates, self-loops,
+/// and out-of-range endpoints, and normalizes on build(). build() may be
+/// called repeatedly (later calls see edges added since).
 class GraphBuilder {
  public:
   explicit GraphBuilder(NodeId n) : n_(n) {}

@@ -14,9 +14,16 @@
 // algorithms A_Gamma) receive them at *instantiation* time through the
 // NonUniformAlgorithm interface in src/core/nonuniform.h, never through the
 // runtime.
+//
+// Context is a facade: message storage belongs to the engine driving the
+// run (the arena engine in src/runtime/runner.cpp, or the preserved
+// vector-per-message baseline in src/runtime/reference.cpp), reached through
+// the narrow ContextBackend interface. Algorithms see the same API either
+// way.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <span>
 #include <string>
@@ -37,6 +44,26 @@ struct NodeInit {
   std::span<const std::int64_t> input;
 };
 
+/// Engine-side message transport behind a Context. `node` is always the
+/// node the Context was built for; ports are 0..degree-1.
+class ContextBackend {
+ public:
+  virtual ~ContextBackend() = default;
+  /// Records data[0..words) as node's outgoing message on `port` for the
+  /// current round; a second send on the same port within one step
+  /// overwrites the first (last write wins, as in a real outbox).
+  virtual void send_words(NodeId node, NodeId port, const std::int64_t* data,
+                          std::size_t words) = 0;
+  /// The message node received on `port` this round (sent by that neighbour
+  /// in the previous round), or an empty span tagged absent. `present` is
+  /// set accordingly. The span stays valid for the rest of the step.
+  virtual std::span<const std::int64_t> recv_words(NodeId node, NodeId port,
+                                                   bool* present) = 0;
+  /// Like recv_words but materialized as a Message (engines keep a
+  /// capacity-reusing scratch per port); nullptr when absent.
+  virtual const Message* recv_message(NodeId node, NodeId port) = 0;
+};
+
 /// Per-round view handed to Process::step. Owned by the runner; valid only
 /// for the duration of the call.
 class Context {
@@ -50,20 +77,31 @@ class Context {
 
   /// Message from neighbour port j sent in the previous round, or nullptr.
   const Message* received(NodeId j) const {
-    return inbox_present_[static_cast<std::size_t>(j)]
-               ? &inbox_[static_cast<std::size_t>(j)]
-               : nullptr;
+    return backend_->recv_message(node_, j);
+  }
+
+  /// Zero-copy view of the message from port j; empty-and-absent when none
+  /// arrived. Prefer this in new algorithms — it never touches the heap.
+  std::span<const std::int64_t> received_span(NodeId j, bool* present) const {
+    return backend_->recv_words(node_, j, present);
   }
 
   /// Sends msg to neighbour port j (delivered next round).
-  void send(NodeId j, Message msg) {
-    outbox_[static_cast<std::size_t>(j)] = std::move(msg);
-    outbox_present_[static_cast<std::size_t>(j)] = true;
+  void send(NodeId j, const Message& msg) {
+    backend_->send_words(node_, j, msg.data(), msg.size());
+  }
+  /// Sends the literal words to port j without constructing a Message.
+  void send(NodeId j, std::initializer_list<std::int64_t> words) {
+    backend_->send_words(node_, j, words.begin(), words.size());
   }
 
   /// Sends a copy of msg to every neighbour.
   void broadcast(const Message& msg) {
     for (NodeId j = 0; j < degree_; ++j) send(j, msg);
+  }
+  void broadcast(std::initializer_list<std::int64_t> words) {
+    for (NodeId j = 0; j < degree_; ++j)
+      backend_->send_words(node_, j, words.begin(), words.size());
   }
 
   /// Writes the final output; after the current step returns, the process
@@ -81,7 +119,7 @@ class Context {
   std::int64_t output() const noexcept { return output_; }
 
   /// A view of this context with a shifted local round and substituted
-  /// input, sharing the message buffers — used by stage-composition
+  /// input, sharing the message transport — used by stage-composition
   /// combinators (src/runtime/chain.h) to run sub-processes.
   Context derived(std::int64_t round,
                   std::span<const std::int64_t> input) const {
@@ -94,18 +132,37 @@ class Context {
   }
 
  private:
-  friend class Runner;
+  friend struct ContextAccess;
+  NodeId node_ = 0;
   NodeId degree_ = 0;
   std::int64_t identity_ = 0;
   std::span<const std::int64_t> input_;
   std::int64_t round_ = 0;
-  std::span<const Message> inbox_;
-  std::span<const char> inbox_present_;
-  std::span<Message> outbox_;
-  std::span<char> outbox_present_;
   bool finished_ = false;
   std::int64_t output_ = 0;
   Rng* rng_ = nullptr;
+  ContextBackend* backend_ = nullptr;
+};
+
+/// Engine-internal escape hatch for constructing Contexts (keeps the facade
+/// fields private without naming every engine a friend).
+struct ContextAccess {
+  static Context make(ContextBackend* backend, NodeId node, NodeId degree,
+                      std::int64_t identity,
+                      std::span<const std::int64_t> input, std::int64_t round,
+                      Rng* rng) {
+    Context ctx;
+    ctx.backend_ = backend;
+    ctx.node_ = node;
+    ctx.degree_ = degree;
+    ctx.identity_ = identity;
+    ctx.input_ = input;
+    ctx.round_ = round;
+    ctx.rng_ = rng;
+    return ctx;
+  }
+  static bool finished(const Context& ctx) { return ctx.finished_; }
+  static std::int64_t output(const Context& ctx) { return ctx.output_; }
 };
 
 /// The per-node program.

@@ -1,0 +1,22 @@
+// The seed round engine, preserved verbatim in behaviour: one heap-allocated
+// inbox/outbox vector<Message> per node and per-run reverse-port
+// recomputation. It exists for two reasons:
+//   1. as the trusted single-threaded oracle the engine-equivalence test
+//      compares the arena engine against (identical RunResult fields), and
+//   2. as the "before" side of bench_micro_simulator's before/after
+//      comparison (BENCH_engine.json).
+// Production code paths all use run_local (src/runtime/runner.h).
+#pragma once
+
+#include "src/runtime/runner.h"
+
+namespace unilocal {
+
+/// Seed-engine twin of run_local: same semantics (simultaneous and
+/// alpha-synchronizer modes, cutoffs, message accounting), vector-per-message
+/// storage, always single-threaded (RunOptions::num_threads is ignored).
+RunResult run_local_reference(const Instance& instance,
+                              const Algorithm& algorithm,
+                              const RunOptions& options = {});
+
+}  // namespace unilocal

@@ -2,294 +2,509 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
+#include <chrono>
+#include <optional>
+#include <utility>
 
+#include "src/graph/csr.h"
 #include "src/graph/params.h"
 #include "src/util/math.h"
+#include "src/util/thread_pool.h"
 
 namespace unilocal {
 
 namespace {
 
-/// rev_port[u][j] = the port of u in the adjacency list of its j-th
-/// neighbour (message delivery needs the reverse direction).
-std::vector<std::vector<NodeId>> reverse_ports(const Graph& g) {
-  std::vector<std::vector<NodeId>> rev(static_cast<std::size_t>(g.num_nodes()));
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    const auto& nbrs = g.neighbors(u);
-    rev[static_cast<std::size_t>(u)].resize(nbrs.size());
-    for (std::size_t j = 0; j < nbrs.size(); ++j) {
-      const auto& back = g.neighbors(nbrs[j]);
-      const auto it = std::lower_bound(back.begin(), back.end(), u);
-      rev[static_cast<std::size_t>(u)][j] =
-          static_cast<NodeId>(it - back.begin());
-    }
-  }
-  return rev;
-}
+/// Arena descriptor of one directed edge's message: offset into the owning
+/// word buffer and length. words < 0 means no message.
+struct Span {
+  std::int64_t offset = 0;
+  std::int64_t words = -1;
+};
 
-struct NodeSlot {
-  std::unique_ptr<Process> process;
-  Rng rng{0};
-  std::vector<Message> inbox;
-  std::vector<char> inbox_present;
-  std::vector<Message> outbox;
-  std::vector<char> outbox_present;
-  bool finished = false;
-  std::int64_t output = 0;
-  std::int64_t local_round = 0;  // local rounds executed so far
-  std::int64_t finish_local = -1;
-  std::int64_t finish_global = -1;
+/// Per-thread accumulators reduced after each round (keeps results
+/// independent of the node-stepping interleave).
+struct StepDelta {
+  std::int64_t messages = 0;
+  std::int64_t max_words = 0;
+  std::int64_t steps = 0;
+  NodeId newly_finished = 0;
+  NodeId cut_off = 0;
 };
 
 }  // namespace
 
-class Runner {
+/// All storage the engine needs, owned by EngineWorkspace so consecutive
+/// runs (alternation steps, run_sequential stages) reuse capacity.
+struct EngineWorkspaceState {
+  // Struct-of-arrays node state.
+  std::vector<std::unique_ptr<Process>> procs;
+  std::vector<Rng> rngs;
+  std::vector<char> finished;
+  std::vector<std::int64_t> outputs;
+  std::vector<std::int64_t> local_round;
+  std::vector<std::int64_t> finish_local;
+  std::vector<std::int64_t> finish_global;
+
+  // Double-buffered round arena (simultaneous mode): spans indexed by
+  // directed-edge index; words partitioned per stepping thread.
+  std::vector<Span> send_spans, recv_spans;
+  std::vector<std::vector<std::int64_t>> send_words, recv_words;
+
+  // Grow-only history arena (synchronizer mode): hist[e][i] = what the
+  // owner of directed edge e emitted in its local round i.
+  std::vector<std::vector<Span>> hist;
+  std::vector<std::int64_t> hist_words;
+
+  // Per-thread receive scratch: Message materializations per port with
+  // epoch tags so capacity survives across nodes and rounds.
+  struct Scratch {
+    std::vector<Message> cache;
+    std::vector<char> present;
+    std::vector<std::uint64_t> epoch;
+    std::uint64_t cur_epoch = 0;
+  };
+  std::vector<Scratch> scratch;
+
+  std::vector<NodeId> eligible;  // synchronizer-mode work list
+
+  std::unique_ptr<ThreadPool> pool;
+};
+
+EngineWorkspace::EngineWorkspace()
+    : state_(std::make_unique<EngineWorkspaceState>()) {}
+EngineWorkspace::~EngineWorkspace() = default;
+EngineWorkspace::EngineWorkspace(EngineWorkspace&&) noexcept = default;
+EngineWorkspace& EngineWorkspace::operator=(EngineWorkspace&&) noexcept =
+    default;
+
+namespace {
+
+class ArenaEngine {
  public:
-  Runner(const Instance& instance, const Algorithm& algorithm,
-         const RunOptions& options)
-      : instance_(instance), options_(options) {
-    const NodeId n = instance.graph.num_nodes();
-    slots_.resize(static_cast<std::size_t>(n));
-    rev_ = reverse_ports(instance.graph);
+  ArenaEngine(const Instance& instance, const Algorithm& algorithm,
+              const RunOptions& options, EngineWorkspaceState& ws)
+      : instance_(instance),
+        csr_(instance.csr()),
+        options_(options),
+        ws_(ws),
+        n_(instance.graph.num_nodes()) {
+    threads_ = options.wake_rounds.empty() ? std::max(1, options.num_threads)
+                                           : 1;
+    if (threads_ > 1) {
+      if (!ws_.pool || ws_.pool->threads() != threads_)
+        ws_.pool = std::make_unique<ThreadPool>(threads_);
+    }
+    chunk_ = threads_ <= 1
+                 ? std::max<NodeId>(n_, 1)
+                 : static_cast<NodeId>((n_ + threads_ - 1) / threads_);
+    if (chunk_ < 1) chunk_ = 1;
+
+    const std::size_t nn = static_cast<std::size_t>(n_);
+    ws_.procs.resize(nn);
+    ws_.rngs.assign(nn, Rng(0));
+    ws_.finished.assign(nn, 0);
+    ws_.outputs.assign(nn, 0);
+    ws_.local_round.assign(nn, 0);
+    ws_.finish_local.assign(nn, -1);
+    ws_.finish_global.assign(nn, -1);
+
+    NodeId max_degree = 0;
     Rng base(options.seed);
-    for (NodeId v = 0; v < n; ++v) {
-      auto& slot = slots_[static_cast<std::size_t>(v)];
-      const NodeId deg = instance.graph.degree(v);
+    for (NodeId v = 0; v < n_; ++v) {
       NodeInit init;
-      init.degree = deg;
+      init.degree = csr_.degree(v);
       init.identity = instance.identities[static_cast<std::size_t>(v)];
       init.input = instance.inputs[static_cast<std::size_t>(v)];
-      slot.process = algorithm.spawn(init);
-      slot.rng = base.split(
-          static_cast<std::uint64_t>(instance.identities[static_cast<std::size_t>(v)]));
-      slot.inbox.resize(static_cast<std::size_t>(deg));
-      slot.inbox_present.assign(static_cast<std::size_t>(deg), 0);
-      slot.outbox.resize(static_cast<std::size_t>(deg));
-      slot.outbox_present.assign(static_cast<std::size_t>(deg), 0);
+      ws_.procs[static_cast<std::size_t>(v)] = algorithm.spawn(init);
+      ws_.rngs[static_cast<std::size_t>(v)] =
+          base.split(static_cast<std::uint64_t>(init.identity));
+      max_degree = std::max(max_degree, init.degree);
     }
+
+    ws_.scratch.resize(static_cast<std::size_t>(threads_));
+    for (auto& scratch : ws_.scratch) {
+      if (scratch.cache.size() < static_cast<std::size_t>(max_degree)) {
+        scratch.cache.resize(static_cast<std::size_t>(max_degree));
+        scratch.present.resize(static_cast<std::size_t>(max_degree), 0);
+        scratch.epoch.resize(static_cast<std::size_t>(max_degree), 0);
+      }
+    }
+
+    backends_.reserve(static_cast<std::size_t>(threads_));
+    for (int t = 0; t < threads_; ++t) backends_.push_back(Backend{this, t});
   }
 
   RunResult run_simultaneous() {
-    const NodeId n = instance_.graph.num_nodes();
-    NodeId live = n;
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t slots = static_cast<std::size_t>(
+        csr_.num_directed_edges());
+    ws_.send_spans.resize(slots);
+    ws_.recv_spans.assign(slots, Span{});
+    ws_.send_words.resize(static_cast<std::size_t>(threads_));
+    ws_.recv_words.resize(static_cast<std::size_t>(threads_));
+    for (auto& buf : ws_.recv_words) buf.clear();
+
+    deltas_.assign(static_cast<std::size_t>(threads_), StepDelta{});
+    NodeId live = n_;
     std::int64_t round = 0;
     for (; live > 0 && round < options_.max_rounds; ++round) {
-      // Step every live node.
-      for (NodeId v = 0; v < n; ++v) {
-        auto& slot = slots_[static_cast<std::size_t>(v)];
-        if (slot.finished) continue;
-        step_node(v, round);
-        if (slot.finished) {
-          if (slot.finish_local < 0) {  // finished by its own choice
-            slot.finish_local = round;
-            slot.finish_global = round;
-          }
-          --live;
-        }
+      std::fill(ws_.send_spans.begin(), ws_.send_spans.end(), Span{});
+      for (auto& buf : ws_.send_words) buf.clear();
+      std::int64_t round_messages = 0;
+      if (threads_ == 1) {
+        step_range(0, 0, n_, round);
+      } else {
+        ws_.pool->run(threads_, [&](int t) {
+          const NodeId lo = static_cast<NodeId>(t) * chunk_;
+          const NodeId hi = std::min<NodeId>(n_, lo + chunk_);
+          step_range(t, lo, hi, round);
+        });
       }
-      deliver_all();
+      for (auto& delta : deltas_) {
+        live -= delta.newly_finished;
+        messages_sent_ += delta.messages;
+        round_messages += delta.messages;
+        max_message_words_ = std::max(max_message_words_, delta.max_words);
+        total_steps_ += delta.steps;
+        cut_off_ += delta.cut_off;
+        delta = StepDelta{};
+      }
+      peak_round_messages_ =
+          std::max(peak_round_messages_, round_messages);
+      std::swap(ws_.send_spans, ws_.recv_spans);
+      std::swap(ws_.send_words, ws_.recv_words);
       if (live == 0) {
         ++round;
         break;
       }
     }
-    return finalize(live, round, round);
+    RunResult result = finalize(live, round, round);
+    fill_stats(result, start, /*sync=*/false);
+    return result;
   }
 
   RunResult run_synchronized(const std::vector<std::int64_t>& wake_rounds) {
-    const NodeId n = instance_.graph.num_nodes();
-    assert(wake_rounds.size() == static_cast<std::size_t>(n));
-    // Per-directed-edge buffers: queue_[v][j][i] = what v's j-th neighbour
-    // emitted towards v in that neighbour's local round i.
-    std::vector<std::vector<std::deque<std::pair<char, Message>>>> queue(
-        static_cast<std::size_t>(n));
-    for (NodeId v = 0; v < n; ++v)
-      queue[static_cast<std::size_t>(v)].resize(
-          static_cast<std::size_t>(instance_.graph.degree(v)));
+    const auto start = std::chrono::steady_clock::now();
+    assert(wake_rounds.size() == static_cast<std::size_t>(n_));
+    const std::size_t slots = static_cast<std::size_t>(
+        csr_.num_directed_edges());
+    ws_.hist.resize(slots);
+    for (auto& h : ws_.hist) h.clear();
+    ws_.hist_words.clear();
+    sync_mode_ = true;
 
-    NodeId live = n;
+    NodeId live = n_;
     std::int64_t global = 0;
     std::int64_t max_wake = 0;
     for (std::int64_t w : wake_rounds) max_wake = std::max(max_wake, w);
     const std::int64_t global_cap = sat_add(
         max_wake,
         sat_add(sat_mul(4, sat_add(options_.max_rounds, 1)),
-                4 * static_cast<std::int64_t>(n) + 16));
-    std::vector<NodeId> eligible;
+                4 * static_cast<std::int64_t>(n_) + 16));
+    auto& eligible = ws_.eligible;
     while (live > 0 && global < global_cap) {
       eligible.clear();
-      for (NodeId v = 0; v < n; ++v) {
-        auto& slot = slots_[static_cast<std::size_t>(v)];
-        if (slot.finished) continue;
+      for (NodeId v = 0; v < n_; ++v) {
+        if (ws_.finished[static_cast<std::size_t>(v)]) continue;
         if (global < wake_rounds[static_cast<std::size_t>(v)]) continue;
+        const std::int64_t mine =
+            ws_.local_round[static_cast<std::size_t>(v)];
         bool ready = true;
-        const auto& nbrs = instance_.graph.neighbors(v);
-        for (std::size_t j = 0; j < nbrs.size(); ++j) {
-          const auto& other = slots_[static_cast<std::size_t>(nbrs[j])];
-          if (!other.finished && other.local_round < slot.local_round) {
+        for (const NodeId u : csr_.neighbors(v)) {
+          if (!ws_.finished[static_cast<std::size_t>(u)] &&
+              ws_.local_round[static_cast<std::size_t>(u)] < mine) {
             ready = false;
             break;
           }
         }
         if (ready) eligible.push_back(v);
       }
-      for (NodeId v : eligible) {
-        auto& slot = slots_[static_cast<std::size_t>(v)];
-        // Pull the messages the neighbours emitted in their local round
-        // (slot.local_round - 1).
-        const std::int64_t want = slot.local_round - 1;
-        const auto& nbrs = instance_.graph.neighbors(v);
-        for (std::size_t j = 0; j < nbrs.size(); ++j) {
-          slot.inbox_present[j] = 0;
-          if (want < 0) continue;
-          auto& q = queue[static_cast<std::size_t>(v)][j];
-          if (static_cast<std::size_t>(want) < q.size() &&
-              q[static_cast<std::size_t>(want)].first) {
-            slot.inbox[j] = q[static_cast<std::size_t>(want)].second;
-            slot.inbox_present[j] = 1;
+      std::int64_t round_messages = 0;
+      for (const NodeId v : eligible) {
+        const std::int64_t r = ws_.local_round[static_cast<std::size_t>(v)];
+        step_one(0, v, r);
+        // Pad ports that stayed silent so hist[e] stays indexed by the
+        // sender's local round, then account the round's traffic.
+        const std::int64_t base = csr_.offset(v);
+        const NodeId deg = csr_.degree(v);
+        for (NodeId j = 0; j < deg; ++j) {
+          auto& h = ws_.hist[static_cast<std::size_t>(base + j)];
+          if (static_cast<std::int64_t>(h.size()) <= r) h.push_back(Span{});
+          const Span& s = h.back();
+          if (s.words >= 0) {
+            ++messages_sent_;
+            ++round_messages;
+            max_message_words_ = std::max(max_message_words_, s.words);
           }
         }
-        step_node_prefilled(v, slot.local_round);
-        // Record what it emitted for this local round.
-        for (std::size_t j = 0; j < nbrs.size(); ++j) {
-          auto& q = queue[static_cast<std::size_t>(nbrs[j])]
-                         [static_cast<std::size_t>(rev_[static_cast<std::size_t>(v)][j])];
-          if (slot.outbox_present[j]) {
-            q.emplace_back(1, std::move(slot.outbox[j]));
-            slot.outbox[j] = Message{};
-            slot.outbox_present[j] = 0;
-          } else {
-            q.emplace_back(0, Message{});
-          }
-        }
-        ++slot.local_round;
-        if (slot.finished) {
-          slot.finish_local = slot.local_round - 1;
-          slot.finish_global = global;
+        ++ws_.local_round[static_cast<std::size_t>(v)];
+        ++total_steps_;
+        if (ws_.finished[static_cast<std::size_t>(v)]) {
+          ws_.finish_local[static_cast<std::size_t>(v)] = r;
+          ws_.finish_global[static_cast<std::size_t>(v)] = global;
           --live;
-        } else if (slot.local_round >= options_.max_rounds) {
-          slot.finished = true;
-          slot.output = options_.default_output;
-          cut_off_.push_back(v);
-          slot.finish_local = options_.max_rounds;
-          slot.finish_global = global;
+        } else if (ws_.local_round[static_cast<std::size_t>(v)] >=
+                   options_.max_rounds) {
+          ws_.finished[static_cast<std::size_t>(v)] = 1;
+          ws_.outputs[static_cast<std::size_t>(v)] = options_.default_output;
+          ++cut_off_;
+          ws_.finish_local[static_cast<std::size_t>(v)] = options_.max_rounds;
+          ws_.finish_global[static_cast<std::size_t>(v)] = global;
           --live;
         }
       }
+      peak_round_messages_ = std::max(peak_round_messages_, round_messages);
       ++global;
     }
     std::int64_t max_local = 0;
-    for (const auto& slot : slots_)
-      max_local = std::max(max_local, slot.local_round);
-    return finalize(live, max_local, global);
+    for (NodeId v = 0; v < n_; ++v)
+      max_local =
+          std::max(max_local, ws_.local_round[static_cast<std::size_t>(v)]);
+    RunResult result = finalize(live, max_local, global);
+    fill_stats(result, start, /*sync=*/true);
+    return result;
   }
 
  private:
-  void step_node(NodeId v, std::int64_t round) {
-    auto& slot = slots_[static_cast<std::size_t>(v)];
-    step_node_prefilled(v, round);
-    ++slot.local_round;
-    if (!slot.finished && slot.local_round >= options_.max_rounds) {
-      slot.finished = true;
-      slot.output = options_.default_output;
-      cut_off_.push_back(v);
-      slot.finish_local = options_.max_rounds;
-      slot.finish_global = round;
+  struct Backend final : ContextBackend {
+    Backend(ArenaEngine* e, int t) : engine(e), tid(t) {}
+    ArenaEngine* engine;
+    int tid;
+    void send_words(NodeId node, NodeId port, const std::int64_t* data,
+                    std::size_t words) override {
+      engine->do_send(tid, node, port, data, words);
     }
+    std::span<const std::int64_t> recv_words(NodeId node, NodeId port,
+                                             bool* present) override {
+      return engine->do_recv(tid, node, port, present);
+    }
+    const Message* recv_message(NodeId node, NodeId port) override {
+      return engine->do_recv_message(tid, node, port);
+    }
+  };
+
+  void do_send(int tid, NodeId node, NodeId port, const std::int64_t* data,
+               std::size_t words) {
+    if (!sync_mode_) {
+      auto& buf = ws_.send_words[static_cast<std::size_t>(tid)];
+      Span& s = ws_.send_spans[static_cast<std::size_t>(
+          csr_.edge_index(node, port))];
+      s.offset = static_cast<std::int64_t>(buf.size());
+      s.words = static_cast<std::int64_t>(words);
+      buf.insert(buf.end(), data, data + words);
+      return;
+    }
+    const std::int64_t r = ws_.local_round[static_cast<std::size_t>(node)];
+    auto& h =
+        ws_.hist[static_cast<std::size_t>(csr_.edge_index(node, port))];
+    Span s;
+    s.offset = static_cast<std::int64_t>(ws_.hist_words.size());
+    s.words = static_cast<std::int64_t>(words);
+    ws_.hist_words.insert(ws_.hist_words.end(), data, data + words);
+    if (static_cast<std::int64_t>(h.size()) <= r)
+      h.push_back(s);     // first send on this port this round
+    else
+      h.back() = s;       // resend: last write wins
   }
 
-  void step_node_prefilled(NodeId v, std::int64_t round) {
-    auto& slot = slots_[static_cast<std::size_t>(v)];
-    Context ctx;
-    ctx.degree_ = instance_.graph.degree(v);
-    ctx.identity_ = instance_.identities[static_cast<std::size_t>(v)];
-    ctx.input_ = instance_.inputs[static_cast<std::size_t>(v)];
-    ctx.round_ = round;
-    ctx.inbox_ = slot.inbox;
-    ctx.inbox_present_ = slot.inbox_present;
-    ctx.outbox_ = slot.outbox;
-    ctx.outbox_present_ = slot.outbox_present;
-    ctx.rng_ = &slot.rng;
-    slot.process->step(ctx);
-    if (ctx.finished_) {
-      slot.finished = true;
-      slot.output = ctx.output_;
-    }
-    for (std::size_t j = 0; j < slot.outbox_present.size(); ++j) {
-      if (slot.outbox_present[j]) {
-        ++messages_sent_;
-        max_message_words_ = std::max(
-            max_message_words_,
-            static_cast<std::int64_t>(slot.outbox[j].size()));
+  /// Zero-copy arena lookup. In the synchronizer mode the returned span
+  /// points into hist_words_, which a same-step send may reallocate — only
+  /// do_recv/do_recv_message (which copy through the scratch) may hold it.
+  std::span<const std::int64_t> raw_recv(NodeId node, NodeId port,
+                                         bool* present) {
+    if (!sync_mode_) {
+      const Span s = ws_.recv_spans[static_cast<std::size_t>(
+          csr_.in_edge_index(node, port))];
+      if (s.words < 0) {
+        *present = false;
+        return {};
       }
+      const NodeId sender = csr_.neighbor(node, port);
+      const auto& buf =
+          ws_.recv_words[static_cast<std::size_t>(owner(sender))];
+      *present = true;
+      return {buf.data() + s.offset, static_cast<std::size_t>(s.words)};
+    }
+    const std::int64_t want =
+        ws_.local_round[static_cast<std::size_t>(node)] - 1;
+    const auto& h = ws_.hist[static_cast<std::size_t>(
+        csr_.in_edge_index(node, port))];
+    if (want < 0 || want >= static_cast<std::int64_t>(h.size())) {
+      *present = false;
+      return {};
+    }
+    const Span s = h[static_cast<std::size_t>(want)];
+    if (s.words < 0) {
+      *present = false;
+      return {};
+    }
+    *present = true;
+    return {ws_.hist_words.data() + s.offset,
+            static_cast<std::size_t>(s.words)};
+  }
+
+  std::span<const std::int64_t> do_recv(int tid, NodeId node, NodeId port,
+                                        bool* present) {
+    // Simultaneous mode reads the receive half, which no send of this round
+    // can touch, so the raw span honours Context::received_span's
+    // valid-for-the-step contract directly. The synchronizer mode's history
+    // arena grows on send, so hand out the step-stable scratch copy instead.
+    if (!sync_mode_) return raw_recv(node, port, present);
+    const Message* m = do_recv_message(tid, node, port);
+    if (m == nullptr) {
+      *present = false;
+      return {};
+    }
+    *present = true;
+    return *m;
+  }
+
+  const Message* do_recv_message(int tid, NodeId node, NodeId port) {
+    auto& scratch = ws_.scratch[static_cast<std::size_t>(tid)];
+    const std::size_t p = static_cast<std::size_t>(port);
+    if (scratch.epoch[p] != scratch.cur_epoch) {
+      bool present = false;
+      const auto words = raw_recv(node, port, &present);
+      scratch.epoch[p] = scratch.cur_epoch;
+      scratch.present[p] = present ? 1 : 0;
+      if (present) scratch.cache[p].assign(words.begin(), words.end());
+    }
+    return scratch.present[p] ? &scratch.cache[p] : nullptr;
+  }
+
+  int owner(NodeId v) const { return static_cast<int>(v / chunk_); }
+
+  void step_one(int tid, NodeId v, std::int64_t round) {
+    auto& scratch = ws_.scratch[static_cast<std::size_t>(tid)];
+    ++scratch.cur_epoch;
+    Context ctx = ContextAccess::make(
+        &backends_[static_cast<std::size_t>(tid)], v, csr_.degree(v),
+        instance_.identities[static_cast<std::size_t>(v)],
+        instance_.inputs[static_cast<std::size_t>(v)], round,
+        &ws_.rngs[static_cast<std::size_t>(v)]);
+    ws_.procs[static_cast<std::size_t>(v)]->step(ctx);
+    if (ContextAccess::finished(ctx)) {
+      ws_.finished[static_cast<std::size_t>(v)] = 1;
+      ws_.outputs[static_cast<std::size_t>(v)] = ContextAccess::output(ctx);
     }
   }
 
-  void deliver_all() {
-    const NodeId n = instance_.graph.num_nodes();
-    for (NodeId v = 0; v < n; ++v) {
-      auto& slot = slots_[static_cast<std::size_t>(v)];
-      std::fill(slot.inbox_present.begin(), slot.inbox_present.end(), 0);
-    }
-    for (NodeId u = 0; u < n; ++u) {
-      auto& slot = slots_[static_cast<std::size_t>(u)];
-      const auto& nbrs = instance_.graph.neighbors(u);
-      for (std::size_t j = 0; j < nbrs.size(); ++j) {
-        if (!slot.outbox_present[j]) continue;
-        auto& target = slots_[static_cast<std::size_t>(nbrs[j])];
-        if (!target.finished) {
-          const std::size_t port =
-              static_cast<std::size_t>(rev_[static_cast<std::size_t>(u)][j]);
-          target.inbox[port] = std::move(slot.outbox[j]);
-          target.inbox_present[port] = 1;
-          slot.outbox[j] = Message{};
+  void step_range(int tid, NodeId lo, NodeId hi, std::int64_t round) {
+    StepDelta& delta = deltas_[static_cast<std::size_t>(tid)];
+    for (NodeId v = lo; v < hi; ++v) {
+      if (ws_.finished[static_cast<std::size_t>(v)]) continue;
+      step_one(tid, v, round);
+      ++delta.steps;
+      ++ws_.local_round[static_cast<std::size_t>(v)];
+      if (ws_.finished[static_cast<std::size_t>(v)]) {
+        ws_.finish_local[static_cast<std::size_t>(v)] = round;
+        ws_.finish_global[static_cast<std::size_t>(v)] = round;
+        ++delta.newly_finished;
+      } else if (ws_.local_round[static_cast<std::size_t>(v)] >=
+                 options_.max_rounds) {
+        ws_.finished[static_cast<std::size_t>(v)] = 1;
+        ws_.outputs[static_cast<std::size_t>(v)] = options_.default_output;
+        ++delta.cut_off;
+        ws_.finish_local[static_cast<std::size_t>(v)] = options_.max_rounds;
+        ws_.finish_global[static_cast<std::size_t>(v)] = round;
+        ++delta.newly_finished;
+      }
+      // Post-step message accounting over this node's out-ports (identical
+      // to the seed engine's outbox scan).
+      const std::int64_t base = csr_.offset(v);
+      const NodeId deg = csr_.degree(v);
+      for (NodeId j = 0; j < deg; ++j) {
+        const Span& s = ws_.send_spans[static_cast<std::size_t>(base + j)];
+        if (s.words >= 0) {
+          ++delta.messages;
+          delta.max_words = std::max(delta.max_words, s.words);
         }
-        slot.outbox_present[j] = 0;
       }
     }
   }
 
-  RunResult finalize(NodeId live, std::int64_t max_local, std::int64_t global) {
+  RunResult finalize(NodeId live, std::int64_t max_local,
+                     std::int64_t global) {
     RunResult result;
-    const NodeId n = instance_.graph.num_nodes();
-    result.outputs.resize(static_cast<std::size_t>(n));
-    result.finish_rounds.resize(static_cast<std::size_t>(n));
-    result.global_finish_rounds.resize(static_cast<std::size_t>(n));
+    result.outputs.resize(static_cast<std::size_t>(n_));
+    result.finish_rounds.resize(static_cast<std::size_t>(n_));
+    result.global_finish_rounds.resize(static_cast<std::size_t>(n_));
     std::int64_t max_finish = -1;
-    for (NodeId v = 0; v < n; ++v) {
-      const auto& slot = slots_[static_cast<std::size_t>(v)];
-      result.outputs[static_cast<std::size_t>(v)] =
-          slot.finished ? slot.output : options_.default_output;
-      result.finish_rounds[static_cast<std::size_t>(v)] =
-          slot.finish_local >= 0 ? slot.finish_local : options_.max_rounds;
-      result.global_finish_rounds[static_cast<std::size_t>(v)] =
-          slot.finish_global >= 0 ? slot.finish_global : global;
-      max_finish = std::max(max_finish,
-                            result.finish_rounds[static_cast<std::size_t>(v)]);
+    for (NodeId v = 0; v < n_; ++v) {
+      const std::size_t i = static_cast<std::size_t>(v);
+      result.outputs[i] =
+          ws_.finished[i] ? ws_.outputs[i] : options_.default_output;
+      result.finish_rounds[i] =
+          ws_.finish_local[i] >= 0 ? ws_.finish_local[i] : options_.max_rounds;
+      result.global_finish_rounds[i] =
+          ws_.finish_global[i] >= 0 ? ws_.finish_global[i] : global;
+      max_finish = std::max(max_finish, result.finish_rounds[i]);
     }
-    result.all_finished = (live == 0 && cut_off_.empty());
-    result.rounds_used = n == 0 ? 0 : std::min(max_finish + 1, max_local);
+    result.all_finished = (live == 0 && cut_off_ == 0);
+    result.rounds_used = n_ == 0 ? 0 : std::min(max_finish + 1, max_local);
     result.global_rounds = global;
     result.messages_sent = messages_sent_;
     result.max_message_words = max_message_words_;
     return result;
   }
 
+  void fill_stats(RunResult& result,
+                  std::chrono::steady_clock::time_point start, bool sync) {
+    auto& stats = result.stats;
+    stats.total_steps = total_steps_;
+    stats.peak_round_messages = peak_round_messages_;
+    stats.threads = threads_;
+    std::int64_t bytes = 0;
+    if (sync) {
+      bytes += static_cast<std::int64_t>(ws_.hist_words.capacity()) * 8;
+      for (const auto& h : ws_.hist)
+        bytes += static_cast<std::int64_t>(h.capacity() * sizeof(Span));
+    } else {
+      for (const auto& buf : ws_.send_words)
+        bytes += static_cast<std::int64_t>(buf.capacity()) * 8;
+      for (const auto& buf : ws_.recv_words)
+        bytes += static_cast<std::int64_t>(buf.capacity()) * 8;
+      bytes += static_cast<std::int64_t>(
+          (ws_.send_spans.capacity() + ws_.recv_spans.capacity()) *
+          sizeof(Span));
+    }
+    stats.arena_bytes = bytes;
+    stats.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    stats.steps_per_second =
+        stats.elapsed_seconds > 0.0
+            ? static_cast<double>(total_steps_) / stats.elapsed_seconds
+            : 0.0;
+  }
+
   const Instance& instance_;
+  const CsrGraph& csr_;
   const RunOptions& options_;
-  std::vector<NodeSlot> slots_;
-  std::vector<std::vector<NodeId>> rev_;
-  std::vector<NodeId> cut_off_;
+  EngineWorkspaceState& ws_;
+  const NodeId n_;
+  int threads_ = 1;
+  NodeId chunk_ = 1;
+  bool sync_mode_ = false;
+  std::vector<Backend> backends_;
+  std::vector<StepDelta> deltas_;
   std::int64_t messages_sent_ = 0;
   std::int64_t max_message_words_ = 0;
+  std::int64_t peak_round_messages_ = 0;
+  std::int64_t total_steps_ = 0;
+  NodeId cut_off_ = 0;
 };
 
+}  // namespace
+
 RunResult run_local(const Instance& instance, const Algorithm& algorithm,
-                    const RunOptions& options) {
-  Runner runner(instance, algorithm, options);
-  if (options.wake_rounds.empty()) return runner.run_simultaneous();
-  return runner.run_synchronized(options.wake_rounds);
+                    const RunOptions& options, EngineWorkspace* workspace) {
+  std::optional<EngineWorkspace> local;
+  if (workspace == nullptr) workspace = &local.emplace();
+  ArenaEngine engine(instance, algorithm, options, workspace->state());
+  if (options.wake_rounds.empty()) return engine.run_simultaneous();
+  return engine.run_synchronized(options.wake_rounds);
 }
 
 std::vector<RunResult> run_sequential(
@@ -303,12 +518,13 @@ std::vector<RunResult> run_sequential(
                 static_cast<std::size_t>(instance.num_nodes()), 0)
           : options.wake_rounds;
   std::uint64_t seed = options.seed;
+  EngineWorkspace workspace;  // one arena across all stages
   for (const Algorithm* algorithm : algorithms) {
     RunOptions stage_options = options;
     stage_options.wake_rounds = wake;
     stage_options.seed = seed++;
-    Runner runner(current, *algorithm, stage_options);
-    RunResult result = runner.run_synchronized(wake);
+    RunResult result =
+        run_local(current, *algorithm, stage_options, &workspace);
     // The next stage starts at each node in the global round right after
     // this one finished there, taking this stage's output as an extra input
     // word (Observation 2.1 composition).

@@ -1,4 +1,4 @@
-// Round-exact execution of LOCAL algorithms.
+// Round-exact execution of LOCAL algorithms on the arena engine.
 //
 // The default mode wakes every node at round 0 (the paper's standing
 // assumption, justified by its Observation 2.1). The staggered mode supports
@@ -10,10 +10,20 @@
 // "Restricted to T rounds" (paper Section 2): set RunOptions::max_rounds=T;
 // nodes that have not finished within their first T local rounds are forced
 // to terminate with the arbitrary output RunOptions::default_output (0).
+//
+// Engine layout: node state is struct-of-arrays; all message traffic of a
+// round lives in one flat int64 arena addressed by CsrGraph edge indices,
+// with the send and receive halves swapped between rounds. The simultaneous
+// mode can step disjoint node ranges on a thread pool; messages only cross
+// the round barrier and every node owns a private Rng stream, so results are
+// bit-identical for any thread count (the engine-equivalence test enforces
+// this against the preserved seed engine in src/runtime/reference.h).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "src/runtime/instance.h"
@@ -31,6 +41,40 @@ struct RunOptions {
   /// Optional wake-up round per node (empty = all wake at 0). Non-empty
   /// wake rounds enable the alpha-synchronizer emulation.
   std::vector<std::int64_t> wake_rounds;
+  /// Worker threads stepping disjoint node ranges in the simultaneous mode
+  /// (1 = fully inline). Outputs are independent of this value; the
+  /// synchronizer mode always runs single-threaded.
+  int num_threads = 1;
+};
+
+/// Engine-side counters of one run (RunResult::stats).
+struct EngineStats {
+  /// Bytes held by the message arenas (word buffers + span tables) at the
+  /// end of the run; capacity, not live size.
+  std::int64_t arena_bytes = 0;
+  /// Maximum number of messages in flight across any single round.
+  std::int64_t peak_round_messages = 0;
+  /// Total Process::step invocations.
+  std::int64_t total_steps = 0;
+  double elapsed_seconds = 0.0;
+  /// total_steps / elapsed_seconds (0 when the run was too fast to time).
+  double steps_per_second = 0.0;
+  int threads = 1;
+
+  /// Folds another run's stats in (composed algorithms aggregate the stats
+  /// of their stages): counters add, high-water marks take the max.
+  void merge(const EngineStats& other) {
+    arena_bytes = std::max(arena_bytes, other.arena_bytes);
+    peak_round_messages =
+        std::max(peak_round_messages, other.peak_round_messages);
+    total_steps += other.total_steps;
+    elapsed_seconds += other.elapsed_seconds;
+    steps_per_second =
+        elapsed_seconds > 0.0
+            ? static_cast<double>(total_steps) / elapsed_seconds
+            : 0.0;
+    threads = std::max(threads, other.threads);
+  }
 };
 
 struct RunResult {
@@ -51,17 +95,42 @@ struct RunResult {
   std::int64_t global_rounds = 0;
   std::int64_t messages_sent = 0;
   std::int64_t max_message_words = 0;
+  EngineStats stats;
 };
 
-/// Runs one algorithm on an instance.
+/// Reusable engine storage: arenas, span tables, struct-of-arrays node
+/// state, receive scratch, and the thread pool. One workspace serves any
+/// number of runs in sequence (buffers are cleared, capacity is kept), which
+/// is how composed algorithms — the alternation driver, the `fastest`
+/// operator, run_sequential stages — share one arena instead of
+/// re-allocating per stage. Not safe to share between concurrent runs.
+struct EngineWorkspaceState;
+class EngineWorkspace {
+ public:
+  EngineWorkspace();
+  ~EngineWorkspace();
+  EngineWorkspace(EngineWorkspace&&) noexcept;
+  EngineWorkspace& operator=(EngineWorkspace&&) noexcept;
+
+  /// Engine-internal storage (opaque outside src/runtime/runner.cpp).
+  EngineWorkspaceState& state() { return *state_; }
+
+ private:
+  std::unique_ptr<EngineWorkspaceState> state_;
+};
+
+/// Runs one algorithm on an instance. Passing a workspace reuses its
+/// buffers; nullptr uses a run-local workspace.
 RunResult run_local(const Instance& instance, const Algorithm& algorithm,
-                    const RunOptions& options = {});
+                    const RunOptions& options = {},
+                    EngineWorkspace* workspace = nullptr);
 
 /// Runs algorithms in sequence (paper's A1;A2): each node starts algorithm
 /// k+1 in the global round after it finished algorithm k (alpha-synchronizer
 /// semantics), with each algorithm's input being the previous algorithm's
 /// per-node output appended to the instance input. Returns one RunResult per
-/// stage; the last stage's outputs are the composition's outputs.
+/// stage; the last stage's outputs are the composition's outputs. All stages
+/// share one workspace (and therefore one arena).
 std::vector<RunResult> run_sequential(const Instance& instance,
                                       const std::vector<const Algorithm*>& algorithms,
                                       const RunOptions& options = {});

@@ -1,0 +1,58 @@
+#include "src/util/thread_pool.h"
+
+namespace unilocal {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
+  while (next_job_ < jobs_) {
+    const int job = next_job_++;
+    lock.unlock();
+    (*fn_)(job);
+    lock.lock();
+    if (--unfinished_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || generation_ != seen_generation;
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    drain(lock);
+  }
+}
+
+void ThreadPool::run(int jobs, const std::function<void(int)>& fn) {
+  if (jobs <= 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  fn_ = &fn;
+  jobs_ = jobs;
+  next_job_ = 0;
+  unfinished_ = jobs;
+  ++generation_;
+  work_cv_.notify_all();
+  drain(lock);
+  done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+  fn_ = nullptr;
+}
+
+}  // namespace unilocal

@@ -1,0 +1,52 @@
+// Minimal persistent fork-join pool for the round engine.
+//
+// run(jobs, fn) executes fn(i) for every i in [0, jobs), the calling thread
+// participating, and returns once all jobs completed. Workers persist across
+// calls so a per-round dispatch costs two condition-variable sweeps, not
+// thread creation. The pool only hands out job indices; deterministic work
+// partitioning (and all synchronization of the data touched) is the
+// caller's business.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace unilocal {
+
+class ThreadPool {
+ public:
+  /// threads >= 1: total parallelism including the calling thread, so
+  /// threads - 1 workers are spawned.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const noexcept {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  void run(int jobs, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+  /// Claims and runs jobs until none remain; expects `lock` held.
+  void drain(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  const std::function<void(int)>* fn_ = nullptr;
+  int jobs_ = 0;
+  int next_job_ = 0;
+  int unfinished_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace unilocal

@@ -1,0 +1,133 @@
+// Engine equivalence: the arena engine (src/runtime/runner.cpp) must produce
+// RunResult fields bit-identical to the preserved seed engine
+// (src/runtime/reference.cpp) on every instance family, for randomized and
+// deterministic algorithms, across seeds, wake-round schedules, and thread
+// counts — the determinism contract that lets the thread pool and the
+// per-round arena replace the vector-per-message baseline.
+#include <gtest/gtest.h>
+
+#include "src/algo/greedy_mis.h"
+#include "src/algo/luby.h"
+#include "src/algo/ruling_set_mc.h"
+#include "src/runtime/reference.h"
+#include "src/runtime/runner.h"
+#include "tests/test_support.h"
+
+namespace unilocal {
+namespace {
+
+using testing_support::standard_instances;
+
+void expect_same(const RunResult& want, const RunResult& got,
+                 const std::string& label) {
+  EXPECT_EQ(want.outputs, got.outputs) << label;
+  EXPECT_EQ(want.finish_rounds, got.finish_rounds) << label;
+  EXPECT_EQ(want.global_finish_rounds, got.global_finish_rounds) << label;
+  EXPECT_EQ(want.all_finished, got.all_finished) << label;
+  EXPECT_EQ(want.rounds_used, got.rounds_used) << label;
+  EXPECT_EQ(want.global_rounds, got.global_rounds) << label;
+  EXPECT_EQ(want.messages_sent, got.messages_sent) << label;
+  EXPECT_EQ(want.max_message_words, got.max_message_words) << label;
+}
+
+void check_all_thread_counts(const Instance& instance,
+                             const Algorithm& algorithm, RunOptions options,
+                             const std::string& label) {
+  const RunResult want = run_local_reference(instance, algorithm, options);
+  for (const int threads : {1, 2, 8}) {
+    options.num_threads = threads;
+    const RunResult got = run_local(instance, algorithm, options);
+    expect_same(want, got,
+                label + " threads=" + std::to_string(threads));
+  }
+}
+
+TEST(EngineEquivalence, SimultaneousAcrossInstancesAndSeeds) {
+  const LubyMis luby;
+  const GreedyMis greedy;
+  for (const auto& named : standard_instances(/*seed=*/7)) {
+    for (const std::uint64_t seed : {1u, 99u}) {
+      RunOptions options;
+      options.seed = seed;
+      check_all_thread_counts(named.instance, luby, options,
+                              "luby/" + named.name + "/s" +
+                                  std::to_string(seed));
+      check_all_thread_counts(named.instance, greedy, options,
+                              "greedy/" + named.name + "/s" +
+                                  std::to_string(seed));
+    }
+  }
+}
+
+TEST(EngineEquivalence, CutoffSchedules) {
+  const LubyMis luby;
+  for (const auto& named : standard_instances(/*seed=*/11)) {
+    for (const std::int64_t cap : {1, 3, 7}) {
+      RunOptions options;
+      options.seed = 5;
+      options.max_rounds = cap;
+      check_all_thread_counts(named.instance, luby, options,
+                              "cutoff/" + named.name + "/cap" +
+                                  std::to_string(cap));
+    }
+  }
+}
+
+TEST(EngineEquivalence, StaggeredWakeRounds) {
+  const LubyMis luby;
+  const BetaLubyRulingSet ruling(2);
+  Rng wake_rng(3);
+  for (const auto& named : standard_instances(/*seed=*/13)) {
+    const std::size_t n = static_cast<std::size_t>(named.instance.num_nodes());
+    RunOptions options;
+    options.seed = 17;
+    options.wake_rounds.resize(n);
+    for (auto& w : options.wake_rounds)
+      w = static_cast<std::int64_t>(wake_rng.next_below(6));
+    check_all_thread_counts(named.instance, luby, options,
+                            "wake/luby/" + named.name);
+    check_all_thread_counts(named.instance, ruling, options,
+                            "wake/ruling/" + named.name);
+  }
+}
+
+TEST(EngineEquivalence, WorkspaceReuseDoesNotLeakState) {
+  // One workspace across runs of different algorithms, graphs, and modes
+  // must give exactly the per-run results of fresh workspaces.
+  const LubyMis luby;
+  const GreedyMis greedy;
+  EngineWorkspace workspace;
+  Rng wake_rng(23);
+  for (const auto& named : standard_instances(/*seed=*/29)) {
+    RunOptions options;
+    options.seed = 41;
+    const RunResult fresh = run_local(named.instance, luby, options);
+    const RunResult reused = run_local(named.instance, luby, options,
+                                       &workspace);
+    expect_same(fresh, reused, "reuse/luby/" + named.name);
+
+    options.wake_rounds.assign(
+        static_cast<std::size_t>(named.instance.num_nodes()), 0);
+    for (auto& w : options.wake_rounds)
+      w = static_cast<std::int64_t>(wake_rng.next_below(4));
+    const RunResult fresh_sync = run_local(named.instance, greedy, options);
+    const RunResult reused_sync = run_local(named.instance, greedy, options,
+                                            &workspace);
+    expect_same(fresh_sync, reused_sync, "reuse/greedy-sync/" + named.name);
+  }
+}
+
+TEST(EngineEquivalence, StatsAreFilled) {
+  Rng rng(31);
+  const Instance instance = make_instance(gnp(200, 8.0 / 200, rng),
+                                          IdentityScheme::kRandomSparse, 2);
+  const RunResult result = run_local(instance, LubyMis{});
+  EXPECT_GT(result.stats.total_steps, 0);
+  EXPECT_GT(result.stats.arena_bytes, 0);
+  EXPECT_GT(result.stats.peak_round_messages, 0);
+  EXPECT_EQ(result.stats.threads, 1);
+  EXPECT_GE(result.stats.elapsed_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace unilocal

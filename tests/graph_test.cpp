@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/graph/csr.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
 #include "src/graph/io.h"
@@ -28,6 +29,78 @@ TEST(Graph, BuilderDeduplicatesAndDropsSelfLoops) {
   EXPECT_TRUE(g.has_edge(2, 1));
   EXPECT_FALSE(g.has_edge(2, 2));
   EXPECT_TRUE(g.valid());
+}
+
+TEST(Graph, FromEdgesZeroNodesIgnoresEverything) {
+  const Graph g = Graph::from_edges(0, {{0, 1}, {2, 2}, {-1, 0}});
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(Graph, FromEdgesKeepsIsolatedNodes) {
+  const Graph g = Graph::from_edges(6, {{0, 1}});
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_EQ(g.num_edges(), 1);
+  for (NodeId v = 2; v < 6; ++v) EXPECT_EQ(g.degree(v), 0);
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(Graph, FromEdgesNormalizesDuplicatesConsistently) {
+  // Duplicates in both orientations, self-loops, and out-of-range endpoints
+  // must all collapse without desynchronizing num_edges() from edges().
+  const Graph g = Graph::from_edges(
+      4, {{0, 1}, {1, 0}, {0, 1}, {3, 3}, {2, 3}, {3, 2}, {1, 7}, {-2, 1}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.edges().size(), static_cast<std::size_t>(g.num_edges()));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(Graph, BuilderBuildTwiceIsConsistent) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph first = b.build();
+  b.add_edge(1, 2);
+  b.add_edge(0, 1);  // duplicate of an already-built edge
+  const Graph second = b.build();
+  EXPECT_EQ(first.num_edges(), 1);
+  EXPECT_EQ(second.num_edges(), 2);
+  EXPECT_EQ(second.edges().size(), 2u);
+  EXPECT_TRUE(second.valid());
+}
+
+TEST(Csr, MatchesGraphAndReversePortsRoundTrip) {
+  Rng rng(21);
+  const Graph g = gnp(80, 0.08, rng);
+  const CsrGraph csr(g);
+  ASSERT_EQ(csr.num_nodes(), g.num_nodes());
+  ASSERT_EQ(csr.num_directed_edges(), 2 * g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(csr.degree(v), g.degree(v));
+    const auto& nbrs = g.neighbors(v);
+    for (NodeId j = 0; j < csr.degree(v); ++j) {
+      EXPECT_EQ(csr.neighbor(v, j), nbrs[static_cast<std::size_t>(j)]);
+      // reverse_port(v, j) is v's port at the far end of the edge.
+      const NodeId u = csr.neighbor(v, j);
+      const NodeId back = csr.reverse_port(v, j);
+      EXPECT_EQ(csr.neighbor(u, back), v);
+      // in_edge_index names u's slot towards v.
+      EXPECT_EQ(csr.in_edge_index(v, j), csr.edge_index(u, back));
+    }
+  }
+}
+
+TEST(Csr, EmptyAndIsolated) {
+  const CsrGraph empty{Graph(0)};
+  EXPECT_EQ(empty.num_nodes(), 0);
+  EXPECT_EQ(empty.num_directed_edges(), 0);
+  const CsrGraph isolated{Graph(5)};
+  EXPECT_EQ(isolated.num_nodes(), 5);
+  EXPECT_EQ(isolated.num_directed_edges(), 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(isolated.degree(v), 0);
 }
 
 TEST(Graph, EdgesSortedAndSymmetric) {
