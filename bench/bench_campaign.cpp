@@ -1,0 +1,99 @@
+// Campaign throughput: a >= 64-cell (scenario x algorithm x seed) grid
+// over >= 5 scenario families, run (a) as a sequential per-cell loop and
+// (b) on the campaign layer at several worker counts. On multi-core hosts
+// the campaign rows must beat the sequential loop; on any host the
+// determinism row asserts that per-cell outputs are bit-identical for 1 vs
+// N workers (the guarantee tests/campaign_test.cpp enforces in detail).
+//
+// BENCH_campaign.json records the numbers produced by
+//   ./build/bench_campaign --benchmark_format=json
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/runtime/campaign.h"
+
+namespace unilocal {
+namespace {
+
+std::vector<CampaignCell> benchmark_grid() {
+  ScenarioParams params;
+  params.n = 600;
+  // 6 families x 2 algorithms x 6 seeds = 72 cells.
+  return make_grid({"gnp", "power-law", "geometric", "layered-forest",
+                    "caterpillar", "bounded-degree"},
+                   params, {"mis-uniform", "mis-fastest"}, 6);
+}
+
+/// The baseline the campaign has to beat: the same cells, one at a time,
+/// through the same per-cell machinery (workers = 1 reuses one workspace
+/// exactly like a sequential loop would).
+void BM_CampaignSequentialLoop(benchmark::State& state) {
+  const auto cells = benchmark_grid();
+  int solved = 0;
+  for (auto _ : state) {
+    CampaignOptions options;
+    options.workers = 1;
+    const CampaignResult result = run_campaign(cells, options);
+    solved = result.solved;
+    benchmark::DoNotOptimize(result.cells.data());
+  }
+  state.counters["cells"] = static_cast<double>(cells.size());
+  state.counters["solved"] = static_cast<double>(solved);
+  state.counters["cells/sec"] = benchmark::Counter(
+      static_cast<double>(cells.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignSequentialLoop)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_CampaignWorkers(benchmark::State& state) {
+  const auto cells = benchmark_grid();
+  const int workers = static_cast<int>(state.range(0));
+  int solved = 0;
+  for (auto _ : state) {
+    CampaignOptions options;
+    options.workers = workers;
+    const CampaignResult result = run_campaign(cells, options);
+    solved = result.solved;
+    benchmark::DoNotOptimize(result.cells.data());
+  }
+  state.counters["cells"] = static_cast<double>(cells.size());
+  state.counters["solved"] = static_cast<double>(solved);
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["cells/sec"] = benchmark::Counter(
+      static_cast<double>(cells.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignWorkers)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+/// Not a timing benchmark: asserts the 1-vs-N-worker bit-identical
+/// guarantee on the full grid and aborts the bench run on any mismatch.
+void BM_CampaignDeterminism1vsN(benchmark::State& state) {
+  const auto cells = benchmark_grid();
+  CampaignOptions options;
+  options.keep_outputs = true;
+  options.workers = 1;
+  const CampaignResult sequential = run_campaign(cells, options);
+  for (auto _ : state) {
+    options.workers = static_cast<int>(state.range(0));
+    const CampaignResult parallel = run_campaign(cells, options);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (parallel.cells[i].outputs != sequential.cells[i].outputs ||
+          parallel.cells[i].output_hash != sequential.cells[i].output_hash) {
+        std::fprintf(stderr,
+                     "determinism violation in cell %zu (%s/%s)\n", i,
+                     cells[i].scenario.c_str(), cells[i].algorithm.c_str());
+        std::abort();
+      }
+    }
+    benchmark::DoNotOptimize(parallel.cells.data());
+  }
+  state.counters["cells"] = static_cast<double>(cells.size());
+}
+BENCHMARK(BM_CampaignDeterminism1vsN)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace unilocal

@@ -1,4 +1,5 @@
-// unilocal_cli — run a uniform LOCAL algorithm on your own graph.
+// unilocal_cli — run a uniform LOCAL algorithm on your own graph, or sweep
+// a campaign grid over the scenario registry.
 //
 //   unilocal_cli <problem> [file] [--stats]
 //
@@ -8,6 +9,15 @@
 //   --stats:   also print per-run engine statistics (arena bytes, peak
 //              messages/round, steps/sec) on stderr.
 //
+//   unilocal_cli sweep [--scenarios=a,b,..] [--algorithms=x,y,..] [--n=N]
+//                      [--a=V] [--b=V] [--seeds=K] [--workers=W]
+//                      [--format=csv|json] [--list]
+//
+//   Runs the (scenario x algorithm x seed) grid concurrently on W workers
+//   (campaign layer, src/runtime/campaign.h), prints one CSV row (or JSON
+//   record) per cell on stdout and the aggregate summary on stderr.
+//   --list shows the registered scenario families and algorithms.
+//
 // Prints one line per node: "<identity> <output>" (plus a summary on
 // stderr). Every algorithm here is the uniform product of the paper's
 // transformers — the tool needs no -n/-delta flags because no node needs
@@ -16,6 +26,10 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/algo/edge_color_mm.h"
 #include "src/algo/mis_from_coloring.h"
@@ -30,6 +44,7 @@
 #include "src/problems/ruling_set.h"
 #include "src/prune/matching_prune.h"
 #include "src/prune/ruling_set_prune.h"
+#include "src/runtime/campaign.h"
 
 using namespace unilocal;
 
@@ -38,8 +53,112 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: unilocal_cli <mis|matching|coloring|rulingset2> "
-               "[edge-list-file] [--stats]\n");
+               "[edge-list-file] [--stats]\n"
+               "       unilocal_cli sweep [--scenarios=a,b,..] "
+               "[--algorithms=x,y,..] [--n=N] [--a=V] [--b=V] [--seeds=K] "
+               "[--workers=W] [--format=csv|json] [--list]\n");
   return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> result;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ','))
+    if (!item.empty()) result.push_back(item);
+  return result;
+}
+
+void print_percentiles(const char* what, const CampaignPercentiles& p) {
+  std::fprintf(stderr, "  %-16s p50=%.0f p90=%.0f p99=%.0f max=%.0f\n", what,
+               p.p50, p.p90, p.p99, p.max);
+}
+
+int run_sweep(int argc, char** argv) {
+  std::vector<std::string> scenarios = {"gnp", "power-law", "geometric",
+                                        "layered-forest", "caterpillar"};
+  std::vector<std::string> algorithms = {"mis-uniform", "mis-fastest"};
+  ScenarioParams params;
+  params.n = 200;
+  int seeds = 2;
+  unsigned workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
+    if (arg == "--list") {
+      std::printf("scenario families:\n");
+      for (const auto& name : default_scenarios().names())
+        std::printf("  %-16s %s\n", name.c_str(),
+                    default_scenarios().describe(name).c_str());
+      std::printf("algorithms:\n");
+      for (const auto& name : default_campaign_algorithms().names())
+        std::printf("  %-20s validated against: %s\n", name.c_str(),
+                    default_campaign_algorithms().problem(name).name().c_str());
+      return 0;
+    } else if (arg.rfind("--scenarios=", 0) == 0) {
+      scenarios = split_csv(value());
+    } else if (arg.rfind("--algorithms=", 0) == 0) {
+      algorithms = split_csv(value());
+    } else if (arg.rfind("--n=", 0) == 0) {
+      params.n = static_cast<NodeId>(std::stol(value()));
+    } else if (arg.rfind("--a=", 0) == 0) {
+      params.a = std::stod(value());
+    } else if (arg.rfind("--b=", 0) == 0) {
+      params.b = std::stod(value());
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      seeds = std::stoi(value());
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = static_cast<unsigned>(std::stoi(value()));
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string format = value();
+      if (format != "csv" && format != "json") return usage();
+      json = format == "json";
+    } else {
+      return usage();
+    }
+  }
+  const auto cells = make_grid(scenarios, params, algorithms, seeds);
+  if (cells.empty()) {
+    std::fprintf(stderr, "sweep: empty grid\n");
+    return 1;
+  }
+  CampaignOptions options;
+  options.workers = static_cast<int>(workers);
+  const CampaignResult result = run_campaign(cells, options);
+  if (json) {
+    write_campaign_json(std::cout, result);
+    std::cout << '\n';
+  } else {
+    write_campaign_csv(std::cout, result);
+  }
+  std::fprintf(stderr,
+               "sweep: cells=%zu workers=%d solved=%d valid=%d failed=%d "
+               "elapsed=%.3fs throughput=%.1f cells/s\n",
+               result.cells.size(), result.workers, result.solved,
+               result.valid, result.failed, result.elapsed_seconds,
+               result.cells_per_second);
+  print_percentiles("rounds", result.rounds);
+  print_percentiles("messages", result.messages);
+  print_percentiles("steps/sec", result.steps_per_second);
+  for (const auto& cell : result.cells) {
+    if (!cell.error.empty())
+      std::fprintf(stderr, "sweep: FAILED %s/%s seed=%llu: %s\n",
+                   cell.cell.scenario.c_str(), cell.cell.algorithm.c_str(),
+                   static_cast<unsigned long long>(cell.cell.seed),
+                   cell.error.c_str());
+    else if (!cell.valid)
+      std::fprintf(stderr, "sweep: %s %s/%s seed=%llu\n",
+                   cell.solved ? "INVALID" : "UNSOLVED",
+                   cell.cell.scenario.c_str(), cell.cell.algorithm.c_str(),
+                   static_cast<unsigned long long>(cell.cell.seed));
+  }
+  // Success means every cell ran, solved, and passed its checker.
+  const bool all_good =
+      result.failed == 0 &&
+      result.valid == static_cast<int>(result.cells.size());
+  return all_good ? 0 : 1;
 }
 
 void emit_stats(const EngineStats& stats, const char* what) {
@@ -68,6 +187,14 @@ void emit(const Instance& instance, const std::vector<std::int64_t>& outputs,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "sweep") == 0) {
+    try {
+      return run_sweep(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sweep: %s\n", e.what());
+      return 1;
+    }
+  }
   bool want_stats = false;
   const char* file = nullptr;
   const char* problem_arg = nullptr;

@@ -5,8 +5,11 @@
 namespace unilocal {
 
 AlternatingDriver::AlternatingDriver(Instance initial,
-                                     const PruningAlgorithm& pruning)
-    : pruning_(pruning), current_(std::move(initial)) {
+                                     const PruningAlgorithm& pruning,
+                                     EngineWorkspace* external_workspace)
+    : pruning_(pruning),
+      current_(std::move(initial)),
+      external_workspace_(external_workspace) {
   const NodeId n = current_.num_nodes();
   to_original_.resize(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) to_original_[static_cast<std::size_t>(v)] = v;
@@ -20,7 +23,8 @@ NodeId AlternatingDriver::run_step(const Algorithm& algorithm,
   RunOptions options;
   options.max_rounds = budget;
   options.seed = seed;
-  const RunResult result = run_local(current_, algorithm, options, &workspace_);
+  const RunResult result =
+      run_local(current_, algorithm, options, &workspace());
   stats_.merge(result.stats);
   if (trace != nullptr) {
     trace->algorithm = algorithm.name();

@@ -32,12 +32,20 @@ struct SubIterationTrace {
 
 class AlternatingDriver {
  public:
-  AlternatingDriver(Instance initial, const PruningAlgorithm& pruning);
+  /// When `external_workspace` is non-null the driver runs every step in
+  /// that workspace instead of its own — how a nested driver (Theorem 4
+  /// running a transformer-produced executable, or a campaign cell running
+  /// on a checked-out workspace) joins its caller's arena.
+  AlternatingDriver(Instance initial, const PruningAlgorithm& pruning,
+                    EngineWorkspace* external_workspace = nullptr);
 
   /// Engine buffers shared by every step of the alternation (and lendable
   /// to the executables run_custom_step drives): one arena for the whole
   /// composed algorithm instead of per-stage re-allocation.
-  EngineWorkspace& workspace() noexcept { return workspace_; }
+  EngineWorkspace& workspace() noexcept {
+    return external_workspace_ != nullptr ? *external_workspace_
+                                          : workspace_;
+  }
 
   bool done() const noexcept { return current_.num_nodes() == 0; }
   NodeId remaining() const noexcept { return current_.num_nodes(); }
@@ -78,6 +86,7 @@ class AlternatingDriver {
   const PruningAlgorithm& pruning_;
   Instance current_;
   EngineWorkspace workspace_;
+  EngineWorkspace* external_workspace_ = nullptr;
   std::vector<NodeId> to_original_;
   std::vector<std::int64_t> outputs_;
   std::int64_t total_rounds_ = 0;

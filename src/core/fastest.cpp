@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/util/math.h"
+
 namespace unilocal {
 
 namespace {
@@ -37,13 +39,13 @@ class TransformedExecutable final : public UniformExecutable {
   AlternatingDriver::CustomOutcome run(
       const Instance& instance, std::int64_t budget, std::uint64_t seed,
       EngineWorkspace* workspace) const override {
-    // The nested transformer owns an AlternatingDriver of its own (and with
-    // it a workspace reused across all its sub-iterations); the lent
-    // workspace is not threaded further down.
-    (void)workspace;
+    // The nested transformer's driver joins the lent arena (when the caller
+    // lends one), so every Theorem-1/2/3 sub-run shares the outer driver's
+    // workspace instead of re-allocating its own.
     UniformRunOptions options;
     options.seed = seed;
     options.round_cap = budget;
+    options.workspace = workspace;
     UniformRunResult result =
         run_uniform_transformer(instance, *algorithm_, *pruning_, options);
     return {std::move(result.outputs), result.total_rounds,
@@ -73,12 +75,15 @@ UniformRunResult run_fastest(
     const Instance& instance,
     const std::vector<const UniformExecutable*>& algorithms,
     const PruningAlgorithm& pruning, const UniformRunOptions& options) {
-  AlternatingDriver driver(instance, pruning);
+  AlternatingDriver driver(instance, pruning, options.workspace);
   UniformRunResult result;
   std::uint64_t seed = options.seed;
   for (int i = 1; i <= options.max_iterations && !driver.done(); ++i) {
     result.iterations_used = i;
-    const std::int64_t budget = std::int64_t{1} << i;
+    // Saturate the doubling budget: raising max_iterations past 62 must not
+    // shift into UB territory, so cap at the engine's default round cap.
+    const std::int64_t budget =
+        std::min(sat_pow(2, i), RunOptions{}.max_rounds);
     int sub = 0;
     for (const UniformExecutable* algorithm : algorithms) {
       if (driver.done()) break;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/util/math.h"
+
 namespace unilocal {
 
 UniformRunResult run_las_vegas_transformer(const Instance& instance,
@@ -10,7 +12,7 @@ UniformRunResult run_las_vegas_transformer(const Instance& instance,
                                            const UniformRunOptions& options) {
   assert(algorithm.gamma() == algorithm.lambda());
 
-  AlternatingDriver driver(instance, pruning);
+  AlternatingDriver driver(instance, pruning, options.workspace);
   UniformRunResult result;
   std::uint64_t seed = options.seed;
   const std::int64_t c = algorithm.bound().bounding_constant();
@@ -18,7 +20,7 @@ UniformRunResult run_las_vegas_transformer(const Instance& instance,
     result.iterations_used = i;
     // Iteration i replays pi's iterations j = 1..i with fresh randomness.
     for (int j = 1; j <= i && !driver.done(); ++j) {
-      const std::int64_t scale = std::int64_t{1} << j;
+      const std::int64_t scale = sat_pow(2, j);
       const auto guess_vectors = algorithm.bound().set_sequence(scale);
       int sub = 0;
       for (const auto& guesses : guess_vectors) {
@@ -28,7 +30,7 @@ UniformRunResult run_las_vegas_transformer(const Instance& instance,
         trace.sub_iteration = ++sub + (j - 1) * 1000;  // encode (j, k)
         trace.guesses = guesses;
         const auto runnable = algorithm.instantiate(guesses);
-        driver.run_step(*runnable, c * scale, seed++, &trace);
+        driver.run_step(*runnable, sat_mul(c, scale), seed++, &trace);
         result.trace.push_back(std::move(trace));
       }
     }

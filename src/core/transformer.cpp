@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/util/math.h"
+
 namespace unilocal {
 
 UniformRunResult run_uniform_transformer(const Instance& instance,
@@ -16,13 +18,13 @@ UniformRunResult run_uniform_transformer(const Instance& instance,
   // The driver's workspace carries one message arena through every
   // (A restricted to c*2^i ; P) sub-iteration below — the sequential
   // composition never re-allocates engine state between stages.
-  AlternatingDriver driver(instance, pruning);
+  AlternatingDriver driver(instance, pruning, options.workspace);
   UniformRunResult result;
   std::uint64_t seed = options.seed;
   const std::int64_t c = algorithm.bound().bounding_constant();
   for (int i = 1; i <= options.max_iterations && !driver.done(); ++i) {
     result.iterations_used = i;
-    const std::int64_t scale = std::int64_t{1} << i;
+    const std::int64_t scale = sat_pow(2, i);
     const auto guess_vectors = algorithm.bound().set_sequence(scale);
     int sub = 0;
     for (const auto& guesses : guess_vectors) {
@@ -34,7 +36,7 @@ UniformRunResult run_uniform_transformer(const Instance& instance,
       trace.sub_iteration = ++sub;
       trace.guesses = guesses;
       const auto runnable = algorithm.instantiate(guesses);
-      driver.run_step(*runnable, c * scale, seed++, &trace);
+      driver.run_step(*runnable, sat_mul(c, scale), seed++, &trace);
       result.trace.push_back(std::move(trace));
     }
     if (options.round_cap >= 0 && driver.total_rounds() >= options.round_cap)

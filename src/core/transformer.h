@@ -27,6 +27,11 @@ struct UniformRunOptions {
   /// (used to run a transformer-produced uniform algorithm "restricted to T
   /// rounds" inside Theorem 4). < 0 means unlimited.
   std::int64_t round_cap = -1;
+  /// Optional lent engine workspace: the transformer's driver runs every
+  /// sub-iteration in this arena instead of allocating its own (Theorem 4
+  /// lends its driver's workspace; campaign cells lend their checked-out
+  /// one). Not safe to share between concurrent runs.
+  EngineWorkspace* workspace = nullptr;
 };
 
 struct UniformRunResult {

@@ -22,6 +22,7 @@ Graph read_edge_list(std::istream& in) {
     if (!(in >> u >> v)) throw std::runtime_error("edge list: truncated");
     if (u < 0 || v < 0 || u >= n || v >= n)
       throw std::runtime_error("edge list: endpoint out of range");
+    if (u == v) throw std::runtime_error("edge list: self-loop");
     builder.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
   }
   return builder.build();

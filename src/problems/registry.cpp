@@ -1,0 +1,37 @@
+#include "src/problems/registry.h"
+
+#include <stdexcept>
+
+#include "src/problems/coloring.h"
+#include "src/problems/matching.h"
+#include "src/problems/mis.h"
+#include "src/problems/ruling_set.h"
+
+namespace unilocal {
+
+std::shared_ptr<const Problem> make_problem(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  try {
+    if (kind == "mis" && arg.empty()) return std::make_shared<MisProblem>();
+    if (kind == "matching" && arg.empty())
+      return std::make_shared<MatchingProblem>();
+    if (kind == "coloring")
+      return std::make_shared<ColoringProblem>(
+          arg.empty() ? -1 : std::stoll(arg));
+    if (kind == "rulingset" && !arg.empty())
+      return std::make_shared<RulingSetProblem>(std::stoi(arg));
+  } catch (const std::invalid_argument&) {
+  } catch (const std::out_of_range&) {
+  }
+  throw std::runtime_error("unknown problem spec: " + spec);
+}
+
+std::vector<std::string> problem_specs() {
+  return {"mis", "matching", "coloring", "coloring:<cap>",
+          "rulingset:<beta>"};
+}
+
+}  // namespace unilocal

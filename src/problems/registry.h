@@ -1,0 +1,22 @@
+// String-keyed dispatch over the centralized validators — how the campaign
+// layer (and any other config-driven harness) names the Problem whose
+// check() verdict a run should be scored against.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/problems/problem.h"
+
+namespace unilocal {
+
+/// Specs: "mis", "matching", "coloring" (no palette cap),
+/// "coloring:<cap>", "rulingset:<beta>". Throws std::runtime_error on
+/// anything else.
+std::shared_ptr<const Problem> make_problem(const std::string& spec);
+
+/// The spec forms make_problem accepts (for --help style listings).
+std::vector<std::string> problem_specs();
+
+}  // namespace unilocal

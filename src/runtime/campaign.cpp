@@ -1,0 +1,468 @@
+#include "src/runtime/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/algo/edge_color_mm.h"
+#include "src/algo/greedy_mis.h"
+#include "src/algo/luby.h"
+#include "src/algo/mis_from_coloring.h"
+#include "src/algo/ruling_set_mc.h"
+#include "src/core/fastest.h"
+#include "src/core/mc_to_lv.h"
+#include "src/core/transformer.h"
+#include "src/problems/registry.h"
+#include "src/prune/matching_prune.h"
+#include "src/prune/ruling_set_prune.h"
+
+namespace unilocal {
+
+// --- workspace pool ---------------------------------------------------------
+
+struct WorkspacePool::State {
+  std::mutex mutex;
+  std::condition_variable available_cv;
+  std::vector<EngineWorkspace> workspaces;
+  std::deque<EngineWorkspace*> free;  // FIFO = round-robin checkout
+};
+
+WorkspacePool::WorkspacePool(int size) : state_(std::make_unique<State>()) {
+  if (size < 1) size = 1;
+  state_->workspaces.resize(static_cast<std::size_t>(size));
+  for (auto& workspace : state_->workspaces)
+    state_->free.push_back(&workspace);
+}
+
+WorkspacePool::~WorkspacePool() = default;
+
+int WorkspacePool::size() const noexcept {
+  return static_cast<int>(state_->workspaces.size());
+}
+
+EngineWorkspace* WorkspacePool::checkout() {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->available_cv.wait(lock, [&] { return !state_->free.empty(); });
+  EngineWorkspace* workspace = state_->free.front();
+  state_->free.pop_front();
+  return workspace;
+}
+
+void WorkspacePool::checkin(EngineWorkspace* workspace) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->free.push_back(workspace);
+  }
+  state_->available_cv.notify_one();
+}
+
+// --- algorithm table --------------------------------------------------------
+
+void CampaignAlgorithms::add(std::string name,
+                             std::shared_ptr<const Problem> problem,
+                             Runner runner) {
+  if (problem == nullptr)
+    throw std::runtime_error("campaign algorithm needs a validator: " + name);
+  entries_[std::move(name)] =
+      Entry{std::move(problem), std::move(runner)};
+}
+
+bool CampaignAlgorithms::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> CampaignAlgorithms::names() const {
+  std::vector<std::string> result;
+  result.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) result.push_back(name);
+  return result;
+}
+
+const Problem& CampaignAlgorithms::problem(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw std::runtime_error("unknown campaign algorithm: " + name);
+  return *it->second.problem;
+}
+
+CellOutcome CampaignAlgorithms::run(const std::string& name,
+                                    const Instance& instance,
+                                    std::uint64_t seed,
+                                    EngineWorkspace* workspace) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw std::runtime_error("unknown campaign algorithm: " + name);
+  return it->second.runner(instance, seed, workspace);
+}
+
+namespace {
+
+CellOutcome from_uniform(UniformRunResult result) {
+  return {std::move(result.outputs), result.total_rounds, result.solved,
+          result.engine_stats};
+}
+
+CampaignAlgorithms make_default_algorithms() {
+  CampaignAlgorithms table;
+  table.add("mis-uniform", make_problem("mis"),
+            [](const Instance& instance, std::uint64_t seed,
+               EngineWorkspace* workspace) {
+              const auto algorithm = make_coloring_mis();
+              const RulingSetPruning pruning(1);
+              UniformRunOptions options;
+              options.seed = seed;
+              options.workspace = workspace;
+              return from_uniform(run_uniform_transformer(
+                  instance, *algorithm, pruning, options));
+            });
+  table.add("mis-global-uniform", make_problem("mis"),
+            [](const Instance& instance, std::uint64_t seed,
+               EngineWorkspace* workspace) {
+              const auto algorithm = make_global_mis();
+              const RulingSetPruning pruning(1);
+              UniformRunOptions options;
+              options.seed = seed;
+              options.workspace = workspace;
+              return from_uniform(run_uniform_transformer(
+                  instance, *algorithm, pruning, options));
+            });
+  table.add("mis-fastest", make_problem("mis"),
+            [](const Instance& instance, std::uint64_t seed,
+               EngineWorkspace* workspace) {
+              const auto pruning = std::make_shared<RulingSetPruning>(1);
+              const auto greedy =
+                  make_local_executable(std::make_shared<GreedyMis>());
+              const auto colored = make_transformed_executable(
+                  std::shared_ptr<const NonUniformAlgorithm>(
+                      make_coloring_mis()),
+                  pruning);
+              UniformRunOptions options;
+              options.seed = seed;
+              options.workspace = workspace;
+              return from_uniform(run_fastest(
+                  instance, {greedy.get(), colored.get()}, *pruning,
+                  options));
+            });
+  table.add("luby-mis", make_problem("mis"),
+            [](const Instance& instance, std::uint64_t seed,
+               EngineWorkspace* workspace) {
+              const LubyMis luby;
+              RunOptions options;
+              options.seed = seed;
+              options.max_rounds = std::int64_t{1} << 24;
+              RunResult result =
+                  run_local(instance, luby, options, workspace);
+              return CellOutcome{std::move(result.outputs),
+                                 result.rounds_used, result.all_finished,
+                                 result.stats};
+            });
+  table.add("matching-uniform", make_problem("matching"),
+            [](const Instance& instance, std::uint64_t seed,
+               EngineWorkspace* workspace) {
+              const auto algorithm = make_colored_matching();
+              const MatchingPruning pruning;
+              UniformRunOptions options;
+              options.seed = seed;
+              options.workspace = workspace;
+              return from_uniform(run_uniform_transformer(
+                  instance, *algorithm, pruning, options));
+            });
+  table.add("rulingset2-lv", make_problem("rulingset:2"),
+            [](const Instance& instance, std::uint64_t seed,
+               EngineWorkspace* workspace) {
+              const auto algorithm = make_mc_ruling_set(2);
+              const RulingSetPruning pruning(2);
+              UniformRunOptions options;
+              options.seed = seed;
+              options.workspace = workspace;
+              return from_uniform(run_las_vegas_transformer(
+                  instance, *algorithm, pruning, options));
+            });
+  return table;
+}
+
+std::uint64_t fnv1a(const std::vector<std::int64_t>& values) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const std::int64_t value : values) {
+    std::uint64_t word = static_cast<std::uint64_t>(value);
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (word >> (8 * byte)) & 0xffu;
+      hash *= 1099511628211ULL;
+    }
+  }
+  return hash;
+}
+
+CellResult run_cell(const CampaignCell& cell,
+                    const ScenarioRegistry& scenarios,
+                    const CampaignAlgorithms& algorithms,
+                    EngineWorkspace* workspace, bool keep_outputs) {
+  CellResult result;
+  result.cell = cell;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    Graph graph = scenarios.build(cell.scenario, cell.params, cell.seed);
+    const Instance instance =
+        make_instance(std::move(graph), cell.identities, cell.seed);
+    result.nodes = instance.num_nodes();
+    result.edges = instance.graph.num_edges();
+    CellOutcome outcome =
+        algorithms.run(cell.algorithm, instance, cell.seed, workspace);
+    result.rounds = outcome.rounds;
+    result.solved = outcome.solved;
+    result.stats = outcome.stats;
+    result.valid = outcome.solved &&
+                   algorithms.problem(cell.algorithm)
+                       .check(instance, outcome.outputs);
+    result.output_hash = fnv1a(outcome.outputs);
+    if (keep_outputs) result.outputs = std::move(outcome.outputs);
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown error";
+  }
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+CampaignPercentiles percentiles(std::vector<double> values) {
+  CampaignPercentiles result;
+  if (values.empty()) return result;
+  std::sort(values.begin(), values.end());
+  const auto nearest_rank = [&values](double q) {
+    const auto n = static_cast<double>(values.size());
+    const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    return values[std::min(values.size() - 1, rank == 0 ? 0 : rank - 1)];
+  };
+  result.p50 = nearest_rank(0.50);
+  result.p90 = nearest_rank(0.90);
+  result.p99 = nearest_rank(0.99);
+  result.max = values.back();
+  return result;
+}
+
+const char* identity_scheme_name(IdentityScheme scheme) {
+  switch (scheme) {
+    case IdentityScheme::kSequential:
+      return "sequential";
+    case IdentityScheme::kRandomPermuted:
+      return "random-permuted";
+    case IdentityScheme::kRandomSparse:
+      return "random-sparse";
+  }
+  return "?";
+}
+
+std::string json_escape(const std::string& text) {
+  std::string result;
+  result.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        result += "\\\"";
+        break;
+      case '\\':
+        result += "\\\\";
+        break;
+      case '\n':
+        result += "\\n";
+        break;
+      case '\t':
+        result += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          result += buffer;
+        } else {
+          result += c;
+        }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+const CampaignAlgorithms& default_campaign_algorithms() {
+  static const CampaignAlgorithms table = make_default_algorithms();
+  return table;
+}
+
+// --- campaign driver --------------------------------------------------------
+
+CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
+                            const CampaignOptions& options) {
+  const ScenarioRegistry& scenarios =
+      options.scenarios != nullptr ? *options.scenarios
+                                   : default_scenarios();
+  const CampaignAlgorithms& algorithms =
+      options.algorithms != nullptr ? *options.algorithms
+                                    : default_campaign_algorithms();
+
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr)
+    pool = &owned_pool.emplace(std::max(1, options.workers));
+
+  CampaignResult result;
+  result.workers = pool->threads();
+  result.cells.resize(cells.size());
+  WorkspacePool workspaces(pool->threads());
+
+  const auto start = std::chrono::steady_clock::now();
+  pool->run(static_cast<int>(cells.size()), [&](int i) {
+    const WorkspacePool::Lease lease(workspaces);
+    result.cells[static_cast<std::size_t>(i)] =
+        run_cell(cells[static_cast<std::size_t>(i)], scenarios, algorithms,
+                 lease.get(), options.keep_outputs);
+  });
+  result.elapsed_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+  result.cells_per_second =
+      result.elapsed_seconds > 0.0
+          ? static_cast<double>(cells.size()) / result.elapsed_seconds
+          : 0.0;
+
+  std::vector<double> rounds;
+  std::vector<double> messages;
+  std::vector<double> steps_per_second;
+  for (const CellResult& cell : result.cells) {
+    if (!cell.error.empty()) {
+      ++result.failed;
+      continue;
+    }
+    if (!cell.solved) continue;
+    ++result.solved;
+    if (cell.valid) ++result.valid;
+    rounds.push_back(static_cast<double>(cell.rounds));
+    messages.push_back(static_cast<double>(cell.stats.total_messages));
+    if (cell.stats.steps_per_second > 0.0)
+      steps_per_second.push_back(cell.stats.steps_per_second);
+  }
+  result.rounds = percentiles(std::move(rounds));
+  result.messages = percentiles(std::move(messages));
+  result.steps_per_second = percentiles(std::move(steps_per_second));
+  return result;
+}
+
+std::vector<CampaignCell> make_grid(
+    const std::vector<std::string>& scenarios, const ScenarioParams& params,
+    const std::vector<std::string>& algorithms, int seeds_per_combination,
+    std::uint64_t base_seed) {
+  std::vector<CampaignCell> cells;
+  cells.reserve(scenarios.size() * algorithms.size() *
+                static_cast<std::size_t>(std::max(0, seeds_per_combination)));
+  for (const std::string& scenario : scenarios) {
+    for (const std::string& algorithm : algorithms) {
+      for (int s = 0; s < seeds_per_combination; ++s) {
+        CampaignCell cell;
+        cell.scenario = scenario;
+        cell.params = params;
+        cell.algorithm = algorithm;
+        cell.seed = base_seed + static_cast<std::uint64_t>(s);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+// --- output -----------------------------------------------------------------
+
+namespace {
+
+/// RFC-4180 style: fields containing a comma, quote, or newline are quoted
+/// with inner quotes doubled (registered names are free text).
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string result = "\"";
+  for (const char c : field) {
+    if (c == '"') result += '"';
+    result += c;
+  }
+  result += '"';
+  return result;
+}
+
+}  // namespace
+
+void write_campaign_csv(std::ostream& out, const CampaignResult& result) {
+  out << "scenario,n,a,b,algorithm,seed,identities,nodes,edges,rounds,"
+         "solved,valid,seconds,messages,peak_round_messages,steps,"
+         "steps_per_sec,arena_bytes,output_hash,error\n";
+  for (const CellResult& cell : result.cells) {
+    out << csv_escape(cell.cell.scenario) << ',' << cell.cell.params.n << ','
+        << cell.cell.params.a << ',' << cell.cell.params.b << ','
+        << csv_escape(cell.cell.algorithm) << ',' << cell.cell.seed << ','
+        << identity_scheme_name(cell.cell.identities) << ',' << cell.nodes
+        << ',' << cell.edges << ',' << cell.rounds << ','
+        << (cell.solved ? 1 : 0) << ',' << (cell.valid ? 1 : 0) << ','
+        << cell.seconds << ',' << cell.stats.total_messages << ','
+        << cell.stats.peak_round_messages << ',' << cell.stats.total_steps
+        << ',' << cell.stats.steps_per_second << ','
+        << cell.stats.arena_bytes << ',' << cell.output_hash << ','
+        << csv_escape(cell.error) << '\n';
+  }
+}
+
+namespace {
+
+void write_percentiles_json(std::ostream& out, const char* key,
+                            const CampaignPercentiles& p) {
+  out << '"' << key << "\":{\"p50\":" << p.p50 << ",\"p90\":" << p.p90
+      << ",\"p99\":" << p.p99 << ",\"max\":" << p.max << '}';
+}
+
+}  // namespace
+
+void write_campaign_json(std::ostream& out, const CampaignResult& result) {
+  out << "{\"workers\":" << result.workers
+      << ",\"cells\":" << result.cells.size()
+      << ",\"solved\":" << result.solved << ",\"valid\":" << result.valid
+      << ",\"failed\":" << result.failed
+      << ",\"elapsed_seconds\":" << result.elapsed_seconds
+      << ",\"cells_per_second\":" << result.cells_per_second << ',';
+  write_percentiles_json(out, "rounds", result.rounds);
+  out << ',';
+  write_percentiles_json(out, "messages", result.messages);
+  out << ',';
+  write_percentiles_json(out, "steps_per_second", result.steps_per_second);
+  out << ",\"cell_results\":[";
+  bool first = true;
+  for (const CellResult& cell : result.cells) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"scenario\":\"" << json_escape(cell.cell.scenario)
+        << "\",\"n\":" << cell.cell.params.n << ",\"a\":" << cell.cell.params.a
+        << ",\"b\":" << cell.cell.params.b << ",\"algorithm\":\""
+        << json_escape(cell.cell.algorithm)
+        << "\",\"seed\":" << cell.cell.seed << ",\"identities\":\""
+        << identity_scheme_name(cell.cell.identities)
+        << "\",\"nodes\":" << cell.nodes << ",\"edges\":" << cell.edges
+        << ",\"rounds\":" << cell.rounds
+        << ",\"solved\":" << (cell.solved ? "true" : "false")
+        << ",\"valid\":" << (cell.valid ? "true" : "false")
+        << ",\"seconds\":" << cell.seconds
+        << ",\"messages\":" << cell.stats.total_messages
+        << ",\"steps\":" << cell.stats.total_steps
+        << ",\"steps_per_sec\":" << cell.stats.steps_per_second
+        << ",\"arena_bytes\":" << cell.stats.arena_bytes
+        << ",\"output_hash\":\"" << cell.output_hash << "\",\"error\":\""
+        << json_escape(cell.error) << "\"}";
+  }
+  out << "]}";
+}
+
+}  // namespace unilocal

@@ -1,0 +1,201 @@
+// The campaign subsystem: throughput over a (scenario x algorithm x seed)
+// grid.
+//
+// PR 1 made a single run fast; this layer makes *many* runs fast. A
+// campaign is a vector of cells — each cell names a scenario family from
+// the registry (src/graph/scenario_registry.h), an algorithm from the
+// campaign algorithm table, and a seed — executed concurrently at cell
+// granularity on one ThreadPool, with a pool of reusable EngineWorkspaces
+// (one per pool thread, round-robin checkout) so no cell allocates a fresh
+// arena. Each cell runs its engine single-threaded, which together with
+// the registry's determinism makes per-cell outputs bit-identical for any
+// worker count and any cell-scheduling order (tests/campaign_test.cpp).
+//
+// Results carry per-cell summaries, centralized-checker verdicts
+// (src/problems/registry.h), and aggregate percentiles over rounds,
+// messages, and steps/sec.
+//
+// Note on layering: this file lives in src/runtime/ but is the
+// orchestration layer of the library — it sits ABOVE core/algo/prune
+// (the default algorithm table wires up the paper's transformers), so
+// nothing below src/runtime/campaign.* may include it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/scenario_registry.h"
+#include "src/problems/problem.h"
+#include "src/runtime/instance.h"
+#include "src/runtime/runner.h"
+#include "src/util/thread_pool.h"
+
+namespace unilocal {
+
+/// Fixed-size pool of reusable engine workspaces. checkout() hands out
+/// workspaces in round-robin order and blocks when all are lent (which
+/// cannot happen when the pool is sized to the thread pool's parallelism);
+/// checkin() returns one. Thread-safe.
+class WorkspacePool {
+ public:
+  explicit WorkspacePool(int size);
+  ~WorkspacePool();
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  int size() const noexcept;
+  EngineWorkspace* checkout();
+  void checkin(EngineWorkspace* workspace);
+
+  /// RAII checkout.
+  class Lease {
+   public:
+    explicit Lease(WorkspacePool& pool)
+        : pool_(pool), workspace_(pool.checkout()) {}
+    ~Lease() { pool_.checkin(workspace_); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    EngineWorkspace* get() const noexcept { return workspace_; }
+
+   private:
+    WorkspacePool& pool_;
+    EngineWorkspace* workspace_;
+  };
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+/// What one algorithm-table entry produced on an instance.
+struct CellOutcome {
+  std::vector<std::int64_t> outputs;
+  std::int64_t rounds = 0;
+  bool solved = false;
+  EngineStats stats;
+};
+
+/// String-keyed algorithm table: each entry pairs a runner (which must be
+/// deterministic in (instance, seed), run its engine single-threaded, and
+/// honor the lent workspace) with the centralized Problem its outputs are
+/// validated against.
+class CampaignAlgorithms {
+ public:
+  using Runner = std::function<CellOutcome(
+      const Instance& instance, std::uint64_t seed,
+      EngineWorkspace* workspace)>;
+
+  void add(std::string name, std::shared_ptr<const Problem> problem,
+           Runner runner);
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+  /// The validator of an entry (never null); throws on unknown names.
+  const Problem& problem(const std::string& name) const;
+  CellOutcome run(const std::string& name, const Instance& instance,
+                  std::uint64_t seed, EngineWorkspace* workspace) const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Problem> problem;
+    Runner runner;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// The built-in table: "mis-uniform" (Theorem 1 over the coloring MIS),
+/// "mis-global-uniform" (Theorem 1 over greedy-as-A_n), "mis-fastest"
+/// (the Theorem 4 combinator of both), "luby-mis" (plain Las Vegas run),
+/// "matching-uniform" (Theorem 1 over colored matching), "rulingset2-lv"
+/// (Theorem 2 over the Monte-Carlo ruling set).
+const CampaignAlgorithms& default_campaign_algorithms();
+
+/// One cell of the sweep grid.
+struct CampaignCell {
+  std::string scenario;
+  ScenarioParams params;
+  std::string algorithm;
+  std::uint64_t seed = 1;
+  IdentityScheme identities = IdentityScheme::kRandomPermuted;
+};
+
+struct CellResult {
+  CampaignCell cell;
+  NodeId nodes = 0;
+  std::int64_t edges = 0;
+  std::int64_t rounds = 0;
+  bool solved = false;
+  /// Centralized-checker verdict (false whenever !solved).
+  bool valid = false;
+  double seconds = 0.0;
+  /// FNV-1a over the output vector — the cheap handle for bit-identical
+  /// comparisons across worker counts.
+  std::uint64_t output_hash = 0;
+  EngineStats stats;
+  /// Full outputs, kept only under CampaignOptions::keep_outputs.
+  std::vector<std::int64_t> outputs;
+  /// Non-empty when the cell threw; such cells never abort the campaign.
+  std::string error;
+};
+
+/// Nearest-rank percentiles over the solved cells.
+struct CampaignPercentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+struct CampaignResult {
+  /// One entry per input cell, in input order (independent of the
+  /// scheduling order the pool actually used).
+  std::vector<CellResult> cells;
+  int workers = 1;
+  double elapsed_seconds = 0.0;
+  double cells_per_second = 0.0;
+  int solved = 0;
+  int valid = 0;
+  int failed = 0;
+  CampaignPercentiles rounds;
+  CampaignPercentiles messages;
+  CampaignPercentiles steps_per_second;
+};
+
+struct CampaignOptions {
+  /// Pool parallelism when no shared pool is lent (>= 1; cells never split
+  /// across threads — parallelism is at cell granularity).
+  int workers = 1;
+  /// Shared pool to run on (overrides `workers`). ThreadPool::run serves
+  /// one batch at a time, so a lent pool must not be driven concurrently
+  /// by anything else for the duration of run_campaign.
+  ThreadPool* pool = nullptr;
+  /// Retain per-node outputs in each CellResult.
+  bool keep_outputs = false;
+  /// Scenario registry (default_scenarios() when null).
+  const ScenarioRegistry* scenarios = nullptr;
+  /// Algorithm table (default_campaign_algorithms() when null).
+  const CampaignAlgorithms* algorithms = nullptr;
+};
+
+/// Runs every cell; never throws on per-cell failures (they land in
+/// CellResult::error).
+CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
+                            const CampaignOptions& options = {});
+
+/// The full (scenario x algorithm x seed) product grid with shared params;
+/// seeds are base_seed, base_seed + 1, ....
+std::vector<CampaignCell> make_grid(
+    const std::vector<std::string>& scenarios, const ScenarioParams& params,
+    const std::vector<std::string>& algorithms, int seeds_per_combination,
+    std::uint64_t base_seed = 1);
+
+/// One CSV row per cell plus a header row.
+void write_campaign_csv(std::ostream& out, const CampaignResult& result);
+/// One JSON object: summary fields plus a "cells" array.
+void write_campaign_json(std::ostream& out, const CampaignResult& result);
+
+}  // namespace unilocal

@@ -454,6 +454,7 @@ class ArenaEngine {
     auto& stats = result.stats;
     stats.total_steps = total_steps_;
     stats.peak_round_messages = peak_round_messages_;
+    stats.total_messages = messages_sent_;
     stats.threads = threads_;
     std::int64_t bytes = 0;
     if (sync) {

@@ -54,6 +54,9 @@ struct EngineStats {
   std::int64_t arena_bytes = 0;
   /// Maximum number of messages in flight across any single round.
   std::int64_t peak_round_messages = 0;
+  /// Total messages sent over the whole run (RunResult::messages_sent,
+  /// summed across stages for composed algorithms).
+  std::int64_t total_messages = 0;
   /// Total Process::step invocations.
   std::int64_t total_steps = 0;
   double elapsed_seconds = 0.0;
@@ -67,6 +70,7 @@ struct EngineStats {
     arena_bytes = std::max(arena_bytes, other.arena_bytes);
     peak_round_messages =
         std::max(peak_round_messages, other.peak_round_messages);
+    total_messages += other.total_messages;
     total_steps += other.total_steps;
     elapsed_seconds += other.elapsed_seconds;
     steps_per_second =

@@ -22,8 +22,20 @@ void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
   while (next_job_ < jobs_) {
     const int job = next_job_++;
     lock.unlock();
-    (*fn_)(job);
+    std::exception_ptr error;
+    try {
+      (*fn_)(job);
+    } catch (...) {
+      error = std::current_exception();
+    }
     lock.lock();
+    if (error) {
+      if (!error_) error_ = error;
+      // Abandon jobs nobody has claimed yet; jobs other threads are
+      // mid-flight on are still counted by their own decrement.
+      unfinished_ -= jobs_ - next_job_;
+      next_job_ = jobs_;
+    }
     if (--unfinished_ == 0) done_cv_.notify_all();
   }
 }
@@ -45,6 +57,7 @@ void ThreadPool::run(int jobs, const std::function<void(int)>& fn) {
   if (jobs <= 0) return;
   std::unique_lock<std::mutex> lock(mutex_);
   fn_ = &fn;
+  error_ = nullptr;
   jobs_ = jobs;
   next_job_ = 0;
   unfinished_ = jobs;
@@ -53,6 +66,11 @@ void ThreadPool::run(int jobs, const std::function<void(int)>& fn) {
   drain(lock);
   done_cv_.wait(lock, [&] { return unfinished_ == 0; });
   fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
 }
 
 }  // namespace unilocal

@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -30,6 +31,13 @@ class ThreadPool {
     return static_cast<int>(workers_.size()) + 1;
   }
 
+  /// If a job throws, unclaimed jobs are abandoned, jobs already claimed by
+  /// other threads still complete, and the first exception is rethrown here
+  /// once every claimed job has finished.
+  ///
+  /// One batch at a time: run() must not be invoked concurrently from
+  /// multiple threads (a second caller would overwrite the in-flight
+  /// batch's state). Nested run() from inside a job deadlocks.
   void run(int jobs, const std::function<void(int)>& fn);
 
  private:
@@ -42,6 +50,7 @@ class ThreadPool {
   std::condition_variable done_cv_;
   std::vector<std::thread> workers_;
   const std::function<void(int)>* fn_ = nullptr;
+  std::exception_ptr error_;
   int jobs_ = 0;
   int next_job_ = 0;
   int unfinished_ = 0;

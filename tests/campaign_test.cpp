@@ -1,0 +1,248 @@
+// Campaign layer: the scenario registry's determinism, checker verdicts,
+// per-cell error isolation, and the headline guarantee — per-cell outputs
+// bit-identical for any worker count and any cell-scheduling order
+// (extending the engine-equivalence bit-identical guarantee one layer up).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "src/problems/registry.h"
+#include "src/runtime/campaign.h"
+
+namespace unilocal {
+namespace {
+
+using CellKey = std::tuple<std::string, std::string, std::uint64_t>;
+
+CellKey key_of(const CampaignCell& cell) {
+  return {cell.scenario, cell.algorithm, cell.seed};
+}
+
+std::vector<CampaignCell> small_grid() {
+  ScenarioParams params;
+  params.n = 60;
+  return make_grid({"gnp", "power-law", "layered-forest", "caterpillar",
+                    "geometric", "path"},
+                   params, {"mis-uniform", "mis-fastest", "rulingset2-lv"},
+                   1, 7);
+}
+
+TEST(ScenarioRegistry, ContainsTheAdvertisedFamilies) {
+  const auto& registry = default_scenarios();
+  for (const char* name :
+       {"path", "cycle", "clique", "bipartite", "grid", "hypercube", "gnp",
+        "bounded-degree", "tree", "forest", "layered-forest", "power-law",
+        "geometric", "caterpillar"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_FALSE(registry.describe(name).empty()) << name;
+  }
+  EXPECT_GE(registry.names().size(), 14u);
+}
+
+TEST(ScenarioRegistry, BuildsDeterministicallyFromSeed) {
+  const auto& registry = default_scenarios();
+  ScenarioParams params;
+  params.n = 200;
+  for (const std::string name : registry.names()) {
+    const Graph a = registry.build(name, params, 11);
+    const Graph b = registry.build(name, params, 11);
+    EXPECT_TRUE(a == b) << name;
+    EXPECT_GE(a.num_nodes(), 1) << name;
+  }
+  // Random families actually vary with the seed.
+  EXPECT_FALSE(registry.build("gnp", params, 11) ==
+               registry.build("gnp", params, 12));
+}
+
+TEST(ScenarioRegistry, RejectsUnknownFamilies) {
+  const auto& registry = default_scenarios();
+  EXPECT_FALSE(registry.contains("no-such-family"));
+  EXPECT_THROW(registry.build("no-such-family", {}, 1), std::runtime_error);
+  EXPECT_THROW(registry.describe("no-such-family"), std::runtime_error);
+}
+
+TEST(WorkspacePool, RoundRobinCheckout) {
+  WorkspacePool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+  EngineWorkspace* a = pool.checkout();
+  EngineWorkspace* b = pool.checkout();
+  EngineWorkspace* c = pool.checkout();
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+  pool.checkin(a);
+  pool.checkin(b);
+  // FIFO: the first workspace returned is the next one handed out.
+  EXPECT_EQ(pool.checkout(), a);
+  pool.checkin(c);
+}
+
+TEST(Campaign, SolvesAndValidatesAWholeGrid) {
+  const auto cells = small_grid();
+  CampaignOptions options;
+  options.workers = 2;
+  const CampaignResult result = run_campaign(cells, options);
+  ASSERT_EQ(result.cells.size(), cells.size());
+  EXPECT_EQ(result.failed, 0);
+  for (const auto& cell : result.cells) {
+    EXPECT_TRUE(cell.error.empty()) << cell.error;
+    EXPECT_TRUE(cell.solved)
+        << cell.cell.scenario << '/' << cell.cell.algorithm;
+    EXPECT_TRUE(cell.valid)
+        << cell.cell.scenario << '/' << cell.cell.algorithm;
+    EXPECT_GT(cell.nodes, 0);
+    EXPECT_GT(cell.rounds, 0);
+  }
+  EXPECT_EQ(result.solved, static_cast<int>(cells.size()));
+  EXPECT_EQ(result.valid, static_cast<int>(cells.size()));
+  EXPECT_GT(result.cells_per_second, 0.0);
+  EXPECT_LE(result.rounds.p50, result.rounds.p90);
+  EXPECT_LE(result.rounds.p90, result.rounds.p99);
+  EXPECT_LE(result.rounds.p99, result.rounds.max);
+  EXPECT_LE(result.messages.p50, result.messages.max);
+}
+
+TEST(Campaign, OutputsAreBitIdenticalForAnyWorkerCount) {
+  const auto cells = small_grid();
+  CampaignOptions options;
+  options.keep_outputs = true;
+  options.workers = 1;
+  const CampaignResult sequential = run_campaign(cells, options);
+  for (const int workers : {2, 4, 8}) {
+    options.workers = workers;
+    const CampaignResult parallel = run_campaign(cells, options);
+    ASSERT_EQ(parallel.cells.size(), sequential.cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      EXPECT_EQ(parallel.cells[i].outputs, sequential.cells[i].outputs)
+          << workers << " workers, cell " << i;
+      EXPECT_EQ(parallel.cells[i].output_hash,
+                sequential.cells[i].output_hash);
+      EXPECT_EQ(parallel.cells[i].rounds, sequential.cells[i].rounds);
+    }
+  }
+}
+
+TEST(Campaign, OutputsAreIndependentOfCellSchedulingOrder) {
+  const auto cells = small_grid();
+  CampaignOptions options;
+  options.keep_outputs = true;
+  options.workers = 4;
+  const CampaignResult forward = run_campaign(cells, options);
+
+  std::vector<CampaignCell> reversed(cells.rbegin(), cells.rend());
+  const CampaignResult backward = run_campaign(reversed, options);
+
+  std::map<CellKey, const CellResult*> by_key;
+  for (const auto& cell : backward.cells) by_key[key_of(cell.cell)] = &cell;
+  for (const auto& cell : forward.cells) {
+    const auto it = by_key.find(key_of(cell.cell));
+    ASSERT_NE(it, by_key.end());
+    EXPECT_EQ(cell.outputs, it->second->outputs)
+        << cell.cell.scenario << '/' << cell.cell.algorithm;
+    EXPECT_EQ(cell.output_hash, it->second->output_hash);
+    EXPECT_EQ(cell.rounds, it->second->rounds);
+  }
+}
+
+TEST(Campaign, RunsOnASharedThreadPool) {
+  ThreadPool pool(3);
+  CampaignOptions options;
+  options.pool = &pool;
+  const auto cells = make_grid({"path", "tree"}, ScenarioParams{40, 0, 0},
+                               {"mis-uniform"}, 2, 1);
+  const CampaignResult result = run_campaign(cells, options);
+  EXPECT_EQ(result.workers, 3);
+  EXPECT_EQ(result.failed, 0);
+  EXPECT_EQ(result.valid, static_cast<int>(cells.size()));
+}
+
+TEST(Campaign, CheckerCatchesAnAlgorithmThatLies) {
+  CampaignAlgorithms table;
+  table.add("liar-mis", make_problem("mis"),
+            [](const Instance& instance, std::uint64_t,
+               EngineWorkspace*) {
+              // Claims "solved" with every node selected — invalid on any
+              // graph with an edge.
+              return CellOutcome{
+                  std::vector<std::int64_t>(
+                      static_cast<std::size_t>(instance.num_nodes()), 1),
+                  1, true, EngineStats{}};
+            });
+  CampaignCell cell;
+  cell.scenario = "path";
+  cell.params.n = 10;
+  cell.algorithm = "liar-mis";
+  CampaignOptions options;
+  options.algorithms = &table;
+  const CampaignResult result = run_campaign({cell}, options);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_TRUE(result.cells[0].solved);
+  EXPECT_FALSE(result.cells[0].valid);
+  EXPECT_EQ(result.valid, 0);
+}
+
+TEST(Campaign, IsolatesThrowingCells) {
+  CampaignAlgorithms table;
+  table.add("boom", make_problem("mis"),
+            [](const Instance&, std::uint64_t,
+               EngineWorkspace*) -> CellOutcome {
+              throw std::runtime_error("cell exploded");
+            });
+  auto cells = make_grid({"path"}, ScenarioParams{20, 0, 0}, {"boom"}, 1, 1);
+  CampaignCell good;
+  good.scenario = "path";
+  good.params.n = 20;
+  good.algorithm = "mis-uniform";
+  cells.push_back(good);
+  CampaignCell unknown;
+  unknown.scenario = "no-such-family";
+  unknown.algorithm = "mis-uniform";
+  cells.push_back(unknown);
+
+  CampaignAlgorithms merged = table;  // table lacks mis-uniform
+  merged.add("mis-uniform", make_problem("mis"),
+             [](const Instance& instance, std::uint64_t seed,
+                EngineWorkspace* workspace) {
+               return default_campaign_algorithms().run(
+                   "mis-uniform", instance, seed, workspace);
+             });
+  CampaignOptions options;
+  options.algorithms = &merged;
+  options.workers = 2;
+  const CampaignResult result = run_campaign(cells, options);
+  ASSERT_EQ(result.cells.size(), 3u);
+  EXPECT_NE(result.cells[0].error.find("cell exploded"), std::string::npos);
+  EXPECT_TRUE(result.cells[1].error.empty());
+  EXPECT_TRUE(result.cells[1].valid);
+  EXPECT_NE(result.cells[2].error.find("unknown scenario"),
+            std::string::npos);
+  EXPECT_EQ(result.failed, 2);
+}
+
+TEST(Campaign, WritesCsvAndJson) {
+  const auto cells = make_grid({"path", "cycle"}, ScenarioParams{24, 0, 0},
+                               {"mis-uniform"}, 1, 3);
+  const CampaignResult result = run_campaign(cells, {});
+  std::ostringstream csv;
+  write_campaign_csv(csv, result);
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find("scenario,n,a,b,algorithm"), std::string::npos);
+  // Header plus one row per cell.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv_text.begin(), csv_text.end(), '\n')),
+            cells.size() + 1);
+  std::ostringstream json;
+  write_campaign_json(json, result);
+  const std::string text = json.str();
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_EQ(text.back(), '}');
+  EXPECT_NE(text.find("\"cells_per_second\""), std::string::npos);
+  EXPECT_NE(text.find("\"cell_results\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unilocal

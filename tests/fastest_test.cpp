@@ -85,6 +85,98 @@ TEST(Theorem4, SingleAlgorithmDegeneratesToDoublingRestart) {
   EXPECT_TRUE(is_maximal_independent_set(instance.graph, result.outputs));
 }
 
+TEST(Theorem4, TransformedExecutableRunsInLentArena) {
+  // Grow a workspace with a large standalone run, then lend it to a
+  // transformer-backed executable on a tiny instance. The nested
+  // Theorem-1 driver must join the lent arena (arena_bytes then reports
+  // the shared grown capacity) instead of allocating a fresh small one —
+  // the shared-arena property run_fastest relies on.
+  EngineWorkspace workspace;
+  Rng rng(5);
+  Instance big = make_instance(gnp(3000, 0.003, rng),
+                               IdentityScheme::kRandomPermuted, 3);
+  RunOptions grow_options;
+  const GreedyMis greedy;
+  const RunResult grown = run_local(big, greedy, grow_options, &workspace);
+  ASSERT_GT(grown.stats.arena_bytes, 0);
+
+  Combinator combinator;
+  Instance small = make_instance(path_graph(24), IdentityScheme::kSequential);
+  const auto lent = combinator.colored->run(small, 1 << 12, 1, &workspace);
+  EXPECT_GE(lent.stats.arena_bytes, grown.stats.arena_bytes);
+
+  // Without a lent workspace the nested driver's own arena is sized to the
+  // small instance — the discriminating baseline.
+  const auto fresh = combinator.colored->run(small, 1 << 12, 1);
+  EXPECT_LT(fresh.stats.arena_bytes, grown.stats.arena_bytes);
+}
+
+TEST(Theorem1, TransformerRunsInLentWorkspace) {
+  EngineWorkspace workspace;
+  Rng rng(6);
+  Instance big = make_instance(gnp(3000, 0.003, rng),
+                               IdentityScheme::kRandomPermuted, 4);
+  const GreedyMis greedy;
+  const RunResult grown = run_local(big, greedy, {}, &workspace);
+  ASSERT_GT(grown.stats.arena_bytes, 0);
+
+  Instance small = make_instance(path_graph(24), IdentityScheme::kSequential);
+  const auto algorithm = make_coloring_mis();
+  const RulingSetPruning pruning(1);
+  UniformRunOptions options;
+  options.workspace = &workspace;
+  const auto result =
+      run_uniform_transformer(small, *algorithm, pruning, options);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(is_maximal_independent_set(small.graph, result.outputs));
+  EXPECT_GE(result.engine_stats.arena_bytes, grown.stats.arena_bytes);
+}
+
+namespace {
+
+/// Records every budget run_fastest hands out; never solves anything.
+class BudgetRecorder final : public UniformExecutable {
+ public:
+  explicit BudgetRecorder(std::vector<std::int64_t>* budgets)
+      : budgets_(budgets) {}
+  std::string name() const override { return "budget-recorder"; }
+  AlternatingDriver::CustomOutcome run(
+      const Instance& instance, std::int64_t budget, std::uint64_t /*seed*/,
+      EngineWorkspace* /*workspace*/) const override {
+    budgets_->push_back(budget);
+    return {std::vector<std::int64_t>(
+                static_cast<std::size_t>(instance.num_nodes()), 0),
+            1,
+            {}};
+  }
+
+ private:
+  std::vector<std::int64_t>* budgets_;
+};
+
+}  // namespace
+
+TEST(Theorem4, BudgetSaturatesPastSixtyTwoIterations) {
+  // budget = 1 << i was UB once max_iterations exceeded 62; it must now
+  // saturate at the engine's default round cap while staying positive and
+  // non-decreasing.
+  std::vector<std::int64_t> budgets;
+  BudgetRecorder recorder(&budgets);
+  const RulingSetPruning pruning(1);
+  Instance instance = make_instance(path_graph(2), IdentityScheme::kSequential);
+  UniformRunOptions options;
+  options.max_iterations = 80;
+  const UniformRunResult result =
+      run_fastest(instance, {&recorder}, pruning, options);
+  EXPECT_FALSE(result.solved);
+  ASSERT_EQ(budgets.size(), 80u);
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    EXPECT_GT(budgets[i], 0) << i;
+    if (i > 0) EXPECT_GE(budgets[i], budgets[i - 1]) << i;
+  }
+  EXPECT_EQ(budgets.back(), RunOptions{}.max_rounds);
+}
+
 TEST(Theorem4, TraceRecordsAlternation) {
   Combinator combinator;
   const RulingSetPruning pruning(1);

@@ -306,6 +306,19 @@ TEST(Io, RejectsMalformed) {
   EXPECT_THROW(from_edge_list_string("-1 0\n"), std::runtime_error);
 }
 
+TEST(Io, RejectsSelfLoops) {
+  EXPECT_THROW(from_edge_list_string("3 1\n1 1\n"), std::runtime_error);
+  EXPECT_THROW(from_edge_list_string("3 2\n0 1\n2 2\n"), std::runtime_error);
+}
+
+TEST(Io, RejectsWrongEdgeCountHeaders) {
+  // Header promises more edges than the body provides.
+  EXPECT_THROW(from_edge_list_string("4 3\n0 1\n1 2\n"), std::runtime_error);
+  EXPECT_THROW(from_edge_list_string("4 1\n"), std::runtime_error);
+  // A negative count is a bad header, not a truncation.
+  EXPECT_THROW(from_edge_list_string("4 -1\n"), std::runtime_error);
+}
+
 TEST(Io, DotContainsNodesAndEdges) {
   Graph g = path_graph(3);
   const std::string dot = to_dot(g, {"a", "b", "c"});

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include "src/core/runtime_bound.h"
 #include "src/util/math.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace unilocal {
 namespace {
@@ -146,6 +149,47 @@ TEST(Math, SaturatingOps) {
   EXPECT_EQ(sat_mul(0, kMax), 0);
   EXPECT_EQ(sat_pow(2, 62), std::int64_t{1} << 62);
   EXPECT_EQ(sat_pow(10, 30), kMax);
+}
+
+TEST(ThreadPool, RunsEveryJobOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.run(64, [&](int job) { ++hits[static_cast<std::size_t>(job)]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ThrowingJobRethrowsInsteadOfDeadlocking) {
+  // Regression: drain() used to skip the unfinished_ decrement on a throw,
+  // hanging done_cv_.wait forever (and terminating the process when the
+  // throw happened on a worker thread).
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.run(32,
+                        [&](int job) {
+                          ++ran;
+                          if (job % 2 == 1)
+                            throw std::runtime_error("job failed");
+                        }),
+               std::runtime_error);
+  // Unclaimed jobs were abandoned after the first failure.
+  EXPECT_LE(ran.load(), 32);
+  EXPECT_GE(ran.load(), 1);
+  // The pool stays usable with consistent counters after the failure.
+  std::atomic<int> after{0};
+  pool.run(16, [&](int) { ++after; });
+  EXPECT_EQ(after.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionOnWorkerThreadDoesNotTerminate) {
+  ThreadPool pool(4);
+  for (int repeat = 0; repeat < 8; ++repeat) {
+    EXPECT_THROW(
+        pool.run(64, [&](int) { throw std::runtime_error("always"); }),
+        std::runtime_error);
+  }
+  std::atomic<int> after{0};
+  pool.run(8, [&](int) { ++after; });
+  EXPECT_EQ(after.load(), 8);
 }
 
 TEST(RuntimeBoundInversion, LargestArgAtMost) {
