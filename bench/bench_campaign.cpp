@@ -20,10 +20,14 @@ namespace {
 std::vector<CampaignCell> benchmark_grid() {
   ScenarioParams params;
   params.n = 600;
-  // 6 families x 2 algorithms x 6 seeds = 72 cells.
+  // 6 families x 2 algorithms x 6 seeds = 72 cells. The algorithm keys go
+  // through the registry's pattern resolution (the same path `sweep
+  // --algos` uses), so the bench breaks loudly if the keys disappear.
+  const std::vector<std::string> algorithms =
+      default_algorithm_registry().resolve({"mis-uniform", "mis-fastest"});
   return make_grid({"gnp", "power-law", "geometric", "layered-forest",
                     "caterpillar", "bounded-degree"},
-                   params, {"mis-uniform", "mis-fastest"}, 6);
+                   params, algorithms, 6);
 }
 
 /// The baseline the campaign has to beat: the same cells, one at a time,
@@ -94,6 +98,33 @@ void BM_CampaignDeterminism1vsN(benchmark::State& state) {
   state.counters["cells"] = static_cast<double>(cells.size());
 }
 BENCHMARK(BM_CampaignDeterminism1vsN)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// The full pipeline zoo as one campaign: every registered algorithm on
+/// the scenario families its Table 1 row is stated over (the grid
+/// `unilocal_cli table1` runs).
+void BM_Table1Campaign(benchmark::State& state) {
+  ScenarioParams params;
+  params.n = 128;
+  const auto cells = make_table1_grid(params, 1);
+  const int workers = static_cast<int>(state.range(0));
+  int valid = 0;
+  for (auto _ : state) {
+    CampaignOptions options;
+    options.workers = workers;
+    const CampaignResult result = run_campaign(cells, options);
+    valid = result.valid;
+    benchmark::DoNotOptimize(result.cells.data());
+  }
+  state.counters["cells"] = static_cast<double>(cells.size());
+  state.counters["valid"] = static_cast<double>(valid);
+  state.counters["algorithms"] = static_cast<double>(
+      default_algorithm_registry().names().size());
+  state.counters["cells/sec"] = benchmark::Counter(
+      static_cast<double>(cells.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Table1Campaign)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace
 }  // namespace unilocal

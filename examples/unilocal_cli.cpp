@@ -11,12 +11,24 @@
 //
 //   unilocal_cli sweep [--scenarios=a,b,..] [--algorithms=x,y,..] [--n=N]
 //                      [--a=V] [--b=V] [--seeds=K] [--workers=W]
-//                      [--format=csv|json] [--list]
+//                      [--format=csv|json] [--log=FILE] [--list]
 //
 //   Runs the (scenario x algorithm x seed) grid concurrently on W workers
 //   (campaign layer, src/runtime/campaign.h), prints one CSV row (or JSON
 //   record) per cell on stdout and the aggregate summary on stderr.
-//   --list shows the registered scenario families and algorithms.
+//   --algorithms (alias --algos) accepts registry keys, '*'/'?' globs
+//   (e.g. 'mis-*'), and the word 'all'. --list shows the registered
+//   scenario families and algorithms. --log appends one JSON line to the
+//   append-only run log and diffs against the last recorded sweep of the
+//   same grid.
+//
+//   unilocal_cli table1 [--n=N] [--seeds=K] [--workers=W]
+//                       [--format=csv|json] [--log=FILE] [--smoke]
+//
+//   Regenerates the paper's Table 1 grid as ONE campaign: every registry
+//   entry crossed with the scenario families its row is stated over.
+//   --smoke shrinks the grid (n=64, 1 seed) for CI. Exit status 0 iff
+//   every cell ran, solved, and passed its centralized checker.
 //
 // Prints one line per node: "<identity> <output>" (plus a summary on
 // stderr). Every algorithm here is the uniform product of the paper's
@@ -45,6 +57,7 @@
 #include "src/prune/matching_prune.h"
 #include "src/prune/ruling_set_prune.h"
 #include "src/runtime/campaign.h"
+#include "src/runtime/run_log.h"
 
 using namespace unilocal;
 
@@ -55,8 +68,11 @@ int usage() {
                "usage: unilocal_cli <mis|matching|coloring|rulingset2> "
                "[edge-list-file] [--stats]\n"
                "       unilocal_cli sweep [--scenarios=a,b,..] "
-               "[--algorithms=x,y,..] [--n=N] [--a=V] [--b=V] [--seeds=K] "
-               "[--workers=W] [--format=csv|json] [--list]\n");
+               "[--algorithms=x,y,..|all|glob*] [--n=N] [--a=V] [--b=V] "
+               "[--seeds=K] [--workers=W] [--format=csv|json] [--log=FILE] "
+               "[--list]\n"
+               "       unilocal_cli table1 [--n=N] [--seeds=K] [--workers=W] "
+               "[--format=csv|json] [--log=FILE] [--smoke]\n");
   return 2;
 }
 
@@ -74,33 +90,104 @@ void print_percentiles(const char* what, const CampaignPercentiles& p) {
                p.p50, p.p90, p.p99, p.max);
 }
 
+/// Writes the per-cell output, prints the aggregate summary and every
+/// non-valid cell, optionally appends to / diffs against the run log.
+/// Returns 0 iff every cell ran, solved, and passed its checker.
+int report_campaign(const char* what, const CampaignResult& result,
+                    bool json, const std::string& log_path) {
+  if (json) {
+    write_campaign_json(std::cout, result);
+    std::cout << '\n';
+  } else {
+    write_campaign_csv(std::cout, result);
+  }
+  std::fprintf(stderr,
+               "%s: cells=%zu workers=%d solved=%d valid=%d failed=%d "
+               "elapsed=%.3fs throughput=%.1f cells/s\n",
+               what, result.cells.size(), result.workers, result.solved,
+               result.valid, result.failed, result.elapsed_seconds,
+               result.cells_per_second);
+  print_percentiles("rounds", result.rounds);
+  print_percentiles("messages", result.messages);
+  print_percentiles("steps/sec", result.steps_per_second);
+  for (const auto& cell : result.cells) {
+    if (!cell.error.empty())
+      std::fprintf(stderr, "%s: FAILED %s/%s seed=%llu: %s\n", what,
+                   cell.cell.scenario.c_str(), cell.cell.algorithm.c_str(),
+                   static_cast<unsigned long long>(cell.cell.seed),
+                   cell.error.c_str());
+    else if (!cell.valid)
+      std::fprintf(stderr, "%s: %s %s/%s seed=%llu\n", what,
+                   cell.solved ? "INVALID" : "UNSOLVED",
+                   cell.cell.scenario.c_str(), cell.cell.algorithm.c_str(),
+                   static_cast<unsigned long long>(cell.cell.seed));
+  }
+  if (!log_path.empty()) {
+    const RunLogComparison comparison = compare_run_log(log_path, result);
+    if (comparison.found) {
+      std::fprintf(stderr,
+                   "%s: vs %s (same grid): rounds.p50 x%.2f "
+                   "messages.p50 x%.2f cells/s x%.2f elapsed x%.2f\n",
+                   what, comparison.baseline.date.c_str(),
+                   comparison.rounds_p50_ratio,
+                   comparison.messages_p50_ratio,
+                   comparison.cells_per_second_ratio,
+                   comparison.elapsed_ratio);
+    } else {
+      std::fprintf(stderr, "%s: no recorded sweep of this grid in %s\n",
+                   what, log_path.c_str());
+    }
+    append_run_log(log_path, result);
+  }
+  // Success means every cell ran, solved, and passed its checker.
+  const bool all_good =
+      result.failed == 0 &&
+      result.valid == static_cast<int>(result.cells.size());
+  return all_good ? 0 : 1;
+}
+
 int run_sweep(int argc, char** argv) {
   std::vector<std::string> scenarios = {"gnp", "power-law", "geometric",
                                         "layered-forest", "caterpillar"};
-  std::vector<std::string> algorithms = {"mis-uniform", "mis-fastest"};
+  std::vector<std::string> algorithm_patterns = {"mis-uniform",
+                                                 "mis-fastest"};
   ScenarioParams params;
   params.n = 200;
   int seeds = 2;
   unsigned workers = std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
   bool json = false;
+  std::string log_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
     if (arg == "--list") {
+      const auto& registry = default_algorithm_registry();
       std::printf("scenario families:\n");
       for (const auto& name : default_scenarios().names())
         std::printf("  %-16s %s\n", name.c_str(),
                     default_scenarios().describe(name).c_str());
-      std::printf("algorithms:\n");
-      for (const auto& name : default_campaign_algorithms().names())
-        std::printf("  %-20s validated against: %s\n", name.c_str(),
-                    default_campaign_algorithms().problem(name).name().c_str());
+      std::printf("algorithms (selection accepts globs and 'all'):\n");
+      for (const auto& name : registry.names()) {
+        const AlgorithmSpec& spec = registry.spec(name);
+        std::string knobs;
+        for (const auto& [knob, knob_value] : spec.knobs) {
+          char buffer[48];
+          std::snprintf(buffer, sizeof(buffer), "%s%s=%g",
+                        knobs.empty() ? "" : " ", knob.c_str(), knob_value);
+          knobs += buffer;
+        }
+        std::printf("  %-26s problem=%-14s %s%s%s\n      %s\n", name.c_str(),
+                    spec.problem.c_str(), knobs.empty() ? "" : "knobs:",
+                    knobs.c_str(), knobs.empty() ? "" : ";",
+                    spec.describe.c_str());
+      }
       return 0;
     } else if (arg.rfind("--scenarios=", 0) == 0) {
       scenarios = split_csv(value());
-    } else if (arg.rfind("--algorithms=", 0) == 0) {
-      algorithms = split_csv(value());
+    } else if (arg.rfind("--algorithms=", 0) == 0 ||
+               arg.rfind("--algos=", 0) == 0) {
+      algorithm_patterns = split_csv(value());
     } else if (arg.rfind("--n=", 0) == 0) {
       params.n = static_cast<NodeId>(std::stol(value()));
     } else if (arg.rfind("--a=", 0) == 0) {
@@ -111,6 +198,8 @@ int run_sweep(int argc, char** argv) {
       seeds = std::stoi(value());
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = static_cast<unsigned>(std::stoi(value()));
+    } else if (arg.rfind("--log=", 0) == 0) {
+      log_path = value();
     } else if (arg.rfind("--format=", 0) == 0) {
       const std::string format = value();
       if (format != "csv" && format != "json") return usage();
@@ -119,6 +208,10 @@ int run_sweep(int argc, char** argv) {
       return usage();
     }
   }
+  // Globs and 'all' expand against the registry; make_grid then validates
+  // every key up front (one error listing all unknown keys).
+  const auto algorithms =
+      default_algorithm_registry().resolve(algorithm_patterns);
   const auto cells = make_grid(scenarios, params, algorithms, seeds);
   if (cells.empty()) {
     std::fprintf(stderr, "sweep: empty grid\n");
@@ -127,38 +220,59 @@ int run_sweep(int argc, char** argv) {
   CampaignOptions options;
   options.workers = static_cast<int>(workers);
   const CampaignResult result = run_campaign(cells, options);
-  if (json) {
-    write_campaign_json(std::cout, result);
-    std::cout << '\n';
-  } else {
-    write_campaign_csv(std::cout, result);
+  return report_campaign("sweep", result, json, log_path);
+}
+
+int run_table1(int argc, char** argv) {
+  ScenarioParams params;
+  params.n = 256;
+  int seeds = 2;
+  unsigned workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  bool json = false;
+  bool smoke = false;
+  bool n_given = false;
+  bool seeds_given = false;
+  std::string log_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--n=", 0) == 0) {
+      params.n = static_cast<NodeId>(std::stol(value()));
+      n_given = true;
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      seeds = std::stoi(value());
+      seeds_given = true;
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = static_cast<unsigned>(std::stoi(value()));
+    } else if (arg.rfind("--log=", 0) == 0) {
+      log_path = value();
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string format = value();
+      if (format != "csv" && format != "json") return usage();
+      json = format == "json";
+    } else {
+      return usage();
+    }
   }
+  // --smoke shrinks only the knobs the user did not set explicitly, so
+  // flag order never changes the grid (and hence the --log grid hash).
+  if (smoke) {
+    if (!n_given) params.n = 64;
+    if (!seeds_given) seeds = 1;
+  }
+  const auto cells = make_table1_grid(params, seeds);
   std::fprintf(stderr,
-               "sweep: cells=%zu workers=%d solved=%d valid=%d failed=%d "
-               "elapsed=%.3fs throughput=%.1f cells/s\n",
-               result.cells.size(), result.workers, result.solved,
-               result.valid, result.failed, result.elapsed_seconds,
-               result.cells_per_second);
-  print_percentiles("rounds", result.rounds);
-  print_percentiles("messages", result.messages);
-  print_percentiles("steps/sec", result.steps_per_second);
-  for (const auto& cell : result.cells) {
-    if (!cell.error.empty())
-      std::fprintf(stderr, "sweep: FAILED %s/%s seed=%llu: %s\n",
-                   cell.cell.scenario.c_str(), cell.cell.algorithm.c_str(),
-                   static_cast<unsigned long long>(cell.cell.seed),
-                   cell.error.c_str());
-    else if (!cell.valid)
-      std::fprintf(stderr, "sweep: %s %s/%s seed=%llu\n",
-                   cell.solved ? "INVALID" : "UNSOLVED",
-                   cell.cell.scenario.c_str(), cell.cell.algorithm.c_str(),
-                   static_cast<unsigned long long>(cell.cell.seed));
-  }
-  // Success means every cell ran, solved, and passed its checker.
-  const bool all_good =
-      result.failed == 0 &&
-      result.valid == static_cast<int>(result.cells.size());
-  return all_good ? 0 : 1;
+               "table1: %zu cells (%zu algorithms x their Table 1 "
+               "families x %d seed%s, n=%d)\n",
+               cells.size(), default_algorithm_registry().names().size(),
+               seeds, seeds == 1 ? "" : "s", params.n);
+  CampaignOptions options;
+  options.workers = static_cast<int>(workers);
+  const CampaignResult result = run_campaign(cells, options);
+  return report_campaign("table1", result, json, log_path);
 }
 
 void emit_stats(const EngineStats& stats, const char* what) {
@@ -192,6 +306,14 @@ int main(int argc, char** argv) {
       return run_sweep(argc, argv);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "sweep: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "table1") == 0) {
+    try {
+      return run_table1(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "table1: %s\n", e.what());
       return 1;
     }
   }

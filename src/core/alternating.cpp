@@ -23,6 +23,7 @@ NodeId AlternatingDriver::run_step(const Algorithm& algorithm,
   RunOptions options;
   options.max_rounds = budget;
   options.seed = seed;
+  options.num_threads = std::max(1, engine_threads);
   const RunResult result =
       run_local(current_, algorithm, options, &workspace());
   stats_.merge(result.stats);

@@ -47,6 +47,10 @@ class AlternatingDriver {
                                           : workspace_;
   }
 
+  /// RunOptions::num_threads of every engine run the driver issues. The
+  /// engine is thread-count invariant, so this only affects latency.
+  int engine_threads = 1;
+
   bool done() const noexcept { return current_.num_nodes() == 0; }
   NodeId remaining() const noexcept { return current_.num_nodes(); }
   const Instance& current() const noexcept { return current_; }

@@ -132,7 +132,11 @@ ColoringTransformResult run_uniform_coloring_transform(
   };
 
   std::uint64_t seed = options.seed;
-  EngineWorkspace workspace;  // one arena across every layer's phase-2 run
+  // One arena across every layer's phase-2 run; joins the caller's lent
+  // workspace when there is one (campaign cells lend their checked-out one).
+  EngineWorkspace local_workspace;
+  EngineWorkspace* workspace =
+      options.workspace != nullptr ? options.workspace : &local_workspace;
   for (int layer = 0; layer + 1 < static_cast<int>(thresholds.size());
        ++layer) {
     std::vector<bool> keep(static_cast<std::size_t>(n), false);
@@ -186,9 +190,10 @@ ColoringTransformResult run_uniform_coloring_transform(
     const auto phase2_algorithm = algorithm.instantiate(delta_hat, m_phase2);
     RunOptions run_options;
     run_options.seed = seed++;
+    run_options.num_threads = std::max(1, options.engine_threads);
     const RunResult phase2 =
         run_local(recolor_instance, *phase2_algorithm, run_options,
-                  &workspace);
+                  workspace);
     result.engine_stats.merge(phase2.stats);
     if (!phase2.all_finished) {
       result.solved = false;

@@ -16,10 +16,11 @@ class LocalExecutable final : public UniformExecutable {
   std::string name() const override { return algorithm_->name(); }
   AlternatingDriver::CustomOutcome run(
       const Instance& instance, std::int64_t budget, std::uint64_t seed,
-      EngineWorkspace* workspace) const override {
+      EngineWorkspace* workspace, int engine_threads) const override {
     RunOptions options;
     options.max_rounds = budget;
     options.seed = seed;
+    options.num_threads = std::max(1, engine_threads);
     RunResult result = run_local(instance, *algorithm_, options, workspace);
     return {std::move(result.outputs), result.rounds_used, result.stats};
   }
@@ -38,7 +39,7 @@ class TransformedExecutable final : public UniformExecutable {
   }
   AlternatingDriver::CustomOutcome run(
       const Instance& instance, std::int64_t budget, std::uint64_t seed,
-      EngineWorkspace* workspace) const override {
+      EngineWorkspace* workspace, int engine_threads) const override {
     // The nested transformer's driver joins the lent arena (when the caller
     // lends one), so every Theorem-1/2/3 sub-run shares the outer driver's
     // workspace instead of re-allocating its own.
@@ -46,6 +47,7 @@ class TransformedExecutable final : public UniformExecutable {
     options.seed = seed;
     options.round_cap = budget;
     options.workspace = workspace;
+    options.engine_threads = engine_threads;
     UniformRunResult result =
         run_uniform_transformer(instance, *algorithm_, *pruning_, options);
     return {std::move(result.outputs), result.total_rounds,
@@ -76,6 +78,7 @@ UniformRunResult run_fastest(
     const std::vector<const UniformExecutable*>& algorithms,
     const PruningAlgorithm& pruning, const UniformRunOptions& options) {
   AlternatingDriver driver(instance, pruning, options.workspace);
+  driver.engine_threads = options.engine_threads;
   UniformRunResult result;
   std::uint64_t seed = options.seed;
   for (int i = 1; i <= options.max_iterations && !driver.done(); ++i) {
@@ -96,7 +99,8 @@ UniformRunResult run_fastest(
       driver.run_custom_step(
           [&](const Instance& current) {
             return algorithm->run(current, budget, step_seed,
-                                  &driver.workspace());
+                                  &driver.workspace(),
+                                  options.engine_threads);
           },
           &trace);
       result.trace.push_back(std::move(trace));

@@ -23,10 +23,12 @@ class UniformExecutable {
   /// rounds consumed (<= budget for plain algorithms; transformer-backed
   /// executables may overshoot by their last sub-iteration, a constant
   /// factor absorbed by the doubling). When the caller lends a workspace
-  /// (run_fastest lends its driver's), the executable runs in that arena.
+  /// (run_fastest lends its driver's), the executable runs in that arena;
+  /// engine_threads is the RunOptions::num_threads of every engine run the
+  /// executable issues (thread-count invariant, latency only).
   virtual AlternatingDriver::CustomOutcome run(
       const Instance& instance, std::int64_t budget, std::uint64_t seed,
-      EngineWorkspace* workspace = nullptr) const = 0;
+      EngineWorkspace* workspace = nullptr, int engine_threads = 1) const = 0;
 };
 
 /// Wraps a plain LOCAL algorithm (e.g. Luby, greedy MIS).

@@ -13,6 +13,7 @@ UniformRunResult run_las_vegas_transformer(const Instance& instance,
   assert(algorithm.gamma() == algorithm.lambda());
 
   AlternatingDriver driver(instance, pruning, options.workspace);
+  driver.engine_threads = options.engine_threads;
   UniformRunResult result;
   std::uint64_t seed = options.seed;
   const std::int64_t c = algorithm.bound().bounding_constant();

@@ -33,6 +33,7 @@ ProductColoringResult run_uniform_deg_plus_one_coloring(
       run_uniform_transformer(product_instance, mis_algorithm, pruning,
                               options);
   result.total_rounds = mis.total_rounds;
+  result.engine_stats = mis.engine_stats;
   if (!mis.solved) return result;
   result.colors = coloring_from_product_mis(product, mis.outputs);
   result.solved =

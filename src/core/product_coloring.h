@@ -20,6 +20,8 @@ struct ProductColoringResult {
   std::int64_t total_rounds = 0;
   /// Size of the product instance actually solved.
   NodeId product_nodes = 0;
+  /// Engine stats of the underlying uniform MIS run.
+  EngineStats engine_stats;
 };
 
 /// Runs `mis_algorithm` (a non-uniform MIS black box with gamma == lambda)

@@ -19,6 +19,7 @@ UniformRunResult run_uniform_transformer(const Instance& instance,
   // (A restricted to c*2^i ; P) sub-iteration below — the sequential
   // composition never re-allocates engine state between stages.
   AlternatingDriver driver(instance, pruning, options.workspace);
+  driver.engine_threads = options.engine_threads;
   UniformRunResult result;
   std::uint64_t seed = options.seed;
   const std::int64_t c = algorithm.bound().bounding_constant();

@@ -32,6 +32,11 @@ struct UniformRunOptions {
   /// lends its driver's workspace; campaign cells lend their checked-out
   /// one). Not safe to share between concurrent runs.
   EngineWorkspace* workspace = nullptr;
+  /// Worker threads for every engine run driven by this transformer
+  /// (RunOptions::num_threads of each sub-iteration). The engine is
+  /// thread-count invariant, so outputs are bit-identical for any value;
+  /// campaigns raise it for large cells to cut tail latency.
+  int engine_threads = 1;
 };
 
 struct UniformRunResult {

@@ -18,6 +18,8 @@ std::shared_ptr<const Problem> make_problem(const std::string& spec) {
     if (kind == "mis" && arg.empty()) return std::make_shared<MisProblem>();
     if (kind == "matching" && arg.empty())
       return std::make_shared<MatchingProblem>();
+    if (kind == "coloring" && arg == "deg+1")
+      return std::make_shared<DegPlusOneColoringProblem>();
     if (kind == "coloring")
       return std::make_shared<ColoringProblem>(
           arg.empty() ? -1 : std::stoll(arg));
@@ -30,7 +32,7 @@ std::shared_ptr<const Problem> make_problem(const std::string& spec) {
 }
 
 std::vector<std::string> problem_specs() {
-  return {"mis", "matching", "coloring", "coloring:<cap>",
+  return {"mis", "matching", "coloring", "coloring:<cap>", "coloring:deg+1",
           "rulingset:<beta>"};
 }
 

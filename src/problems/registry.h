@@ -12,8 +12,8 @@
 namespace unilocal {
 
 /// Specs: "mis", "matching", "coloring" (no palette cap),
-/// "coloring:<cap>", "rulingset:<beta>". Throws std::runtime_error on
-/// anything else.
+/// "coloring:<cap>", "coloring:deg+1" (per-node palette [1, deg(v)+1]),
+/// "rulingset:<beta>". Throws std::runtime_error on anything else.
 std::shared_ptr<const Problem> make_problem(const std::string& spec);
 
 /// The spec forms make_problem accepts (for --help style listings).

@@ -9,19 +9,8 @@
 #include <mutex>
 #include <optional>
 #include <ostream>
+#include <set>
 #include <stdexcept>
-
-#include "src/algo/edge_color_mm.h"
-#include "src/algo/greedy_mis.h"
-#include "src/algo/luby.h"
-#include "src/algo/mis_from_coloring.h"
-#include "src/algo/ruling_set_mc.h"
-#include "src/core/fastest.h"
-#include "src/core/mc_to_lv.h"
-#include "src/core/transformer.h"
-#include "src/problems/registry.h"
-#include "src/prune/matching_prune.h"
-#include "src/prune/ruling_set_prune.h"
 
 namespace unilocal {
 
@@ -63,130 +52,7 @@ void WorkspacePool::checkin(EngineWorkspace* workspace) {
   state_->available_cv.notify_one();
 }
 
-// --- algorithm table --------------------------------------------------------
-
-void CampaignAlgorithms::add(std::string name,
-                             std::shared_ptr<const Problem> problem,
-                             Runner runner) {
-  if (problem == nullptr)
-    throw std::runtime_error("campaign algorithm needs a validator: " + name);
-  entries_[std::move(name)] =
-      Entry{std::move(problem), std::move(runner)};
-}
-
-bool CampaignAlgorithms::contains(const std::string& name) const {
-  return entries_.count(name) != 0;
-}
-
-std::vector<std::string> CampaignAlgorithms::names() const {
-  std::vector<std::string> result;
-  result.reserve(entries_.size());
-  for (const auto& [name, entry] : entries_) result.push_back(name);
-  return result;
-}
-
-const Problem& CampaignAlgorithms::problem(const std::string& name) const {
-  const auto it = entries_.find(name);
-  if (it == entries_.end())
-    throw std::runtime_error("unknown campaign algorithm: " + name);
-  return *it->second.problem;
-}
-
-CellOutcome CampaignAlgorithms::run(const std::string& name,
-                                    const Instance& instance,
-                                    std::uint64_t seed,
-                                    EngineWorkspace* workspace) const {
-  const auto it = entries_.find(name);
-  if (it == entries_.end())
-    throw std::runtime_error("unknown campaign algorithm: " + name);
-  return it->second.runner(instance, seed, workspace);
-}
-
 namespace {
-
-CellOutcome from_uniform(UniformRunResult result) {
-  return {std::move(result.outputs), result.total_rounds, result.solved,
-          result.engine_stats};
-}
-
-CampaignAlgorithms make_default_algorithms() {
-  CampaignAlgorithms table;
-  table.add("mis-uniform", make_problem("mis"),
-            [](const Instance& instance, std::uint64_t seed,
-               EngineWorkspace* workspace) {
-              const auto algorithm = make_coloring_mis();
-              const RulingSetPruning pruning(1);
-              UniformRunOptions options;
-              options.seed = seed;
-              options.workspace = workspace;
-              return from_uniform(run_uniform_transformer(
-                  instance, *algorithm, pruning, options));
-            });
-  table.add("mis-global-uniform", make_problem("mis"),
-            [](const Instance& instance, std::uint64_t seed,
-               EngineWorkspace* workspace) {
-              const auto algorithm = make_global_mis();
-              const RulingSetPruning pruning(1);
-              UniformRunOptions options;
-              options.seed = seed;
-              options.workspace = workspace;
-              return from_uniform(run_uniform_transformer(
-                  instance, *algorithm, pruning, options));
-            });
-  table.add("mis-fastest", make_problem("mis"),
-            [](const Instance& instance, std::uint64_t seed,
-               EngineWorkspace* workspace) {
-              const auto pruning = std::make_shared<RulingSetPruning>(1);
-              const auto greedy =
-                  make_local_executable(std::make_shared<GreedyMis>());
-              const auto colored = make_transformed_executable(
-                  std::shared_ptr<const NonUniformAlgorithm>(
-                      make_coloring_mis()),
-                  pruning);
-              UniformRunOptions options;
-              options.seed = seed;
-              options.workspace = workspace;
-              return from_uniform(run_fastest(
-                  instance, {greedy.get(), colored.get()}, *pruning,
-                  options));
-            });
-  table.add("luby-mis", make_problem("mis"),
-            [](const Instance& instance, std::uint64_t seed,
-               EngineWorkspace* workspace) {
-              const LubyMis luby;
-              RunOptions options;
-              options.seed = seed;
-              options.max_rounds = std::int64_t{1} << 24;
-              RunResult result =
-                  run_local(instance, luby, options, workspace);
-              return CellOutcome{std::move(result.outputs),
-                                 result.rounds_used, result.all_finished,
-                                 result.stats};
-            });
-  table.add("matching-uniform", make_problem("matching"),
-            [](const Instance& instance, std::uint64_t seed,
-               EngineWorkspace* workspace) {
-              const auto algorithm = make_colored_matching();
-              const MatchingPruning pruning;
-              UniformRunOptions options;
-              options.seed = seed;
-              options.workspace = workspace;
-              return from_uniform(run_uniform_transformer(
-                  instance, *algorithm, pruning, options));
-            });
-  table.add("rulingset2-lv", make_problem("rulingset:2"),
-            [](const Instance& instance, std::uint64_t seed,
-               EngineWorkspace* workspace) {
-              const auto algorithm = make_mc_ruling_set(2);
-              const RulingSetPruning pruning(2);
-              UniformRunOptions options;
-              options.seed = seed;
-              options.workspace = workspace;
-              return from_uniform(run_las_vegas_transformer(
-                  instance, *algorithm, pruning, options));
-            });
-  return table;
-}
 
 std::uint64_t fnv1a(const std::vector<std::int64_t>& values) {
   std::uint64_t hash = 14695981039346656037ULL;
@@ -202,8 +68,9 @@ std::uint64_t fnv1a(const std::vector<std::int64_t>& values) {
 
 CellResult run_cell(const CampaignCell& cell,
                     const ScenarioRegistry& scenarios,
-                    const CampaignAlgorithms& algorithms,
-                    EngineWorkspace* workspace, bool keep_outputs) {
+                    const AlgorithmRegistry& algorithms,
+                    EngineWorkspace* workspace,
+                    const CampaignOptions& options) {
   CellResult result;
   result.cell = cell;
   const auto start = std::chrono::steady_clock::now();
@@ -213,8 +80,16 @@ CellResult run_cell(const CampaignCell& cell,
         make_instance(std::move(graph), cell.identities, cell.seed);
     result.nodes = instance.num_nodes();
     result.edges = instance.graph.num_edges();
+    AlgorithmRunContext context;
+    context.seed = cell.seed;
+    context.workspace = workspace;
+    // The large-cell policy: big instances get engine threads (the engine
+    // is thread-count invariant, so the outputs stay bit-identical).
+    if (options.engine_threads_for_large_cells > 1 &&
+        instance.num_nodes() >= options.large_cell_node_threshold)
+      context.engine_threads = options.engine_threads_for_large_cells;
     CellOutcome outcome =
-        algorithms.run(cell.algorithm, instance, cell.seed, workspace);
+        algorithms.run(cell.algorithm, instance, context);
     result.rounds = outcome.rounds;
     result.solved = outcome.solved;
     result.stats = outcome.stats;
@@ -222,7 +97,7 @@ CellResult run_cell(const CampaignCell& cell,
                    algorithms.problem(cell.algorithm)
                        .check(instance, outcome.outputs);
     result.output_hash = fnv1a(outcome.outputs);
-    if (keep_outputs) result.outputs = std::move(outcome.outputs);
+    if (options.keep_outputs) result.outputs = std::move(outcome.outputs);
   } catch (const std::exception& e) {
     result.error = e.what();
   } catch (...) {
@@ -294,11 +169,6 @@ std::string json_escape(const std::string& text) {
 
 }  // namespace
 
-const CampaignAlgorithms& default_campaign_algorithms() {
-  static const CampaignAlgorithms table = make_default_algorithms();
-  return table;
-}
-
 // --- campaign driver --------------------------------------------------------
 
 CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
@@ -306,9 +176,9 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
   const ScenarioRegistry& scenarios =
       options.scenarios != nullptr ? *options.scenarios
                                    : default_scenarios();
-  const CampaignAlgorithms& algorithms =
+  const AlgorithmRegistry& algorithms =
       options.algorithms != nullptr ? *options.algorithms
-                                    : default_campaign_algorithms();
+                                    : default_algorithm_registry();
 
   std::optional<ThreadPool> owned_pool;
   ThreadPool* pool = options.pool;
@@ -325,7 +195,7 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
     const WorkspacePool::Lease lease(workspaces);
     result.cells[static_cast<std::size_t>(i)] =
         run_cell(cells[static_cast<std::size_t>(i)], scenarios, algorithms,
-                 lease.get(), options.keep_outputs);
+                 lease.get(), options);
   });
   result.elapsed_seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - start)
@@ -357,10 +227,53 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
   return result;
 }
 
+namespace {
+
+/// Formats "kind [a, b]" when `keys` is non-empty.
+void describe_unknown(std::string& message, const char* kind,
+                      const std::set<std::string>& keys) {
+  if (keys.empty()) return;
+  if (!message.empty()) message += "; ";
+  message += kind;
+  message += " [";
+  bool first = true;
+  for (const std::string& key : keys) {
+    if (!first) message += ", ";
+    first = false;
+    message += key;
+  }
+  message += "]";
+}
+
+void throw_on_unknown_keys(const std::set<std::string>& scenario_keys,
+                           const std::set<std::string>& algorithm_keys) {
+  if (scenario_keys.empty() && algorithm_keys.empty()) return;
+  std::string message;
+  describe_unknown(message, "scenarios", scenario_keys);
+  describe_unknown(message, "algorithms", algorithm_keys);
+  throw std::runtime_error("unknown campaign keys: " + message);
+}
+
+}  // namespace
+
+void validate_cells(const std::vector<CampaignCell>& cells,
+                    const ScenarioRegistry& scenarios,
+                    const AlgorithmRegistry& algorithms) {
+  std::set<std::string> unknown_scenarios;
+  std::set<std::string> unknown_algorithms;
+  for (const CampaignCell& cell : cells) {
+    if (!scenarios.contains(cell.scenario))
+      unknown_scenarios.insert(cell.scenario);
+    if (!algorithms.contains(cell.algorithm))
+      unknown_algorithms.insert(cell.algorithm);
+  }
+  throw_on_unknown_keys(unknown_scenarios, unknown_algorithms);
+}
+
 std::vector<CampaignCell> make_grid(
     const std::vector<std::string>& scenarios, const ScenarioParams& params,
     const std::vector<std::string>& algorithms, int seeds_per_combination,
-    std::uint64_t base_seed) {
+    const GridOptions& options) {
   std::vector<CampaignCell> cells;
   cells.reserve(scenarios.size() * algorithms.size() *
                 static_cast<std::size_t>(std::max(0, seeds_per_combination)));
@@ -371,10 +284,48 @@ std::vector<CampaignCell> make_grid(
         cell.scenario = scenario;
         cell.params = params;
         cell.algorithm = algorithm;
-        cell.seed = base_seed + static_cast<std::uint64_t>(s);
+        cell.seed = options.base_seed + static_cast<std::uint64_t>(s);
         cells.push_back(std::move(cell));
       }
     }
+  }
+  if (options.validate) {
+    // All unknown keys in one error instead of N identical per-cell
+    // failures at run time.
+    validate_cells(cells,
+                   options.scenarios != nullptr ? *options.scenarios
+                                                : default_scenarios(),
+                   options.algorithms != nullptr
+                       ? *options.algorithms
+                       : default_algorithm_registry());
+  }
+  return cells;
+}
+
+std::vector<CampaignCell> make_grid(
+    const std::vector<std::string>& scenarios, const ScenarioParams& params,
+    const std::vector<std::string>& algorithms, int seeds_per_combination,
+    std::uint64_t base_seed) {
+  GridOptions options;
+  options.base_seed = base_seed;
+  return make_grid(scenarios, params, algorithms, seeds_per_combination,
+                   options);
+}
+
+std::vector<CampaignCell> make_table1_grid(const ScenarioParams& params,
+                                           int seeds_per_combination,
+                                           const GridOptions& options) {
+  const AlgorithmRegistry& algorithms =
+      options.algorithms != nullptr ? *options.algorithms
+                                    : default_algorithm_registry();
+  GridOptions row_options = options;
+  row_options.algorithms = &algorithms;
+  std::vector<CampaignCell> cells;
+  for (const std::string& name : algorithms.names()) {
+    const std::vector<CampaignCell> row =
+        make_grid(algorithms.spec(name).table1_scenarios, params, {name},
+                  seeds_per_combination, row_options);
+    cells.insert(cells.end(), row.begin(), row.end());
   }
   return cells;
 }

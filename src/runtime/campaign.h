@@ -3,13 +3,15 @@
 //
 // PR 1 made a single run fast; this layer makes *many* runs fast. A
 // campaign is a vector of cells — each cell names a scenario family from
-// the registry (src/graph/scenario_registry.h), an algorithm from the
-// campaign algorithm table, and a seed — executed concurrently at cell
-// granularity on one ThreadPool, with a pool of reusable EngineWorkspaces
-// (one per pool thread, round-robin checkout) so no cell allocates a fresh
-// arena. Each cell runs its engine single-threaded, which together with
-// the registry's determinism makes per-cell outputs bit-identical for any
-// worker count and any cell-scheduling order (tests/campaign_test.cpp).
+// the scenario registry (src/graph/scenario_registry.h), an algorithm from
+// the algorithm registry (src/runtime/algorithm_registry.h), and a seed —
+// executed concurrently at cell granularity on one ThreadPool, with a pool
+// of reusable EngineWorkspaces (one per pool thread, round-robin checkout)
+// so no cell allocates a fresh arena. Cell engines default to one thread;
+// the large-cell policy may raise the engine thread count, and because the
+// engine is thread-count invariant, per-cell outputs stay bit-identical
+// for any worker count, engine thread count, and cell-scheduling order
+// (tests/campaign_test.cpp, tests/algorithm_registry_test.cpp).
 //
 // Results carry per-cell summaries, centralized-checker verdicts
 // (src/problems/registry.h), and aggregate percentiles over rounds,
@@ -17,20 +19,19 @@
 //
 // Note on layering: this file lives in src/runtime/ but is the
 // orchestration layer of the library — it sits ABOVE core/algo/prune
-// (the default algorithm table wires up the paper's transformers), so
+// (the default algorithm registry wires up the paper's transformers), so
 // nothing below src/runtime/campaign.* may include it.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/graph/scenario_registry.h"
-#include "src/problems/problem.h"
+#include "src/runtime/algorithm_registry.h"
 #include "src/runtime/instance.h"
 #include "src/runtime/runner.h"
 #include "src/util/thread_pool.h"
@@ -71,48 +72,6 @@ class WorkspacePool {
   struct State;
   std::unique_ptr<State> state_;
 };
-
-/// What one algorithm-table entry produced on an instance.
-struct CellOutcome {
-  std::vector<std::int64_t> outputs;
-  std::int64_t rounds = 0;
-  bool solved = false;
-  EngineStats stats;
-};
-
-/// String-keyed algorithm table: each entry pairs a runner (which must be
-/// deterministic in (instance, seed), run its engine single-threaded, and
-/// honor the lent workspace) with the centralized Problem its outputs are
-/// validated against.
-class CampaignAlgorithms {
- public:
-  using Runner = std::function<CellOutcome(
-      const Instance& instance, std::uint64_t seed,
-      EngineWorkspace* workspace)>;
-
-  void add(std::string name, std::shared_ptr<const Problem> problem,
-           Runner runner);
-  bool contains(const std::string& name) const;
-  std::vector<std::string> names() const;
-  /// The validator of an entry (never null); throws on unknown names.
-  const Problem& problem(const std::string& name) const;
-  CellOutcome run(const std::string& name, const Instance& instance,
-                  std::uint64_t seed, EngineWorkspace* workspace) const;
-
- private:
-  struct Entry {
-    std::shared_ptr<const Problem> problem;
-    Runner runner;
-  };
-  std::map<std::string, Entry> entries_;
-};
-
-/// The built-in table: "mis-uniform" (Theorem 1 over the coloring MIS),
-/// "mis-global-uniform" (Theorem 1 over greedy-as-A_n), "mis-fastest"
-/// (the Theorem 4 combinator of both), "luby-mis" (plain Las Vegas run),
-/// "matching-uniform" (Theorem 1 over colored matching), "rulingset2-lv"
-/// (Theorem 2 over the Monte-Carlo ruling set).
-const CampaignAlgorithms& default_campaign_algorithms();
 
 /// One cell of the sweep grid.
 struct CampaignCell {
@@ -177,8 +136,15 @@ struct CampaignOptions {
   bool keep_outputs = false;
   /// Scenario registry (default_scenarios() when null).
   const ScenarioRegistry* scenarios = nullptr;
-  /// Algorithm table (default_campaign_algorithms() when null).
-  const CampaignAlgorithms* algorithms = nullptr;
+  /// Algorithm registry (default_algorithm_registry() when null).
+  const AlgorithmRegistry* algorithms = nullptr;
+  /// Large-cell engine parallelism policy: cells whose instance has at
+  /// least `large_cell_node_threshold` nodes run their engine with
+  /// `engine_threads_for_large_cells` threads (the engine is thread-count
+  /// invariant, so outputs stay bit-identical — this cuts tail latency on
+  /// skewed grids without giving up determinism). 1 disables the policy.
+  int engine_threads_for_large_cells = 1;
+  NodeId large_cell_node_threshold = 100000;
 };
 
 /// Runs every cell; never throws on per-cell failures (they land in
@@ -186,12 +152,40 @@ struct CampaignOptions {
 CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
                             const CampaignOptions& options = {});
 
+/// Up-front key validation: collects EVERY unknown scenario and algorithm
+/// key across the cells and throws one std::runtime_error naming all of
+/// them (instead of N copies of the same per-cell failure at run time).
+void validate_cells(const std::vector<CampaignCell>& cells,
+                    const ScenarioRegistry& scenarios,
+                    const AlgorithmRegistry& algorithms);
+
+struct GridOptions {
+  std::uint64_t base_seed = 1;
+  /// Registries the keys are validated against (defaults when null).
+  const ScenarioRegistry* scenarios = nullptr;
+  const AlgorithmRegistry* algorithms = nullptr;
+  /// Skip validation entirely (grids aimed at a registry built later).
+  bool validate = true;
+};
+
 /// The full (scenario x algorithm x seed) product grid with shared params;
-/// seeds are base_seed, base_seed + 1, ....
+/// seeds are base_seed, base_seed + 1, .... Validates every key up front
+/// (one error listing all unknown keys) unless options.validate is false.
+std::vector<CampaignCell> make_grid(
+    const std::vector<std::string>& scenarios, const ScenarioParams& params,
+    const std::vector<std::string>& algorithms, int seeds_per_combination,
+    const GridOptions& options);
 std::vector<CampaignCell> make_grid(
     const std::vector<std::string>& scenarios, const ScenarioParams& params,
     const std::vector<std::string>& algorithms, int seeds_per_combination,
     std::uint64_t base_seed = 1);
+
+/// The paper's Table 1 as one campaign grid: every algorithm in the
+/// registry crossed with its own spec.table1_scenarios (the families its
+/// row is stated over), seeds_per_combination seeds each.
+std::vector<CampaignCell> make_table1_grid(
+    const ScenarioParams& params, int seeds_per_combination,
+    const GridOptions& options = {});
 
 /// One CSV row per cell plus a header row.
 void write_campaign_csv(std::ostream& out, const CampaignResult& result);

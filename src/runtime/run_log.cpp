@@ -1,0 +1,216 @@
+#include "src/runtime/run_log.h"
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace unilocal {
+
+namespace {
+
+void hash_word(std::uint64_t& hash, std::uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (word >> (8 * byte)) & 0xffu;
+    hash *= 1099511628211ULL;
+  }
+}
+
+void hash_string(std::uint64_t& hash, const std::string& text) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  hash_word(hash, text.size());  // length-delimited: "ab"+"c" != "a"+"bc"
+}
+
+void write_percentiles(std::ostream& out, const char* key,
+                       const CampaignPercentiles& p) {
+  out << '"' << key << "\":{\"p50\":" << p.p50 << ",\"p90\":" << p.p90
+      << ",\"p99\":" << p.p99 << ",\"max\":" << p.max << '}';
+}
+
+/// Finds `"key":` at top level of the line and parses the number after it
+/// (tolerates a quoted value — grid_hash is written as a string so 64-bit
+/// values survive tools that read JSON numbers as doubles).
+bool find_number(const std::string& line, const std::string& key,
+                 std::size_t from, double& value) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle, from);
+  if (at == std::string::npos) return false;
+  std::size_t cursor = at + needle.size();
+  if (cursor < line.size() && line[cursor] == '"') ++cursor;
+  try {
+    value = std::stod(line.substr(cursor));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool find_u64(const std::string& line, const std::string& key,
+              std::uint64_t& value) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle, 0);
+  if (at == std::string::npos) return false;
+  std::size_t cursor = at + needle.size();
+  if (cursor < line.size() && line[cursor] == '"') ++cursor;
+  try {
+    value = std::stoull(line.substr(cursor));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool find_percentiles(const std::string& line, const std::string& key,
+                      CampaignPercentiles& p) {
+  const std::string needle = "\"" + key + "\":{";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t from = at + needle.size();
+  return find_number(line, "p50", from, p.p50) &&
+         find_number(line, "p90", from, p.p90) &&
+         find_number(line, "p99", from, p.p99) &&
+         find_number(line, "max", from, p.max);
+}
+
+bool parse_entry(const std::string& line, RunLogEntry& entry) {
+  const std::size_t date_at = line.find("\"date\":\"");
+  if (date_at == std::string::npos) return false;
+  const std::size_t date_from = date_at + 8;
+  const std::size_t date_to = line.find('"', date_from);
+  if (date_to == std::string::npos) return false;
+  entry.date = line.substr(date_from, date_to - date_from);
+
+  double workers = 0, cells = 0, solved = 0, valid = 0, failed = 0;
+  if (!find_u64(line, "grid_hash", entry.grid_hash) ||
+      !find_number(line, "workers", 0, workers) ||
+      !find_number(line, "cells", 0, cells) ||
+      !find_number(line, "solved", 0, solved) ||
+      !find_number(line, "valid", 0, valid) ||
+      !find_number(line, "failed", 0, failed) ||
+      !find_number(line, "elapsed_seconds", 0, entry.elapsed_seconds) ||
+      !find_number(line, "cells_per_second", 0, entry.cells_per_second) ||
+      !find_percentiles(line, "rounds", entry.rounds) ||
+      !find_percentiles(line, "messages", entry.messages) ||
+      !find_percentiles(line, "steps_per_second", entry.steps_per_second))
+    return false;
+  entry.workers = static_cast<int>(workers);
+  entry.cells = static_cast<int>(cells);
+  entry.solved = static_cast<int>(solved);
+  entry.valid = static_cast<int>(valid);
+  entry.failed = static_cast<int>(failed);
+  return true;
+}
+
+double ratio(double current, double baseline) {
+  return baseline > 0.0 ? current / baseline : 0.0;
+}
+
+}  // namespace
+
+std::uint64_t campaign_grid_hash(const CampaignResult& result) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const CellResult& cell : result.cells) {
+    hash_string(hash, cell.cell.scenario);
+    hash_word(hash, static_cast<std::uint64_t>(cell.cell.params.n));
+    // Knob doubles hashed bit-exactly (they come from CLI parsing, not
+    // arithmetic, so bit equality is the right notion of "same grid").
+    double a = cell.cell.params.a;
+    double b = cell.cell.params.b;
+    std::uint64_t word = 0;
+    static_assert(sizeof(word) == sizeof(a));
+    std::memcpy(&word, &a, sizeof(word));
+    hash_word(hash, word);
+    std::memcpy(&word, &b, sizeof(word));
+    hash_word(hash, word);
+    hash_string(hash, cell.cell.algorithm);
+    hash_word(hash, cell.cell.seed);
+    hash_word(hash, static_cast<std::uint64_t>(cell.cell.identities));
+  }
+  return hash;
+}
+
+RunLogEntry make_run_log_entry(const CampaignResult& result) {
+  RunLogEntry entry;
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  entry.date = buffer;
+  entry.grid_hash = campaign_grid_hash(result);
+  entry.workers = result.workers;
+  entry.cells = static_cast<int>(result.cells.size());
+  entry.solved = result.solved;
+  entry.valid = result.valid;
+  entry.failed = result.failed;
+  entry.elapsed_seconds = result.elapsed_seconds;
+  entry.cells_per_second = result.cells_per_second;
+  entry.rounds = result.rounds;
+  entry.messages = result.messages;
+  entry.steps_per_second = result.steps_per_second;
+  return entry;
+}
+
+void append_run_log(const std::string& path, const CampaignResult& result) {
+  const RunLogEntry entry = make_run_log_entry(result);
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error("cannot open run log: " + path);
+  out << "{\"date\":\"" << entry.date << "\",\"grid_hash\":\""
+      << entry.grid_hash << "\",\"workers\":" << entry.workers
+      << ",\"cells\":" << entry.cells << ",\"solved\":" << entry.solved
+      << ",\"valid\":" << entry.valid << ",\"failed\":" << entry.failed
+      << ",\"elapsed_seconds\":" << entry.elapsed_seconds
+      << ",\"cells_per_second\":" << entry.cells_per_second << ',';
+  write_percentiles(out, "rounds", entry.rounds);
+  out << ',';
+  write_percentiles(out, "messages", entry.messages);
+  out << ',';
+  write_percentiles(out, "steps_per_second", entry.steps_per_second);
+  out << "}\n";
+}
+
+std::vector<RunLogEntry> read_run_log(const std::string& path) {
+  std::vector<RunLogEntry> entries;
+  std::ifstream in(path);
+  if (!in) return entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    RunLogEntry entry;
+    if (parse_entry(line, entry)) entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+RunLogComparison compare_run_log(const std::string& path,
+                                 const CampaignResult& result) {
+  RunLogComparison comparison;
+  const std::uint64_t hash = campaign_grid_hash(result);
+  for (const RunLogEntry& entry : read_run_log(path)) {
+    if (entry.grid_hash != hash) continue;
+    // Runs with failed cells have degenerate percentiles (they cover only
+    // the surviving cells) — recorded for the audit trail, never used as a
+    // perf baseline.
+    if (entry.failed > 0) continue;
+    comparison.found = true;
+    comparison.baseline = entry;  // keep scanning: latest match wins
+  }
+  if (!comparison.found) return comparison;
+  const RunLogEntry& baseline = comparison.baseline;
+  comparison.rounds_p50_ratio = ratio(result.rounds.p50, baseline.rounds.p50);
+  comparison.messages_p50_ratio =
+      ratio(result.messages.p50, baseline.messages.p50);
+  comparison.steps_per_second_p50_ratio =
+      ratio(result.steps_per_second.p50, baseline.steps_per_second.p50);
+  comparison.cells_per_second_ratio =
+      ratio(result.cells_per_second, baseline.cells_per_second);
+  comparison.elapsed_ratio =
+      ratio(result.elapsed_seconds, baseline.elapsed_seconds);
+  return comparison;
+}
+
+}  // namespace unilocal

@@ -161,17 +161,16 @@ TEST(Campaign, RunsOnASharedThreadPool) {
 }
 
 TEST(Campaign, CheckerCatchesAnAlgorithmThatLies) {
-  CampaignAlgorithms table;
-  table.add("liar-mis", make_problem("mis"),
-            [](const Instance& instance, std::uint64_t,
-               EngineWorkspace*) {
-              // Claims "solved" with every node selected — invalid on any
-              // graph with an edge.
-              return CellOutcome{
-                  std::vector<std::int64_t>(
-                      static_cast<std::size_t>(instance.num_nodes()), 1),
-                  1, true, EngineStats{}};
-            });
+  AlgorithmRegistry table;
+  table.add({"liar-mis", "mis", "claims solved with every node selected",
+             {}, {},
+             [](const Instance& instance, const AlgorithmRunContext&) {
+               // Invalid on any graph with an edge.
+               return CellOutcome{
+                   std::vector<std::int64_t>(
+                       static_cast<std::size_t>(instance.num_nodes()), 1),
+                   1, true, EngineStats{}};
+             }});
   CampaignCell cell;
   cell.scenario = "path";
   cell.params.n = 10;
@@ -186,30 +185,34 @@ TEST(Campaign, CheckerCatchesAnAlgorithmThatLies) {
 }
 
 TEST(Campaign, IsolatesThrowingCells) {
-  CampaignAlgorithms table;
-  table.add("boom", make_problem("mis"),
-            [](const Instance&, std::uint64_t,
-               EngineWorkspace*) -> CellOutcome {
-              throw std::runtime_error("cell exploded");
-            });
-  auto cells = make_grid({"path"}, ScenarioParams{20, 0, 0}, {"boom"}, 1, 1);
+  AlgorithmRegistry merged;
+  merged.add({"boom", "mis", "always throws", {}, {},
+              [](const Instance&, const AlgorithmRunContext&) -> CellOutcome {
+                throw std::runtime_error("cell exploded");
+              }});
+  merged.add({"mis-uniform", "mis", "delegates to the default registry",
+              {}, {},
+              [](const Instance& instance,
+                 const AlgorithmRunContext& context) {
+                return default_algorithm_registry().run("mis-uniform",
+                                                        instance, context);
+              }});
+  GridOptions grid_options;
+  grid_options.algorithms = &merged;
+  auto cells = make_grid({"path"}, ScenarioParams{20, 0, 0}, {"boom"}, 1,
+                         grid_options);
   CampaignCell good;
   good.scenario = "path";
   good.params.n = 20;
   good.algorithm = "mis-uniform";
   cells.push_back(good);
+  // Unknown keys still surface as isolated per-cell run-time errors when a
+  // caller bypasses make_grid's up-front validation.
   CampaignCell unknown;
   unknown.scenario = "no-such-family";
   unknown.algorithm = "mis-uniform";
   cells.push_back(unknown);
 
-  CampaignAlgorithms merged = table;  // table lacks mis-uniform
-  merged.add("mis-uniform", make_problem("mis"),
-             [](const Instance& instance, std::uint64_t seed,
-                EngineWorkspace* workspace) {
-               return default_campaign_algorithms().run(
-                   "mis-uniform", instance, seed, workspace);
-             });
   CampaignOptions options;
   options.algorithms = &merged;
   options.workers = 2;

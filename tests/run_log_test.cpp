@@ -1,0 +1,95 @@
+// The append-only campaign run-log: grid hashing, JSON-line round trip,
+// and baseline comparison for perf-regression diffing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/runtime/campaign.h"
+#include "src/runtime/run_log.h"
+
+namespace unilocal {
+namespace {
+
+class RunLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "unilocal_run_log_test.jsonl";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+CampaignResult tiny_campaign(std::uint64_t base_seed = 1) {
+  ScenarioParams params;
+  params.n = 24;
+  GridOptions grid;
+  grid.base_seed = base_seed;
+  const auto cells =
+      make_grid({"path", "cycle"}, params, {"mis-uniform"}, 1, grid);
+  return run_campaign(cells, {});
+}
+
+TEST_F(RunLogTest, GridHashIdentifiesTheGridNotTheOutcome) {
+  const CampaignResult a = tiny_campaign();
+  const CampaignResult b = tiny_campaign();
+  EXPECT_EQ(campaign_grid_hash(a), campaign_grid_hash(b));
+  // A different seed is a different grid.
+  const CampaignResult c = tiny_campaign(9);
+  EXPECT_NE(campaign_grid_hash(a), campaign_grid_hash(c));
+}
+
+TEST_F(RunLogTest, AppendsOneParseableLinePerRun) {
+  const CampaignResult result = tiny_campaign();
+  append_run_log(path_, result);
+  append_run_log(path_, result);
+  const auto entries = read_run_log(path_);
+  ASSERT_EQ(entries.size(), 2u);
+  for (const RunLogEntry& entry : entries) {
+    EXPECT_EQ(entry.grid_hash, campaign_grid_hash(result));
+    EXPECT_EQ(entry.cells, static_cast<int>(result.cells.size()));
+    EXPECT_EQ(entry.solved, result.solved);
+    EXPECT_EQ(entry.valid, result.valid);
+    EXPECT_EQ(entry.failed, result.failed);
+    EXPECT_EQ(entry.workers, result.workers);
+    EXPECT_DOUBLE_EQ(entry.rounds.p50, result.rounds.p50);
+    EXPECT_DOUBLE_EQ(entry.rounds.max, result.rounds.max);
+    EXPECT_DOUBLE_EQ(entry.messages.p90, result.messages.p90);
+    // ISO-8601 UTC stamp.
+    ASSERT_EQ(entry.date.size(), 20u) << entry.date;
+    EXPECT_EQ(entry.date[10], 'T');
+    EXPECT_EQ(entry.date.back(), 'Z');
+  }
+}
+
+TEST_F(RunLogTest, CompareFindsTheLatestMatchingBaseline) {
+  const CampaignResult result = tiny_campaign();
+  // Empty/missing log: nothing to compare against.
+  EXPECT_FALSE(compare_run_log(path_, result).found);
+  append_run_log(path_, result);
+  const RunLogComparison comparison = compare_run_log(path_, result);
+  ASSERT_TRUE(comparison.found);
+  EXPECT_DOUBLE_EQ(comparison.rounds_p50_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(comparison.messages_p50_ratio, 1.0);
+  // A different grid never matches, even with entries present.
+  EXPECT_FALSE(compare_run_log(path_, tiny_campaign(9)).found);
+}
+
+TEST_F(RunLogTest, SkipsMalformedLines) {
+  const CampaignResult result = tiny_campaign();
+  {
+    std::ofstream out(path_);
+    out << "not json at all\n{\"date\":\"truncated\n";
+  }
+  append_run_log(path_, result);
+  const auto entries = read_run_log(path_);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].grid_hash, campaign_grid_hash(result));
+  // Reading a missing file is empty, not an error.
+  EXPECT_TRUE(read_run_log(path_ + ".missing").empty());
+}
+
+}  // namespace
+}  // namespace unilocal
