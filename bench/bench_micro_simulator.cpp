@@ -146,5 +146,120 @@ BENCHMARK(BM_EngineArena_Arboricity100k)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
+// --- engine long-tail family (BENCH_engine.json straggler rows) -------------
+//
+// The paper's pruning/alternation pipelines leave a shrinking straggler
+// frontier running long after the bulk of the graph has terminated. These
+// workloads reproduce that shape so the engine's fixed per-round costs
+// (send-span clears, finished-node scans, synchronizer eligibility
+// scheduling) are exposed instead of being buried under live stepping work.
+
+/// Broadcasts one word per round until round input[0], then finishes — the
+/// canonical long tail: nearly every node retires after a couple of rounds
+/// while a few input-marked stragglers run for thousands more.
+class StragglerCountdown final : public Algorithm {
+ public:
+  class P final : public Process {
+   public:
+    void step(Context& ctx) override {
+      const std::int64_t deadline = ctx.input().empty() ? 0 : ctx.input()[0];
+      if (ctx.round() >= deadline) {
+        ctx.finish(ctx.round());
+        return;
+      }
+      ctx.broadcast({ctx.round()});
+    }
+  };
+  std::unique_ptr<Process> spawn(const NodeInit&) const override {
+    return std::make_unique<P>();
+  }
+  std::string name() const override { return "straggler-countdown"; }
+};
+
+/// High-diameter caterpillar (n = 100k) where every node finishes within 3
+/// steps except 100 spine stragglers that run for `tail` rounds.
+Instance longtail_caterpillar_instance(std::int64_t tail) {
+  const NodeId spine = 50000;
+  const NodeId legs = 50000;
+  Rng rng(11);
+  Instance instance = make_instance(caterpillar(spine, legs, rng),
+                                    IdentityScheme::kRandomSparse, 5);
+  for (NodeId v = 0; v < instance.num_nodes(); ++v)
+    instance.inputs[static_cast<std::size_t>(v)] = {2};
+  for (NodeId v = 0; v < spine; v += 500)
+    instance.inputs[static_cast<std::size_t>(v)] = {tail};
+  return instance;
+}
+
+void BM_EngineLongTail_CaterpillarStragglers(benchmark::State& state) {
+  const Instance instance = longtail_caterpillar_instance(4000);
+  const StragglerCountdown algorithm;
+  std::int64_t rounds = 0;
+  EngineWorkspace workspace;
+  for (auto _ : state) {
+    const RunResult result =
+        run_local(instance, algorithm, RunOptions{}, &workspace);
+    rounds += result.rounds_used;
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["rounds/iter"] = benchmark::Counter(
+      static_cast<double>(rounds), benchmark::Counter::kAvgIterations);
+  state.counters["nodes"] = static_cast<double>(instance.num_nodes());
+}
+BENCHMARK(BM_EngineLongTail_CaterpillarStragglers)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same straggler tail under the alpha synchronizer (all nodes wake at
+/// 0): after a couple of global rounds only the 100 spine stragglers remain
+/// eligible while thousands of global rounds elapse — the worst case for a
+/// per-global-round full eligibility rescan.
+void BM_EngineLongTail_CaterpillarSyncStragglers(benchmark::State& state) {
+  const Instance instance = longtail_caterpillar_instance(4000);
+  RunOptions options;
+  options.wake_rounds.assign(
+      static_cast<std::size_t>(instance.num_nodes()), 0);
+  const StragglerCountdown algorithm;
+  std::int64_t global_rounds = 0;
+  EngineWorkspace workspace;
+  for (auto _ : state) {
+    const RunResult result =
+        run_local(instance, algorithm, options, &workspace);
+    global_rounds += result.global_rounds;
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["global_rounds/iter"] = benchmark::Counter(
+      static_cast<double>(global_rounds), benchmark::Counter::kAvgIterations);
+  state.counters["nodes"] = static_cast<double>(instance.num_nodes());
+}
+BENCHMARK(BM_EngineLongTail_CaterpillarSyncStragglers)
+    ->Unit(benchmark::kMillisecond);
+
+/// Luby on G(n,p) under the alpha synchronizer with 8 late wakers spread up
+/// to global round 8000: the whole graph throttles to within its distance of
+/// the sleepers, so most global rounds have an empty (or tiny) eligible set.
+void BM_EngineLongTail_GnpLubyWakeTail(benchmark::State& state) {
+  const Instance instance = engine_gnp_instance();
+  RunOptions options;
+  options.wake_rounds.assign(
+      static_cast<std::size_t>(instance.num_nodes()), 0);
+  for (int k = 0; k < 8; ++k)
+    options.wake_rounds[static_cast<std::size_t>(k) * 12503] = 1000 * (k + 1);
+  const LubyMis algorithm;
+  std::uint64_t seed = 1;
+  std::int64_t global_rounds = 0;
+  EngineWorkspace workspace;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const RunResult result =
+        run_local(instance, algorithm, options, &workspace);
+    global_rounds += result.global_rounds;
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["global_rounds/iter"] = benchmark::Counter(
+      static_cast<double>(global_rounds), benchmark::Counter::kAvgIterations);
+  state.counters["nodes"] = static_cast<double>(instance.num_nodes());
+}
+BENCHMARK(BM_EngineLongTail_GnpLubyWakeTail)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace unilocal

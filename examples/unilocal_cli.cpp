@@ -7,7 +7,8 @@
 //   [file]:    edge list ("n m" header then "u v" per line);
 //              reads stdin when omitted.
 //   --stats:   also print per-run engine statistics (arena bytes, peak
-//              messages/round, steps/sec) on stderr.
+//              messages/round, steps/sec, peak/final live nodes, frontier
+//              width, lazily cleared dirty spans) on stderr.
 //
 //   unilocal_cli sweep [--scenarios=a,b,..] [--algorithms=x,y,..] [--n=N]
 //                      [--a=V] [--b=V] [--seeds=K] [--workers=W]
@@ -283,6 +284,13 @@ void emit_stats(const EngineStats& stats, const char* what) {
                static_cast<long long>(stats.peak_round_messages),
                static_cast<long long>(stats.total_steps),
                stats.steps_per_second, stats.threads);
+  std::fprintf(stderr,
+               "%s frontier: peak_live=%lld final_live=%lld "
+               "peak_frontier=%lld dirty_spans_cleared=%lld\n",
+               what, static_cast<long long>(stats.peak_live_nodes),
+               static_cast<long long>(stats.final_live_nodes),
+               static_cast<long long>(stats.peak_frontier_nodes),
+               static_cast<long long>(stats.dirty_spans_cleared));
 }
 
 void emit(const Instance& instance, const std::vector<std::int64_t>& outputs,

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <numeric>
 #include <optional>
 #include <utility>
 
 #include "src/graph/csr.h"
 #include "src/graph/params.h"
+#include "src/runtime/frontier.h"
 #include "src/util/math.h"
 #include "src/util/thread_pool.h"
 
@@ -16,11 +18,26 @@ namespace unilocal {
 namespace {
 
 /// Arena descriptor of one directed edge's message: offset into the owning
-/// word buffer and length. words < 0 means no message.
+/// word buffer and length. words < 0 means no message. The top bits of
+/// offset carry the id of the stepping thread whose word buffer holds the
+/// payload — needed because the live list is re-chunked across threads every
+/// round, so a sender's thread cannot be derived from its node id; packing
+/// keeps the span at 16 bytes (4 per cache line) on the hot receive path.
 struct Span {
   std::int64_t offset = 0;
   std::int64_t words = -1;
 };
+
+/// offset layout: bits [kOwnerShift, 63) = writer thread, low bits = word
+/// offset. Word buffers stay far below 2^48 entries; thread counts below
+/// 2^15 are enforced in the engine constructor.
+constexpr int kOwnerShift = 48;
+constexpr std::int64_t kOffsetMask = (std::int64_t{1} << kOwnerShift) - 1;
+
+std::int64_t pack_offset(int owner, std::size_t offset) {
+  return (static_cast<std::int64_t>(owner) << kOwnerShift) |
+         static_cast<std::int64_t>(offset);
+}
 
 /// Per-thread accumulators reduced after each round (keeps results
 /// independent of the node-stepping interleave).
@@ -47,14 +64,39 @@ struct EngineWorkspaceState {
   std::vector<std::int64_t> finish_global;
 
   // Double-buffered round arena (simultaneous mode): spans indexed by
-  // directed-edge index; words partitioned per stepping thread.
+  // directed-edge index; words partitioned per stepping thread. Slots are
+  // reset lazily through the per-thread dirty lists (only slots written two
+  // rounds ago), never by an O(edges) fill; sim_spans_clean records whether
+  // the all-clean invariant held when the last run exited (a thrown step
+  // leaves it false and the next run rebuilds both halves).
   std::vector<Span> send_spans, recv_spans;
   std::vector<std::vector<std::int64_t>> send_words, recv_words;
+  std::vector<std::vector<std::int64_t>> send_dirty, recv_dirty;
+  // Whether each half was written in bulk mode (dense round: no dirty
+  // recording, reset by linear fill) — travels with the buffer across the
+  // per-round swaps so the reset strategy always matches how the half was
+  // written.
+  bool send_bulk = false, recv_bulk = false;
+  bool sim_spans_clean = false;
+
+  // Compacted list of unfinished nodes (simultaneous mode), ascending; the
+  // per-round thread chunks partition this list, not the node-id space.
+  std::vector<NodeId> live;
 
   // Grow-only history arena (synchronizer mode): hist[e][i] = what the
   // owner of directed edge e emitted in its local round i.
   std::vector<std::vector<Span>> hist;
   std::vector<std::int64_t> hist_words;
+
+  // Synchronizer scheduling state: lag[v] counts unfinished neighbours
+  // whose local round trails v's (v is eligible exactly when awake and
+  // lag == 0); stepped_round stamps the global round of v's last step so
+  // counter maintenance can reconstruct pre-round values.
+  std::vector<std::int32_t> lag;
+  std::vector<std::int64_t> stepped_round;
+  std::vector<NodeId> frontier, next_frontier, candidates;
+  StampSet queued, candidate_set;
+  WakeSchedule wake_schedule;
 
   // Per-thread receive scratch: Message materializations per port with
   // epoch tags so capacity survives across nodes and rounds.
@@ -65,8 +107,6 @@ struct EngineWorkspaceState {
     std::uint64_t cur_epoch = 0;
   };
   std::vector<Scratch> scratch;
-
-  std::vector<NodeId> eligible;  // synchronizer-mode work list
 
   std::unique_ptr<ThreadPool> pool;
 };
@@ -91,14 +131,11 @@ class ArenaEngine {
         n_(instance.graph.num_nodes()) {
     threads_ = options.wake_rounds.empty() ? std::max(1, options.num_threads)
                                            : 1;
+    threads_ = std::min(threads_, 1 << 14);  // owner tag fits pack_offset
     if (threads_ > 1) {
       if (!ws_.pool || ws_.pool->threads() != threads_)
         ws_.pool = std::make_unique<ThreadPool>(threads_);
     }
-    chunk_ = threads_ <= 1
-                 ? std::max<NodeId>(n_, 1)
-                 : static_cast<NodeId>((n_ + threads_ - 1) / threads_);
-    if (chunk_ < 1) chunk_ = 1;
 
     const std::size_t nn = static_cast<std::size_t>(n_);
     ws_.procs.resize(nn);
@@ -139,25 +176,59 @@ class ArenaEngine {
     const auto start = std::chrono::steady_clock::now();
     const std::size_t slots = static_cast<std::size_t>(
         csr_.num_directed_edges());
-    ws_.send_spans.resize(slots);
-    ws_.recv_spans.assign(slots, Span{});
+    if (!ws_.sim_spans_clean || ws_.send_spans.size() != slots ||
+        ws_.recv_spans.size() != slots) {
+      ws_.send_spans.assign(slots, Span{});
+      ws_.recv_spans.assign(slots, Span{});
+    }
+    ws_.sim_spans_clean = false;
     ws_.send_words.resize(static_cast<std::size_t>(threads_));
     ws_.recv_words.resize(static_cast<std::size_t>(threads_));
     for (auto& buf : ws_.recv_words) buf.clear();
+    ws_.send_dirty.resize(static_cast<std::size_t>(threads_));
+    ws_.recv_dirty.resize(static_cast<std::size_t>(threads_));
+    for (auto& dirty : ws_.send_dirty) dirty.clear();
+    for (auto& dirty : ws_.recv_dirty) dirty.clear();
+
+    ws_.live.resize(static_cast<std::size_t>(n_));
+    std::iota(ws_.live.begin(), ws_.live.end(), NodeId{0});
 
     deltas_.assign(static_cast<std::size_t>(threads_), StepDelta{});
     NodeId live = n_;
+    peak_live_ = n_;
+    // Dense rounds (traffic a large fraction of the slot space) reset the
+    // send half with a linear fill and skip dirty recording — a sequential
+    // sweep beats per-slot indirection when nearly everything was written.
+    // Sparse rounds reset lazily through the dirty lists, so clearing cost
+    // tracks the straggler frontier's traffic instead of the edge count.
+    const std::int64_t bulk_threshold =
+        static_cast<std::int64_t>(slots) / 4;
+    std::int64_t prev_round_messages =
+        static_cast<std::int64_t>(slots);  // round 0 assumes a dense start
+    ws_.send_bulk = ws_.recv_bulk = false;
     std::int64_t round = 0;
     for (; live > 0 && round < options_.max_rounds; ++round) {
-      std::fill(ws_.send_spans.begin(), ws_.send_spans.end(), Span{});
+      // Reset the slots written two rounds ago (stale in the send half
+      // after the swaps below) using the strategy they were written under.
+      reset_half(ws_.send_spans, ws_.send_dirty, ws_.send_bulk);
+      ws_.send_bulk = prev_round_messages >= bulk_threshold;
+      bulk_mode_ = ws_.send_bulk;
       for (auto& buf : ws_.send_words) buf.clear();
+      peak_frontier_ = std::max<std::int64_t>(peak_frontier_, live);
       std::int64_t round_messages = 0;
+      const std::size_t live_n = ws_.live.size();
       if (threads_ == 1) {
-        step_range(0, 0, n_, round);
+        step_range(0, 0, live_n, round);
       } else {
+        // Rebalance every round: chunk the compacted live list, not the
+        // node-id space, so workers stay busy as the frontier shrinks.
+        const std::size_t chunk =
+            (live_n + static_cast<std::size_t>(threads_) - 1) /
+            static_cast<std::size_t>(threads_);
         ws_.pool->run(threads_, [&](int t) {
-          const NodeId lo = static_cast<NodeId>(t) * chunk_;
-          const NodeId hi = std::min<NodeId>(n_, lo + chunk_);
+          const std::size_t lo =
+              std::min(live_n, static_cast<std::size_t>(t) * chunk);
+          const std::size_t hi = std::min(live_n, lo + chunk);
           step_range(t, lo, hi, round);
         });
       }
@@ -172,13 +243,24 @@ class ArenaEngine {
       }
       peak_round_messages_ =
           std::max(peak_round_messages_, round_messages);
+      prev_round_messages = round_messages;
       std::swap(ws_.send_spans, ws_.recv_spans);
       std::swap(ws_.send_words, ws_.recv_words);
+      std::swap(ws_.send_dirty, ws_.recv_dirty);
+      std::swap(ws_.send_bulk, ws_.recv_bulk);
+      erase_finished(ws_.live, ws_.finished);
       if (live == 0) {
         ++round;
         break;
       }
     }
+    // Restore the all-clean invariant: both halves still hold the last two
+    // rounds' spans, each reset under the strategy it was written with.
+    reset_half(ws_.send_spans, ws_.send_dirty, ws_.send_bulk);
+    reset_half(ws_.recv_spans, ws_.recv_dirty, ws_.recv_bulk);
+    ws_.send_bulk = ws_.recv_bulk = false;
+    ws_.sim_spans_clean = true;
+    final_live_ = live;
     RunResult result = finalize(live, round, round);
     fill_stats(result, start, /*sync=*/false);
     return result;
@@ -194,7 +276,18 @@ class ArenaEngine {
     ws_.hist_words.clear();
     sync_mode_ = true;
 
+    const std::size_t nn = static_cast<std::size_t>(n_);
+    ws_.lag.assign(nn, 0);
+    ws_.stepped_round.assign(nn, -1);
+    ws_.queued.reset(nn);
+    ws_.candidate_set.reset(nn);
+    ws_.wake_schedule.init(wake_rounds);
+    ws_.frontier.clear();
+    ws_.next_frontier.clear();
+    ws_.candidates.clear();
+
     NodeId live = n_;
+    peak_live_ = n_;
     std::int64_t global = 0;
     std::int64_t max_wake = 0;
     for (std::int64_t w : wake_rounds) max_wake = std::max(max_wake, w);
@@ -202,27 +295,37 @@ class ArenaEngine {
         max_wake,
         sat_add(sat_mul(4, sat_add(options_.max_rounds, 1)),
                 4 * static_cast<std::int64_t>(n_) + 16));
-    auto& eligible = ws_.eligible;
+    auto& frontier = ws_.frontier;
     while (live > 0 && global < global_cap) {
-      eligible.clear();
-      for (NodeId v = 0; v < n_; ++v) {
-        if (ws_.finished[static_cast<std::size_t>(v)]) continue;
-        if (global < wake_rounds[static_cast<std::size_t>(v)]) continue;
-        const std::int64_t mine =
-            ws_.local_round[static_cast<std::size_t>(v)];
-        bool ready = true;
-        for (const NodeId u : csr_.neighbors(v)) {
-          if (!ws_.finished[static_cast<std::size_t>(u)] &&
-              ws_.local_round[static_cast<std::size_t>(u)] < mine) {
-            ready = false;
-            break;
-          }
-        }
-        if (ready) eligible.push_back(v);
+      // Admit nodes whose wake round has arrived. A node that has never
+      // stepped holds the minimum local round, so its lag counter is
+      // necessarily 0 and it goes straight onto the frontier; a node whose
+      // counter rose after waking re-enters through the candidate pass when
+      // the counter returns to 0.
+      ws_.wake_schedule.admit(global, [&](NodeId v) {
+        const std::size_t vi = static_cast<std::size_t>(v);
+        if (!ws_.finished[vi] && ws_.lag[vi] == 0 &&
+            ws_.queued.insert(vi, global))
+          frontier.push_back(v);
+      });
+      if (frontier.empty()) {
+        // Every unfinished node is asleep or transitively waiting on a
+        // sleeper; the reference engine spins no-op global rounds here, so
+        // jumping the clock to the next unfinished wake-up is observation-
+        // equivalent and O(1) per skipped stretch.
+        const auto next = ws_.wake_schedule.next_pending(ws_.finished);
+        global = next.has_value() ? std::min(*next, global_cap) : global_cap;
+        continue;
       }
+      peak_frontier_ = std::max<std::int64_t>(
+          peak_frontier_, static_cast<std::int64_t>(frontier.size()));
       std::int64_t round_messages = 0;
-      for (const NodeId v : eligible) {
-        const std::int64_t r = ws_.local_round[static_cast<std::size_t>(v)];
+      // Phase 1: step the frontier — exactly the eligible snapshot the
+      // per-round rescan used to recompute.
+      for (const NodeId v : frontier) {
+        const std::size_t vi = static_cast<std::size_t>(v);
+        ws_.stepped_round[vi] = global;
+        const std::int64_t r = ws_.local_round[vi];
         step_one(0, v, r);
         // Pad ports that stayed silent so hist[e] stays indexed by the
         // sender's local round, then account the round's traffic.
@@ -238,25 +341,73 @@ class ArenaEngine {
             max_message_words_ = std::max(max_message_words_, s.words);
           }
         }
-        ++ws_.local_round[static_cast<std::size_t>(v)];
+        ++ws_.local_round[vi];
         ++total_steps_;
-        if (ws_.finished[static_cast<std::size_t>(v)]) {
-          ws_.finish_local[static_cast<std::size_t>(v)] = r;
-          ws_.finish_global[static_cast<std::size_t>(v)] = global;
+        if (ws_.finished[vi]) {
+          ws_.finish_local[vi] = r;
+          ws_.finish_global[vi] = global;
           --live;
-        } else if (ws_.local_round[static_cast<std::size_t>(v)] >=
-                   options_.max_rounds) {
-          ws_.finished[static_cast<std::size_t>(v)] = 1;
-          ws_.outputs[static_cast<std::size_t>(v)] = options_.default_output;
+        } else if (ws_.local_round[vi] >= options_.max_rounds) {
+          ws_.finished[vi] = 1;
+          ws_.outputs[vi] = options_.default_output;
           ++cut_off_;
-          ws_.finish_local[static_cast<std::size_t>(v)] = options_.max_rounds;
-          ws_.finish_global[static_cast<std::size_t>(v)] = global;
+          ws_.finish_local[vi] = options_.max_rounds;
+          ws_.finish_global[vi] = global;
           --live;
         }
       }
+      // Phase 2: dependency-counter maintenance. For each edge touched by a
+      // step, re-derive both directions' "lags me" contributions from the
+      // before/after local rounds (the stepped_round stamp reconstructs a
+      // stepped neighbour's pre-round value). Everything whose counter
+      // moved — plus every surviving stepped node — becomes a candidate.
+      for (const NodeId v : frontier) {
+        const std::size_t vi = static_cast<std::size_t>(v);
+        const std::int64_t r_v = ws_.local_round[vi] - 1;  // pre-step round
+        const bool fin_v = ws_.finished[vi] != 0;
+        const NodeId deg = csr_.degree(v);
+        for (NodeId j = 0; j < deg; ++j) {
+          const NodeId u = csr_.neighbor(v, j);
+          const std::size_t ui = static_cast<std::size_t>(u);
+          const bool u_stepped = ws_.stepped_round[ui] == global;
+          if (!ws_.finished[ui]) {
+            // v's contribution to lag[u], before vs after v's step.
+            const std::int64_t lr_u_before =
+                ws_.local_round[ui] - (u_stepped ? 1 : 0);
+            const int before = r_v < lr_u_before ? 1 : 0;
+            const int after =
+                (!fin_v && r_v + 1 < ws_.local_round[ui]) ? 1 : 0;
+            if (after != before) {
+              ws_.lag[ui] += after - before;
+              if (ws_.candidate_set.insert(ui, global))
+                ws_.candidates.push_back(u);
+            }
+          }
+          if (!u_stepped && !fin_v) {
+            // The unchanged neighbour u newly lags v exactly when it sits
+            // at v's pre-step round.
+            if (!ws_.finished[ui] && ws_.local_round[ui] == r_v)
+              ++ws_.lag[vi];
+          }
+        }
+        if (!fin_v && ws_.candidate_set.insert(vi, global))
+          ws_.candidates.push_back(v);
+      }
+      // Phase 3: the next frontier is exactly the candidates that ended the
+      // round awake, unfinished, and unlagged.
+      for (const NodeId c : ws_.candidates) {
+        const std::size_t ci = static_cast<std::size_t>(c);
+        if (!ws_.finished[ci] && ws_.lag[ci] == 0 &&
+            wake_rounds[ci] <= global + 1 && ws_.queued.insert(ci, global + 1))
+          ws_.next_frontier.push_back(c);
+      }
+      ws_.candidates.clear();
       peak_round_messages_ = std::max(peak_round_messages_, round_messages);
+      std::swap(frontier, ws_.next_frontier);
+      ws_.next_frontier.clear();
       ++global;
     }
+    final_live_ = live;
     std::int64_t max_local = 0;
     for (NodeId v = 0; v < n_; ++v)
       max_local =
@@ -288,9 +439,12 @@ class ArenaEngine {
                std::size_t words) {
     if (!sync_mode_) {
       auto& buf = ws_.send_words[static_cast<std::size_t>(tid)];
-      Span& s = ws_.send_spans[static_cast<std::size_t>(
-          csr_.edge_index(node, port))];
-      s.offset = static_cast<std::int64_t>(buf.size());
+      const std::int64_t slot = csr_.edge_index(node, port);
+      Span& s = ws_.send_spans[static_cast<std::size_t>(slot)];
+      if (!bulk_mode_ && s.words < 0)
+        ws_.send_dirty[static_cast<std::size_t>(tid)]
+            .push_back(slot);  // first write this round: schedule the reset
+      s.offset = pack_offset(tid, buf.size());
       s.words = static_cast<std::int64_t>(words);
       buf.insert(buf.end(), data, data + words);
       return;
@@ -320,11 +474,11 @@ class ArenaEngine {
         *present = false;
         return {};
       }
-      const NodeId sender = csr_.neighbor(node, port);
-      const auto& buf =
-          ws_.recv_words[static_cast<std::size_t>(owner(sender))];
+      const auto& buf = ws_.recv_words[static_cast<std::size_t>(
+          s.offset >> kOwnerShift)];
       *present = true;
-      return {buf.data() + s.offset, static_cast<std::size_t>(s.words)};
+      return {buf.data() + (s.offset & kOffsetMask),
+              static_cast<std::size_t>(s.words)};
     }
     const std::int64_t want =
         ws_.local_round[static_cast<std::size_t>(node)] - 1;
@@ -373,7 +527,24 @@ class ArenaEngine {
     return scratch.present[p] ? &scratch.cache[p] : nullptr;
   }
 
-  int owner(NodeId v) const { return static_cast<int>(v / chunk_); }
+  /// Resets one arena half to all-clean under the strategy it was written
+  /// with: a linear fill for bulk-written halves, a dirty-list sweep (and
+  /// clearing-work accounting) otherwise. Leaves the dirty lists empty.
+  void reset_half(std::vector<Span>& spans,
+                  std::vector<std::vector<std::int64_t>>& dirty_lists,
+                  bool bulk) {
+    if (bulk) {
+      std::fill(spans.begin(), spans.end(), Span{});
+      for (auto& dirty : dirty_lists) dirty.clear();  // empty by invariant
+      return;
+    }
+    for (auto& dirty : dirty_lists) {
+      dirty_cleared_ += static_cast<std::int64_t>(dirty.size());
+      for (const std::int64_t slot : dirty)
+        spans[static_cast<std::size_t>(slot)].words = -1;
+      dirty.clear();
+    }
+  }
 
   void step_one(int tid, NodeId v, std::int64_t round) {
     auto& scratch = ws_.scratch[static_cast<std::size_t>(tid)];
@@ -390,10 +561,13 @@ class ArenaEngine {
     }
   }
 
-  void step_range(int tid, NodeId lo, NodeId hi, std::int64_t round) {
+  /// Steps the live-list slice [lo, hi); every listed node is unfinished at
+  /// round start (the list is compacted after each round).
+  void step_range(int tid, std::size_t lo, std::size_t hi,
+                  std::int64_t round) {
     StepDelta& delta = deltas_[static_cast<std::size_t>(tid)];
-    for (NodeId v = lo; v < hi; ++v) {
-      if (ws_.finished[static_cast<std::size_t>(v)]) continue;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId v = ws_.live[i];
       step_one(tid, v, round);
       ++delta.steps;
       ++ws_.local_round[static_cast<std::size_t>(v)];
@@ -455,6 +629,10 @@ class ArenaEngine {
     stats.total_steps = total_steps_;
     stats.peak_round_messages = peak_round_messages_;
     stats.total_messages = messages_sent_;
+    stats.peak_live_nodes = peak_live_;
+    stats.final_live_nodes = final_live_;
+    stats.peak_frontier_nodes = peak_frontier_;
+    stats.dirty_spans_cleared = dirty_cleared_;
     stats.threads = threads_;
     std::int64_t bytes = 0;
     if (sync) {
@@ -466,6 +644,10 @@ class ArenaEngine {
         bytes += static_cast<std::int64_t>(buf.capacity()) * 8;
       for (const auto& buf : ws_.recv_words)
         bytes += static_cast<std::int64_t>(buf.capacity()) * 8;
+      for (const auto& dirty : ws_.send_dirty)
+        bytes += static_cast<std::int64_t>(dirty.capacity()) * 8;
+      for (const auto& dirty : ws_.recv_dirty)
+        bytes += static_cast<std::int64_t>(dirty.capacity()) * 8;
       bytes += static_cast<std::int64_t>(
           (ws_.send_spans.capacity() + ws_.recv_spans.capacity()) *
           sizeof(Span));
@@ -486,14 +668,18 @@ class ArenaEngine {
   EngineWorkspaceState& ws_;
   const NodeId n_;
   int threads_ = 1;
-  NodeId chunk_ = 1;
   bool sync_mode_ = false;
+  bool bulk_mode_ = false;  // current round skips dirty recording
   std::vector<Backend> backends_;
   std::vector<StepDelta> deltas_;
   std::int64_t messages_sent_ = 0;
   std::int64_t max_message_words_ = 0;
   std::int64_t peak_round_messages_ = 0;
   std::int64_t total_steps_ = 0;
+  std::int64_t peak_live_ = 0;
+  std::int64_t final_live_ = 0;
+  std::int64_t peak_frontier_ = 0;
+  std::int64_t dirty_cleared_ = 0;
   NodeId cut_off_ = 0;
 };
 

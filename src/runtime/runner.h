@@ -13,11 +13,19 @@
 //
 // Engine layout: node state is struct-of-arrays; all message traffic of a
 // round lives in one flat int64 arena addressed by CsrGraph edge indices,
-// with the send and receive halves swapped between rounds. The simultaneous
-// mode can step disjoint node ranges on a thread pool; messages only cross
-// the round barrier and every node owns a private Rng stream, so results are
-// bit-identical for any thread count (the engine-equivalence test enforces
-// this against the preserved seed engine in src/runtime/reference.h).
+// with the send and receive halves swapped between rounds. Both loops are
+// frontier-driven: the simultaneous mode walks a compacted live-node list
+// (rebalanced across threads each round) and resets only the span slots
+// written last round via per-thread dirty lists, so per-round cost tracks
+// the surviving frontier and its traffic rather than n + edges; the
+// synchronizer mode schedules with per-node dependency-lag counters and a
+// wake-admission queue, so scheduling costs O(total steps + messages)
+// instead of an O(n + edges) eligibility rescan per global round. The
+// simultaneous mode can step disjoint chunks of the live list on a thread
+// pool; messages only cross the round barrier and every node owns a private
+// Rng stream, so results are bit-identical for any thread count (the
+// engine-equivalence test enforces this against the preserved seed engine in
+// src/runtime/reference.h).
 #pragma once
 
 #include <algorithm>
@@ -59,19 +67,39 @@ struct EngineStats {
   std::int64_t total_messages = 0;
   /// Total Process::step invocations.
   std::int64_t total_steps = 0;
+  /// Most unfinished nodes at the start of any round (= n for a non-empty
+  /// run; informative per stage in composed algorithms).
+  std::int64_t peak_live_nodes = 0;
+  /// Unfinished nodes when the run ended (non-zero only when the round cap
+  /// or the synchronizer's global cap cut the run off).
+  std::int64_t final_live_nodes = 0;
+  /// Most nodes stepped within one (global) round: the live-list width in
+  /// the simultaneous mode, the eligible-frontier width under the
+  /// synchronizer.
+  std::int64_t peak_frontier_nodes = 0;
+  /// Send-span slots lazily reset through the dirty lists instead of an
+  /// O(edges) per-round fill (simultaneous mode only; the engine's clearing
+  /// work is proportional to this, not to rounds x edges).
+  std::int64_t dirty_spans_cleared = 0;
   double elapsed_seconds = 0.0;
   /// total_steps / elapsed_seconds (0 when the run was too fast to time).
   double steps_per_second = 0.0;
   int threads = 1;
 
   /// Folds another run's stats in (composed algorithms aggregate the stats
-  /// of their stages): counters add, high-water marks take the max.
+  /// of their stages): counters add, high-water marks take the max, and
+  /// final_live_nodes tracks the most recently merged stage.
   void merge(const EngineStats& other) {
     arena_bytes = std::max(arena_bytes, other.arena_bytes);
     peak_round_messages =
         std::max(peak_round_messages, other.peak_round_messages);
     total_messages += other.total_messages;
     total_steps += other.total_steps;
+    peak_live_nodes = std::max(peak_live_nodes, other.peak_live_nodes);
+    final_live_nodes = other.final_live_nodes;
+    peak_frontier_nodes =
+        std::max(peak_frontier_nodes, other.peak_frontier_nodes);
+    dirty_spans_cleared += other.dirty_spans_cleared;
     elapsed_seconds += other.elapsed_seconds;
     steps_per_second =
         elapsed_seconds > 0.0

@@ -91,6 +91,71 @@ TEST(EngineEquivalence, StaggeredWakeRounds) {
   }
 }
 
+TEST(EngineEquivalence, SynchronizerRandomWakeGrids) {
+  // Random wake-round grids across seeds: the frontier scheduler (lag
+  // counters + wake admission) must reproduce the reference engine's
+  // per-global-round eligible snapshots exactly — outputs, per-node local
+  // and global finish rounds, and message counts all bit-identical.
+  const LubyMis luby;
+  const GreedyMis greedy;
+  Rng wake_rng(101);
+  for (const auto& named : standard_instances(/*seed=*/43)) {
+    const std::size_t n = static_cast<std::size_t>(named.instance.num_nodes());
+    for (const std::uint64_t seed : {3u, 77u}) {
+      RunOptions options;
+      options.seed = seed;
+      options.wake_rounds.resize(n);
+      for (auto& w : options.wake_rounds)
+        w = static_cast<std::int64_t>(wake_rng.next_below(10));
+      check_all_thread_counts(named.instance, luby, options,
+                              "syncgrid/luby/" + named.name + "/s" +
+                                  std::to_string(seed));
+      check_all_thread_counts(named.instance, greedy, options,
+                              "syncgrid/greedy/" + named.name + "/s" +
+                                  std::to_string(seed));
+    }
+  }
+}
+
+TEST(EngineEquivalence, SynchronizerSparseLateWakersAndCutoffs) {
+  // A few nodes wake far in the future while the rest sleep through long
+  // empty stretches: exercises the frontier engine's clock jumps over
+  // rounds the reference engine spins through one at a time, plus the
+  // cutoff path under the synchronizer.
+  const LubyMis luby;
+  const BetaLubyRulingSet ruling(2);
+  for (const auto& named : standard_instances(/*seed=*/47)) {
+    const std::size_t n = static_cast<std::size_t>(named.instance.num_nodes());
+    RunOptions options;
+    options.seed = 23;
+    options.wake_rounds.assign(n, 0);
+    for (std::size_t v = 0; v < n; v += 7)
+      options.wake_rounds[v] = 40 + static_cast<std::int64_t>(v);
+    check_all_thread_counts(named.instance, luby, options,
+                            "latewake/luby/" + named.name);
+    options.max_rounds = 4;
+    check_all_thread_counts(named.instance, ruling, options,
+                            "latewake-cutoff/ruling/" + named.name);
+  }
+}
+
+TEST(EngineEquivalence, ActiveSetLongTailThreadInvariance) {
+  // A straggler-heavy instance where the live list collapses to a handful
+  // of nodes for most rounds: the per-round rebalanced chunks must keep
+  // results bit-identical to the reference for every thread count.
+  Rng rng(53);
+  const Instance instance = make_instance(caterpillar(300, 700, rng),
+                                          IdentityScheme::kSequential, 3);
+  const GreedyMis greedy;
+  const LubyMis luby;
+  RunOptions options;
+  options.seed = 9;
+  check_all_thread_counts(instance, greedy, options, "longtail/greedy");
+  check_all_thread_counts(instance, luby, options, "longtail/luby");
+  options.max_rounds = 100;
+  check_all_thread_counts(instance, greedy, options, "longtail/greedy-cap");
+}
+
 TEST(EngineEquivalence, WorkspaceReuseDoesNotLeakState) {
   // One workspace across runs of different algorithms, graphs, and modes
   // must give exactly the per-run results of fresh workspaces.

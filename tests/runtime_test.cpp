@@ -108,6 +108,27 @@ class AddConst final : public Algorithm {
   std::int64_t delta_;
 };
 
+/// Runs until round input[0], sending one word per round until then — a
+/// controllable straggler tail for the live/frontier observability tests.
+class InputCountdown final : public Algorithm {
+ public:
+  class P final : public Process {
+   public:
+    void step(Context& ctx) override {
+      const std::int64_t deadline = ctx.input().empty() ? 0 : ctx.input()[0];
+      if (ctx.round() >= deadline) {
+        ctx.finish(ctx.round());
+        return;
+      }
+      ctx.broadcast({ctx.round()});
+    }
+  };
+  std::unique_ptr<Process> spawn(const NodeInit&) const override {
+    return std::make_unique<P>();
+  }
+  std::string name() const override { return "input-countdown"; }
+};
+
 TEST(Runner, ImmediateFinish) {
   Instance instance = make_instance(cycle_graph(10));
   const RunResult result = run_local(instance, DegreeEcho{});
@@ -170,6 +191,63 @@ TEST(Runner, MessageStatsCounted) {
   const RunResult result = run_local(instance, MaxFlood{2});
   EXPECT_EQ(result.messages_sent, 5 * 2 * 2);  // 5 nodes, 2 rounds, 2 ports
   EXPECT_EQ(result.max_message_words, 1);
+}
+
+TEST(RunnerStats, LiveAndFrontierCounters) {
+  // One straggler (node 0) outlives everyone by dozens of rounds: the
+  // engine must report the full-width peak, an empty finish, and non-zero
+  // lazy span-clearing work for the sparse tail rounds.
+  Instance instance =
+      make_instance(path_graph(40), IdentityScheme::kSequential);
+  for (NodeId v = 0; v < 40; ++v)
+    instance.inputs[static_cast<std::size_t>(v)] = {2};
+  instance.inputs[0] = {30};
+  const RunResult result = run_local(instance, InputCountdown{});
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_EQ(result.stats.peak_live_nodes, 40);
+  EXPECT_EQ(result.stats.peak_frontier_nodes, 40);
+  EXPECT_EQ(result.stats.final_live_nodes, 0);
+  EXPECT_GT(result.stats.dirty_spans_cleared, 0);
+  EXPECT_EQ(result.stats.total_steps, 39 * 3 + 31);
+}
+
+TEST(RunnerStats, SynchronizerFrontierCounters) {
+  // Under the synchronizer the frontier is the eligible set: with node 0
+  // asleep until round 10 it never reaches full width, and the history
+  // arena does no dirty-span clearing at all.
+  Instance instance =
+      make_instance(path_graph(40), IdentityScheme::kSequential);
+  for (NodeId v = 0; v < 40; ++v)
+    instance.inputs[static_cast<std::size_t>(v)] = {3};
+  RunOptions options;
+  options.wake_rounds.assign(40, 0);
+  options.wake_rounds[0] = 10;
+  const RunResult result = run_local(instance, InputCountdown{}, options);
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_EQ(result.stats.peak_live_nodes, 40);
+  EXPECT_GT(result.stats.peak_frontier_nodes, 0);
+  EXPECT_LT(result.stats.peak_frontier_nodes, 40);
+  EXPECT_EQ(result.stats.final_live_nodes, 0);
+  EXPECT_EQ(result.stats.dirty_spans_cleared, 0);
+  EXPECT_GE(result.global_rounds, 10);
+}
+
+TEST(RunnerStats, StatsMergeFoldsLiveCounters) {
+  EngineStats a;
+  a.peak_live_nodes = 10;
+  a.peak_frontier_nodes = 4;
+  a.final_live_nodes = 2;
+  a.dirty_spans_cleared = 7;
+  EngineStats b;
+  b.peak_live_nodes = 6;
+  b.peak_frontier_nodes = 9;
+  b.final_live_nodes = 0;
+  b.dirty_spans_cleared = 5;
+  a.merge(b);
+  EXPECT_EQ(a.peak_live_nodes, 10);
+  EXPECT_EQ(a.peak_frontier_nodes, 9);
+  EXPECT_EQ(a.final_live_nodes, 0);  // last merged stage wins
+  EXPECT_EQ(a.dirty_spans_cleared, 12);
 }
 
 TEST(RunnerSynchronized, StaggeredWakeupsSameAnswer) {
