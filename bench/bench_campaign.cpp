@@ -13,6 +13,7 @@
 #include <cstdlib>
 
 #include "src/runtime/campaign.h"
+#include "src/runtime/shard.h"
 
 namespace unilocal {
 namespace {
@@ -124,6 +125,50 @@ void BM_Table1Campaign(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Table1Campaign)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+/// The in-process cost of the sharding tier itself: plan the table1 grid
+/// into K shards, push every manifest and result through its JSON round
+/// trip (what the worker processes exchange on disk), run the shards, and
+/// merge — versus BM_Table1Campaign's direct run_campaign. The delta is
+/// the orchestration overhead BENCH_shard.json measures end-to-end with
+/// real processes. Aborts on any merge/output-hash divergence.
+void BM_Table1ShardPlanRunMerge(benchmark::State& state) {
+  ScenarioParams params;
+  params.n = 128;
+  const auto cells = make_table1_grid(params, 1);
+  const int shards = static_cast<int>(state.range(0));
+  const CampaignResult single = run_campaign(cells, {});
+  for (auto _ : state) {
+    const ShardPlan plan =
+        plan_shards(cells, shards, ShardPolicy::kCostBalanced);
+    const ShardPlan plan_back =
+        ShardPlan::from_json(json::Value::parse(plan.to_json().dump()));
+    std::vector<ShardResult> results;
+    results.reserve(plan_back.shards.size());
+    for (const ShardManifest& manifest : plan_back.shards) {
+      const ShardResult result = run_shard(
+          ShardManifest::from_json(json::Value::parse(manifest.to_json().dump())),
+          {});
+      results.push_back(
+          ShardResult::from_json(json::Value::parse(result.to_json().dump())));
+    }
+    const CampaignResult merged = merge_shard_results(plan_back, results);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (merged.cells[i].output_hash != single.cells[i].output_hash) {
+        std::fprintf(stderr, "shard merge divergence in cell %zu\n", i);
+        std::abort();
+      }
+    }
+    benchmark::DoNotOptimize(merged.cells.data());
+  }
+  state.counters["cells"] = static_cast<double>(cells.size());
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["cells/sec"] = benchmark::Counter(
+      static_cast<double>(cells.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Table1ShardPlanRunMerge)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace

@@ -31,12 +31,36 @@
 //   --smoke shrinks the grid (n=64, 1 seed) for CI. Exit status 0 iff
 //   every cell ran, solved, and passed its centralized checker.
 //
+//   Both sweep and table1 accept --shards=K [--policy=P]: the grid is
+//   planned into K shards, run as K separate worker *processes* (each
+//   `unilocal_cli shard run` on its own manifest), and merged — the
+//   merged output is bit-identical (per-cell output hashes, grid hash)
+//   to the single-process run. --canonical emits only the deterministic
+//   JSON fields so sharded and single-process outputs diff byte-equal.
+//
+//   unilocal_cli shard plan --dir=DIR --shards=K [--policy=P] <grid flags>
+//   unilocal_cli shard run MANIFEST [--out=FILE] [--workers=W]
+//   unilocal_cli shard merge PLAN RESULT... [--format=csv|json]
+//                            [--canonical] [--log=FILE]
+//
+//   The three layers of src/runtime/shard.h, one file per hop: plan
+//   writes DIR/plan.json + DIR/shard-<i>.json manifests (--table1
+//   [--smoke] or --scenarios/--algorithms pick the grid); run executes
+//   one manifest and writes a shard-result JSON; merge verifies every
+//   result against the plan (missing/duplicate/foreign/hash-mismatched
+//   shards are rejected naming all offenders) and prints the merged
+//   campaign exactly like sweep does.
+//
 // Prints one line per node: "<identity> <output>" (plus a summary on
 // stderr). Every algorithm here is the uniform product of the paper's
 // transformers — the tool needs no -n/-delta flags because no node needs
 // them; that is the point of the paper.
+#include <sys/wait.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -59,6 +83,7 @@
 #include "src/prune/ruling_set_prune.h"
 #include "src/runtime/campaign.h"
 #include "src/runtime/run_log.h"
+#include "src/runtime/shard.h"
 
 using namespace unilocal;
 
@@ -70,11 +95,60 @@ int usage() {
                "[edge-list-file] [--stats]\n"
                "       unilocal_cli sweep [--scenarios=a,b,..] "
                "[--algorithms=x,y,..|all|glob*] [--n=N] [--a=V] [--b=V] "
-               "[--seeds=K] [--workers=W] [--format=csv|json] [--log=FILE] "
-               "[--list]\n"
+               "[--seeds=K] [--workers=W] [--shards=K] "
+               "[--policy=round-robin|cost-balanced] [--format=csv|json] "
+               "[--canonical] [--log=FILE] [--list]\n"
                "       unilocal_cli table1 [--n=N] [--seeds=K] [--workers=W] "
-               "[--format=csv|json] [--log=FILE] [--smoke]\n");
+               "[--shards=K] [--policy=P] [--format=csv|json] [--canonical] "
+               "[--log=FILE] [--smoke]\n"
+               "       unilocal_cli shard plan --dir=DIR --shards=K "
+               "[--policy=P] (--table1 [--smoke] | --scenarios=.. "
+               "--algorithms=..) [--n=N] [--a=V] [--b=V] [--seeds=K]\n"
+               "       unilocal_cli shard run MANIFEST [--out=FILE] "
+               "[--workers=W]\n"
+               "       unilocal_cli shard merge PLAN RESULT... "
+               "[--format=csv|json] [--canonical] [--log=FILE]\n");
   return 2;
+}
+
+/// argv[0], for the sharded driver to re-invoke itself; /proc/self/exe
+/// wins when available (argv[0] may be a bare name found via PATH).
+std::string g_self_path;  // NOLINT
+
+std::string self_executable() {
+  std::error_code ec;
+  const auto exe = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return exe.string();
+  return g_self_path;
+}
+
+/// POSIX single-quoting: safe against every character but the quote
+/// itself, which is spelled '\'' .
+std::string shell_quote(const std::string& text) {
+  std::string out = "'";
+  for (const char c : text) {
+    if (c == '\'')
+      out += "'\\''";
+    else
+      out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << text;
+  if (!out) throw std::runtime_error("short write to " + path);
 }
 
 std::vector<std::string> split_csv(const std::string& text) {
@@ -95,9 +169,11 @@ void print_percentiles(const char* what, const CampaignPercentiles& p) {
 /// non-valid cell, optionally appends to / diffs against the run log.
 /// Returns 0 iff every cell ran, solved, and passed its checker.
 int report_campaign(const char* what, const CampaignResult& result,
-                    bool json, const std::string& log_path) {
-  if (json) {
-    write_campaign_json(std::cout, result);
+                    bool json, bool canonical, const std::string& log_path) {
+  if (json || canonical) {
+    CampaignJsonOptions json_options;
+    json_options.canonical = canonical;
+    write_campaign_json(std::cout, result, json_options);
     std::cout << '\n';
   } else {
     write_campaign_csv(std::cout, result);
@@ -111,6 +187,9 @@ int report_campaign(const char* what, const CampaignResult& result,
   print_percentiles("rounds", result.rounds);
   print_percentiles("messages", result.messages);
   print_percentiles("steps/sec", result.steps_per_second);
+  print_percentiles("peak_live", result.peak_live_nodes);
+  print_percentiles("peak_frontier", result.peak_frontier_nodes);
+  print_percentiles("dirty_cleared", result.dirty_spans_cleared);
   for (const auto& cell : result.cells) {
     if (!cell.error.empty())
       std::fprintf(stderr, "%s: FAILED %s/%s seed=%llu: %s\n", what,
@@ -147,6 +226,294 @@ int report_campaign(const char* what, const CampaignResult& result,
   return all_good ? 0 : 1;
 }
 
+// --- sharded execution -------------------------------------------------------
+
+/// The local multi-process driver behind `sweep --shards=K` / `table1
+/// --shards=K`: plans the grid, writes one manifest per shard into a temp
+/// directory, re-invokes this binary as K concurrent `shard run` worker
+/// processes, merges their result files, and reports the merged campaign.
+/// A worker that finishes with invalid cells still produces a result (the
+/// merged report shows them); only a worker that produced no result file
+/// at all is fatal.
+int run_sharded(const char* what, const std::vector<CampaignCell>& cells,
+                int shards, ShardPolicy policy, int workers_per_shard,
+                bool json_output, bool canonical,
+                const std::string& log_path) {
+  namespace fs = std::filesystem;
+  const ShardPlan plan = plan_shards(cells, shards, policy);
+
+  std::string dir_template =
+      (fs::temp_directory_path() / "unilocal-shards-XXXXXX").string();
+  std::vector<char> dir_buffer(dir_template.begin(), dir_template.end());
+  dir_buffer.push_back('\0');
+  if (mkdtemp(dir_buffer.data()) == nullptr)
+    throw std::runtime_error("cannot create shard scratch directory");
+  const fs::path dir = dir_buffer.data();
+
+  const std::string exe = self_executable();
+  const std::size_t num_shards = plan.shards.size();
+  std::vector<int> exit_codes(num_shards, -1);
+  std::vector<std::string> result_paths(num_shards);
+  std::vector<std::thread> children;
+  children.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::string manifest_path =
+        (dir / ("shard-" + std::to_string(s) + ".json")).string();
+    write_text_file(manifest_path, plan.shards[s].to_json().dump() + "\n");
+    result_paths[s] = (dir / ("result-" + std::to_string(s) + ".json")).string();
+    const std::string command =
+        shell_quote(exe) + " shard run " + shell_quote(manifest_path) +
+        " --out=" + shell_quote(result_paths[s]) +
+        " --workers=" + std::to_string(workers_per_shard) + " 2>" +
+        shell_quote(result_paths[s] + ".err");
+    children.emplace_back([command, s, &exit_codes] {
+      exit_codes[s] = std::system(command.c_str());
+    });
+  }
+  for (std::thread& child : children) child.join();
+
+  // Any failure past this point keeps the scratch directory (manifests,
+  // result files, per-worker stderr) and names it, so a dead or corrupt
+  // worker can be diagnosed from what it left behind.
+  CampaignResult merged;
+  try {
+    std::vector<ShardResult> results;
+    results.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      std::error_code ec;
+      if (!fs::exists(result_paths[s], ec)) {
+        std::string worker_log;
+        try {
+          worker_log = read_text_file(result_paths[s] + ".err");
+        } catch (...) {
+        }
+        // std::system returns an encoded wait status, not an exit code.
+        const int status = exit_codes[s];
+        const std::string fate =
+            status == -1          ? "could not be spawned"
+            : WIFSIGNALED(status) ? "was killed by signal " +
+                                        std::to_string(WTERMSIG(status))
+            : WIFEXITED(status)
+                ? "exited with status " + std::to_string(WEXITSTATUS(status))
+                : "ended with wait status " + std::to_string(status);
+        throw std::runtime_error(
+            "shard " + std::to_string(s) + " produced no result (worker " +
+            fate + ")" +
+            (worker_log.empty() ? "" : "; worker said:\n" + worker_log));
+      }
+      try {
+        results.push_back(ShardResult::from_json(
+            json::Value::parse(read_text_file(result_paths[s]))));
+      } catch (const std::exception& e) {
+        // A truncated/corrupt result file (e.g. a worker killed mid-write)
+        // must name the shard, not just a byte offset.
+        throw std::runtime_error("shard " + std::to_string(s) +
+                                 " result is unreadable: " + e.what());
+      }
+    }
+    merged = merge_shard_results(plan, results);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(what) + ": " + e.what() +
+                             " (scratch kept in " + dir.string() + ")");
+  }
+  fs::remove_all(dir);
+  std::fprintf(stderr,
+               "%s: merged %zu shard processes (%s policy, %d workers each), "
+               "max shard wall time %.3fs\n",
+               what, num_shards, shard_policy_name(policy), workers_per_shard,
+               merged.elapsed_seconds);
+  return report_campaign(what, merged, json_output, canonical, log_path);
+}
+
+int run_shard_plan(int argc, char** argv) {
+  std::string dir;
+  int shards = 0;
+  ShardPolicy policy = ShardPolicy::kCostBalanced;
+  bool table1 = false;
+  bool smoke = false;
+  bool n_given = false;
+  bool seeds_given = false;
+  std::vector<std::string> scenarios;
+  std::vector<std::string> algorithm_patterns;
+  ScenarioParams params;
+  params.n = 256;
+  int seeds = 2;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
+    if (arg == "--table1") {
+      table1 = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--dir=", 0) == 0) {
+      dir = value();
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = std::stoi(value());
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      policy = parse_shard_policy(value());
+    } else if (arg.rfind("--scenarios=", 0) == 0) {
+      scenarios = split_csv(value());
+    } else if (arg.rfind("--algorithms=", 0) == 0 ||
+               arg.rfind("--algos=", 0) == 0) {
+      algorithm_patterns = split_csv(value());
+    } else if (arg.rfind("--n=", 0) == 0) {
+      params.n = static_cast<NodeId>(std::stol(value()));
+      n_given = true;
+    } else if (arg.rfind("--a=", 0) == 0) {
+      params.a = std::stod(value());
+    } else if (arg.rfind("--b=", 0) == 0) {
+      params.b = std::stod(value());
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      seeds = std::stoi(value());
+      seeds_given = true;
+    } else {
+      return usage();
+    }
+  }
+  if (dir.empty() || shards < 1) return usage();
+  if (!table1 && (scenarios.empty() || algorithm_patterns.empty()))
+    return usage();
+  if (smoke) {
+    if (!n_given) params.n = 64;
+    if (!seeds_given) seeds = 1;
+  }
+  std::vector<CampaignCell> cells;
+  if (table1) {
+    cells = make_table1_grid(params, seeds);
+  } else {
+    const auto algorithms =
+        default_algorithm_registry().resolve(algorithm_patterns);
+    cells = make_grid(scenarios, params, algorithms, seeds);
+  }
+  if (cells.empty()) {
+    std::fprintf(stderr, "shard plan: empty grid\n");
+    return 1;
+  }
+  const ShardPlan plan = plan_shards(cells, shards, policy);
+
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  write_text_file((fs::path(dir) / "plan.json").string(),
+                  plan.to_json().dump() + "\n");
+  const ShardCostModel& model = default_shard_cost_model();
+  for (const ShardManifest& manifest : plan.shards) {
+    const std::string path =
+        (fs::path(dir) / ("shard-" + std::to_string(manifest.shard_index) +
+                          ".json"))
+            .string();
+    write_text_file(path, manifest.to_json().dump() + "\n");
+    double cost = 0.0;
+    for (const CampaignCell& cell : manifest.cells)
+      cost += model.cell_cost(cell);
+    std::fprintf(stderr, "shard plan: %s — %zu cells, est. cost %.0f\n",
+                 path.c_str(), manifest.cells.size(), cost);
+  }
+  std::fprintf(stderr,
+               "shard plan: %zu cells into %d shards (%s), grid hash %llu, "
+               "plan at %s/plan.json\n",
+               cells.size(), shards, shard_policy_name(policy),
+               static_cast<unsigned long long>(plan.grid_hash), dir.c_str());
+  return 0;
+}
+
+int run_shard_run(int argc, char** argv) {
+  std::string manifest_path;
+  std::string out_path;
+  unsigned workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = value();
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = static_cast<unsigned>(std::stoi(value()));
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else if (manifest_path.empty()) {
+      manifest_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (manifest_path.empty()) return usage();
+  const ShardManifest manifest =
+      ShardManifest::from_json(json::Value::parse(read_text_file(manifest_path)));
+  CampaignOptions options;
+  options.workers = static_cast<int>(workers);
+  const ShardResult result = run_shard(manifest, options);
+  const std::string text = result.to_json().dump() + "\n";
+  if (out_path.empty())
+    std::cout << text;
+  else
+    write_text_file(out_path, text);
+
+  int valid = 0;
+  int failed = 0;
+  for (const CellResult& cell : result.cells) {
+    if (!cell.error.empty())
+      ++failed;
+    else if (cell.valid)
+      ++valid;
+  }
+  std::fprintf(stderr,
+               "shard run: shard %d/%d — %zu cells, valid=%d failed=%d, "
+               "%.3fs on %d workers\n",
+               result.shard_index, result.num_shards, result.cells.size(),
+               valid, failed, result.elapsed_seconds, result.workers);
+  const bool all_good =
+      failed == 0 && valid == static_cast<int>(result.cells.size());
+  return all_good ? 0 : 1;
+}
+
+int run_shard_merge(int argc, char** argv) {
+  std::string plan_path;
+  std::vector<std::string> result_paths;
+  bool json_output = false;
+  bool canonical = false;
+  std::string log_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
+    if (arg == "--canonical") {
+      canonical = true;
+      json_output = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string format = value();
+      if (format != "csv" && format != "json") return usage();
+      json_output = format == "json";
+    } else if (arg.rfind("--log=", 0) == 0) {
+      log_path = value();
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else if (plan_path.empty()) {
+      plan_path = arg;
+    } else {
+      result_paths.push_back(arg);
+    }
+  }
+  if (plan_path.empty() || result_paths.empty()) return usage();
+  const ShardPlan plan =
+      ShardPlan::from_json(json::Value::parse(read_text_file(plan_path)));
+  std::vector<ShardResult> results;
+  results.reserve(result_paths.size());
+  for (const std::string& path : result_paths)
+    results.push_back(
+        ShardResult::from_json(json::Value::parse(read_text_file(path))));
+  const CampaignResult merged = merge_shard_results(plan, results);
+  return report_campaign("shard merge", merged, json_output, canonical,
+                         log_path);
+}
+
+int run_shard_command(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string verb = argv[2];
+  if (verb == "plan") return run_shard_plan(argc, argv);
+  if (verb == "run") return run_shard_run(argc, argv);
+  if (verb == "merge") return run_shard_merge(argc, argv);
+  return usage();
+}
+
 int run_sweep(int argc, char** argv) {
   std::vector<std::string> scenarios = {"gnp", "power-law", "geometric",
                                         "layered-forest", "caterpillar"};
@@ -157,7 +524,11 @@ int run_sweep(int argc, char** argv) {
   int seeds = 2;
   unsigned workers = std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
-  bool json = false;
+  bool workers_given = false;
+  int shards = 0;
+  ShardPolicy policy = ShardPolicy::kCostBalanced;
+  bool json_output = false;
+  bool canonical = false;
   std::string log_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -199,12 +570,20 @@ int run_sweep(int argc, char** argv) {
       seeds = std::stoi(value());
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = static_cast<unsigned>(std::stoi(value()));
+      workers_given = true;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = std::stoi(value());
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      policy = parse_shard_policy(value());
+    } else if (arg == "--canonical") {
+      canonical = true;
+      json_output = true;
     } else if (arg.rfind("--log=", 0) == 0) {
       log_path = value();
     } else if (arg.rfind("--format=", 0) == 0) {
       const std::string format = value();
       if (format != "csv" && format != "json") return usage();
-      json = format == "json";
+      json_output = format == "json";
     } else {
       return usage();
     }
@@ -218,10 +597,19 @@ int run_sweep(int argc, char** argv) {
     std::fprintf(stderr, "sweep: empty grid\n");
     return 1;
   }
+  if (shards > 0) {
+    // --workers now means workers per shard process; default to an even
+    // split of the machine instead of oversubscribing it K times.
+    const int per_shard = workers_given
+                              ? static_cast<int>(workers)
+                              : std::max(1, static_cast<int>(workers) / shards);
+    return run_sharded("sweep", cells, shards, policy, per_shard, json_output,
+                       canonical, log_path);
+  }
   CampaignOptions options;
   options.workers = static_cast<int>(workers);
   const CampaignResult result = run_campaign(cells, options);
-  return report_campaign("sweep", result, json, log_path);
+  return report_campaign("sweep", result, json_output, canonical, log_path);
 }
 
 int run_table1(int argc, char** argv) {
@@ -230,7 +618,11 @@ int run_table1(int argc, char** argv) {
   int seeds = 2;
   unsigned workers = std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
-  bool json = false;
+  bool workers_given = false;
+  int shards = 0;
+  ShardPolicy policy = ShardPolicy::kCostBalanced;
+  bool json_output = false;
+  bool canonical = false;
   bool smoke = false;
   bool n_given = false;
   bool seeds_given = false;
@@ -248,12 +640,20 @@ int run_table1(int argc, char** argv) {
       seeds_given = true;
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = static_cast<unsigned>(std::stoi(value()));
+      workers_given = true;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = std::stoi(value());
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      policy = parse_shard_policy(value());
+    } else if (arg == "--canonical") {
+      canonical = true;
+      json_output = true;
     } else if (arg.rfind("--log=", 0) == 0) {
       log_path = value();
     } else if (arg.rfind("--format=", 0) == 0) {
       const std::string format = value();
       if (format != "csv" && format != "json") return usage();
-      json = format == "json";
+      json_output = format == "json";
     } else {
       return usage();
     }
@@ -270,10 +670,17 @@ int run_table1(int argc, char** argv) {
                "families x %d seed%s, n=%d)\n",
                cells.size(), default_algorithm_registry().names().size(),
                seeds, seeds == 1 ? "" : "s", params.n);
+  if (shards > 0) {
+    const int per_shard = workers_given
+                              ? static_cast<int>(workers)
+                              : std::max(1, static_cast<int>(workers) / shards);
+    return run_sharded("table1", cells, shards, policy, per_shard,
+                       json_output, canonical, log_path);
+  }
   CampaignOptions options;
   options.workers = static_cast<int>(workers);
   const CampaignResult result = run_campaign(cells, options);
-  return report_campaign("table1", result, json, log_path);
+  return report_campaign("table1", result, json_output, canonical, log_path);
 }
 
 void emit_stats(const EngineStats& stats, const char* what) {
@@ -309,6 +716,15 @@ void emit(const Instance& instance, const std::vector<std::int64_t>& outputs,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 1 && argv[0] != nullptr) g_self_path = argv[0];
+  if (argc >= 2 && std::strcmp(argv[1], "shard") == 0) {
+    try {
+      return run_shard_command(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "shard: %s\n", e.what());
+      return 1;
+    }
+  }
   if (argc >= 2 && std::strcmp(argv[1], "sweep") == 0) {
     try {
       return run_sweep(argc, argv);

@@ -12,6 +12,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "src/util/json.h"
+
 namespace unilocal {
 
 // --- workspace pool ---------------------------------------------------------
@@ -125,6 +127,8 @@ CampaignPercentiles percentiles(std::vector<double> values) {
   return result;
 }
 
+}  // namespace
+
 const char* identity_scheme_name(IdentityScheme scheme) {
   switch (scheme) {
     case IdentityScheme::kSequential:
@@ -137,39 +141,56 @@ const char* identity_scheme_name(IdentityScheme scheme) {
   return "?";
 }
 
-std::string json_escape(const std::string& text) {
-  std::string result;
-  result.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        result += "\\\"";
-        break;
-      case '\\':
-        result += "\\\\";
-        break;
-      case '\n':
-        result += "\\n";
-        break;
-      case '\t':
-        result += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          result += buffer;
-        } else {
-          result += c;
-        }
-    }
+IdentityScheme parse_identity_scheme(const std::string& name) {
+  for (const IdentityScheme scheme :
+       {IdentityScheme::kSequential, IdentityScheme::kRandomPermuted,
+        IdentityScheme::kRandomSparse}) {
+    if (name == identity_scheme_name(scheme)) return scheme;
   }
-  return result;
+  throw std::runtime_error("unknown identity scheme: " + name);
 }
 
-}  // namespace
-
 // --- campaign driver --------------------------------------------------------
+
+void finalize_campaign_aggregates(CampaignResult& result) {
+  result.solved = 0;
+  result.valid = 0;
+  result.failed = 0;
+  result.cells_per_second =
+      result.elapsed_seconds > 0.0
+          ? static_cast<double>(result.cells.size()) / result.elapsed_seconds
+          : 0.0;
+  std::vector<double> rounds;
+  std::vector<double> messages;
+  std::vector<double> steps_per_second;
+  std::vector<double> peak_live;
+  std::vector<double> peak_frontier;
+  std::vector<double> dirty_cleared;
+  for (const CellResult& cell : result.cells) {
+    if (!cell.error.empty()) {
+      ++result.failed;
+      continue;
+    }
+    if (!cell.solved) continue;
+    ++result.solved;
+    if (cell.valid) ++result.valid;
+    rounds.push_back(static_cast<double>(cell.rounds));
+    messages.push_back(static_cast<double>(cell.stats.total_messages));
+    if (cell.stats.steps_per_second > 0.0)
+      steps_per_second.push_back(cell.stats.steps_per_second);
+    peak_live.push_back(static_cast<double>(cell.stats.peak_live_nodes));
+    peak_frontier.push_back(
+        static_cast<double>(cell.stats.peak_frontier_nodes));
+    dirty_cleared.push_back(
+        static_cast<double>(cell.stats.dirty_spans_cleared));
+  }
+  result.rounds = percentiles(std::move(rounds));
+  result.messages = percentiles(std::move(messages));
+  result.steps_per_second = percentiles(std::move(steps_per_second));
+  result.peak_live_nodes = percentiles(std::move(peak_live));
+  result.peak_frontier_nodes = percentiles(std::move(peak_frontier));
+  result.dirty_spans_cleared = percentiles(std::move(dirty_cleared));
+}
 
 CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
                             const CampaignOptions& options) {
@@ -200,30 +221,7 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
   result.elapsed_seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - start)
                                .count();
-  result.cells_per_second =
-      result.elapsed_seconds > 0.0
-          ? static_cast<double>(cells.size()) / result.elapsed_seconds
-          : 0.0;
-
-  std::vector<double> rounds;
-  std::vector<double> messages;
-  std::vector<double> steps_per_second;
-  for (const CellResult& cell : result.cells) {
-    if (!cell.error.empty()) {
-      ++result.failed;
-      continue;
-    }
-    if (!cell.solved) continue;
-    ++result.solved;
-    if (cell.valid) ++result.valid;
-    rounds.push_back(static_cast<double>(cell.rounds));
-    messages.push_back(static_cast<double>(cell.stats.total_messages));
-    if (cell.stats.steps_per_second > 0.0)
-      steps_per_second.push_back(cell.stats.steps_per_second);
-  }
-  result.rounds = percentiles(std::move(rounds));
-  result.messages = percentiles(std::move(messages));
-  result.steps_per_second = percentiles(std::move(steps_per_second));
+  finalize_campaign_aggregates(result);
   return result;
 }
 
@@ -352,7 +350,8 @@ std::string csv_escape(const std::string& field) {
 void write_campaign_csv(std::ostream& out, const CampaignResult& result) {
   out << "scenario,n,a,b,algorithm,seed,identities,nodes,edges,rounds,"
          "solved,valid,seconds,messages,peak_round_messages,steps,"
-         "steps_per_sec,arena_bytes,output_hash,error\n";
+         "steps_per_sec,arena_bytes,peak_live_nodes,peak_frontier_nodes,"
+         "dirty_spans_cleared,output_hash,error\n";
   for (const CellResult& cell : result.cells) {
     out << csv_escape(cell.cell.scenario) << ',' << cell.cell.params.n << ','
         << cell.cell.params.a << ',' << cell.cell.params.b << ','
@@ -363,7 +362,9 @@ void write_campaign_csv(std::ostream& out, const CampaignResult& result) {
         << cell.seconds << ',' << cell.stats.total_messages << ','
         << cell.stats.peak_round_messages << ',' << cell.stats.total_steps
         << ',' << cell.stats.steps_per_second << ','
-        << cell.stats.arena_bytes << ',' << cell.output_hash << ','
+        << cell.stats.arena_bytes << ',' << cell.stats.peak_live_nodes << ','
+        << cell.stats.peak_frontier_nodes << ','
+        << cell.stats.dirty_spans_cleared << ',' << cell.output_hash << ','
         << csv_escape(cell.error) << '\n';
   }
 }
@@ -378,42 +379,71 @@ void write_percentiles_json(std::ostream& out, const char* key,
 
 }  // namespace
 
-void write_campaign_json(std::ostream& out, const CampaignResult& result) {
-  out << "{\"workers\":" << result.workers
-      << ",\"cells\":" << result.cells.size()
-      << ",\"solved\":" << result.solved << ",\"valid\":" << result.valid
-      << ",\"failed\":" << result.failed
-      << ",\"elapsed_seconds\":" << result.elapsed_seconds
-      << ",\"cells_per_second\":" << result.cells_per_second << ',';
+void write_campaign_json(std::ostream& out, const CampaignResult& result,
+                         const CampaignJsonOptions& options) {
+  out << '{';
+  if (!options.canonical) {
+    // Timing- and scheduling-dependent summary fields: meaningful for a
+    // report, poison for a byte-level diff across shardings.
+    out << "\"workers\":" << result.workers << ',';
+  }
+  out << "\"cells\":" << result.cells.size() << ",\"solved\":" << result.solved
+      << ",\"valid\":" << result.valid << ",\"failed\":" << result.failed
+      << ',';
+  if (!options.canonical) {
+    out << "\"elapsed_seconds\":" << result.elapsed_seconds
+        << ",\"cells_per_second\":" << result.cells_per_second << ',';
+  }
   write_percentiles_json(out, "rounds", result.rounds);
   out << ',';
   write_percentiles_json(out, "messages", result.messages);
   out << ',';
-  write_percentiles_json(out, "steps_per_second", result.steps_per_second);
+  if (!options.canonical) {
+    write_percentiles_json(out, "steps_per_second", result.steps_per_second);
+    out << ',';
+  }
+  write_percentiles_json(out, "peak_live_nodes", result.peak_live_nodes);
+  out << ',';
+  write_percentiles_json(out, "peak_frontier_nodes",
+                         result.peak_frontier_nodes);
+  out << ',';
+  write_percentiles_json(out, "dirty_spans_cleared",
+                         result.dirty_spans_cleared);
   out << ",\"cell_results\":[";
   bool first = true;
   for (const CellResult& cell : result.cells) {
     if (!first) out << ',';
     first = false;
-    out << "{\"scenario\":\"" << json_escape(cell.cell.scenario)
+    out << "{\"scenario\":\"" << json::escape(cell.cell.scenario)
         << "\",\"n\":" << cell.cell.params.n << ",\"a\":" << cell.cell.params.a
         << ",\"b\":" << cell.cell.params.b << ",\"algorithm\":\""
-        << json_escape(cell.cell.algorithm)
+        << json::escape(cell.cell.algorithm)
         << "\",\"seed\":" << cell.cell.seed << ",\"identities\":\""
         << identity_scheme_name(cell.cell.identities)
         << "\",\"nodes\":" << cell.nodes << ",\"edges\":" << cell.edges
         << ",\"rounds\":" << cell.rounds
         << ",\"solved\":" << (cell.solved ? "true" : "false")
-        << ",\"valid\":" << (cell.valid ? "true" : "false")
-        << ",\"seconds\":" << cell.seconds
-        << ",\"messages\":" << cell.stats.total_messages
-        << ",\"steps\":" << cell.stats.total_steps
-        << ",\"steps_per_sec\":" << cell.stats.steps_per_second
-        << ",\"arena_bytes\":" << cell.stats.arena_bytes
+        << ",\"valid\":" << (cell.valid ? "true" : "false");
+    if (!options.canonical) out << ",\"seconds\":" << cell.seconds;
+    out << ",\"messages\":" << cell.stats.total_messages
+        << ",\"steps\":" << cell.stats.total_steps;
+    if (!options.canonical) {
+      // steps/sec is wall-clock; arena_bytes is the workspace's *capacity*,
+      // which depends on what the reused workspace ran before this cell.
+      out << ",\"steps_per_sec\":" << cell.stats.steps_per_second
+          << ",\"arena_bytes\":" << cell.stats.arena_bytes;
+    }
+    out << ",\"peak_live_nodes\":" << cell.stats.peak_live_nodes
+        << ",\"peak_frontier_nodes\":" << cell.stats.peak_frontier_nodes
+        << ",\"dirty_spans_cleared\":" << cell.stats.dirty_spans_cleared
         << ",\"output_hash\":\"" << cell.output_hash << "\",\"error\":\""
-        << json_escape(cell.error) << "\"}";
+        << json::escape(cell.error) << "\"}";
   }
   out << "]}";
+}
+
+void write_campaign_json(std::ostream& out, const CampaignResult& result) {
+  write_campaign_json(out, result, CampaignJsonOptions{});
 }
 
 }  // namespace unilocal

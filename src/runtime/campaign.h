@@ -122,7 +122,27 @@ struct CampaignResult {
   CampaignPercentiles rounds;
   CampaignPercentiles messages;
   CampaignPercentiles steps_per_second;
+  /// Frontier telemetry (the PR 4 engine counters), aggregated over the
+  /// solved cells like rounds/messages: how much of each cell the engine
+  /// actually had live, how wide the scheduled frontier got, and how much
+  /// span-clearing the dirty lists absorbed.
+  CampaignPercentiles peak_live_nodes;
+  CampaignPercentiles peak_frontier_nodes;
+  CampaignPercentiles dirty_spans_cleared;
 };
+
+/// Recomputes every aggregate field of `result` (solved/valid/failed
+/// counts, all percentile blocks, cells_per_second) from result.cells and
+/// result.elapsed_seconds. run_campaign ends with this; merge_shard_results
+/// (src/runtime/shard.h) reuses it so a merged campaign aggregates cells
+/// exactly like a single-process run.
+void finalize_campaign_aggregates(CampaignResult& result);
+
+/// Stable names for IdentityScheme ("sequential", "random-permuted",
+/// "random-sparse") — used by the CSV/JSON writers and the shard manifest
+/// round trip. parse throws std::runtime_error on unknown names.
+const char* identity_scheme_name(IdentityScheme scheme);
+IdentityScheme parse_identity_scheme(const std::string& name);
 
 struct CampaignOptions {
   /// Pool parallelism when no shared pool is lent (>= 1; cells never split
@@ -189,7 +209,20 @@ std::vector<CampaignCell> make_table1_grid(
 
 /// One CSV row per cell plus a header row.
 void write_campaign_csv(std::ostream& out, const CampaignResult& result);
-/// One JSON object: summary fields plus a "cells" array.
+
+struct CampaignJsonOptions {
+  /// Canonical mode emits only the deterministic fields — everything that
+  /// is a pure function of the grid (no wall-clock timings, no worker
+  /// counts, no arena capacities, which depend on workspace reuse order) —
+  /// so two runs of the same grid produce byte-identical documents no
+  /// matter how the cells were scheduled or sharded. CI diffs a merged
+  /// sharded run against a single-process run this way.
+  bool canonical = false;
+};
+
+/// One JSON object: summary fields plus a "cell_results" array.
+void write_campaign_json(std::ostream& out, const CampaignResult& result,
+                         const CampaignJsonOptions& options);
 void write_campaign_json(std::ostream& out, const CampaignResult& result);
 
 }  // namespace unilocal

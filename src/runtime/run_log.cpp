@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/util/json.h"
+
 namespace unilocal {
 
 namespace {
@@ -32,77 +34,46 @@ void write_percentiles(std::ostream& out, const char* key,
       << ",\"p99\":" << p.p99 << ",\"max\":" << p.max << '}';
 }
 
-/// Finds `"key":` at top level of the line and parses the number after it
-/// (tolerates a quoted value — grid_hash is written as a string so 64-bit
-/// values survive tools that read JSON numbers as doubles).
-bool find_number(const std::string& line, const std::string& key,
-                 std::size_t from, double& value) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t at = line.find(needle, from);
-  if (at == std::string::npos) return false;
-  std::size_t cursor = at + needle.size();
-  if (cursor < line.size() && line[cursor] == '"') ++cursor;
-  try {
-    value = std::stod(line.substr(cursor));
-  } catch (...) {
-    return false;
-  }
-  return true;
+CampaignPercentiles parse_percentiles(const json::Value& value) {
+  CampaignPercentiles p;
+  p.p50 = value.at("p50").as_double();
+  p.p90 = value.at("p90").as_double();
+  p.p99 = value.at("p99").as_double();
+  p.max = value.at("max").as_double();
+  return p;
 }
 
-bool find_u64(const std::string& line, const std::string& key,
-              std::uint64_t& value) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t at = line.find(needle, 0);
-  if (at == std::string::npos) return false;
-  std::size_t cursor = at + needle.size();
-  if (cursor < line.size() && line[cursor] == '"') ++cursor;
-  try {
-    value = std::stoull(line.substr(cursor));
-  } catch (...) {
-    return false;
-  }
-  return true;
-}
-
-bool find_percentiles(const std::string& line, const std::string& key,
-                      CampaignPercentiles& p) {
-  const std::string needle = "\"" + key + "\":{";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) return false;
-  const std::size_t from = at + needle.size();
-  return find_number(line, "p50", from, p.p50) &&
-         find_number(line, "p90", from, p.p90) &&
-         find_number(line, "p99", from, p.p99) &&
-         find_number(line, "max", from, p.max);
+/// Telemetry blocks are newer than the log format; absent means zero.
+CampaignPercentiles parse_optional_percentiles(const json::Value& root,
+                                               const char* key) {
+  const json::Value* value = root.find(key);
+  return value != nullptr ? parse_percentiles(*value) : CampaignPercentiles{};
 }
 
 bool parse_entry(const std::string& line, RunLogEntry& entry) {
-  const std::size_t date_at = line.find("\"date\":\"");
-  if (date_at == std::string::npos) return false;
-  const std::size_t date_from = date_at + 8;
-  const std::size_t date_to = line.find('"', date_from);
-  if (date_to == std::string::npos) return false;
-  entry.date = line.substr(date_from, date_to - date_from);
-
-  double workers = 0, cells = 0, solved = 0, valid = 0, failed = 0;
-  if (!find_u64(line, "grid_hash", entry.grid_hash) ||
-      !find_number(line, "workers", 0, workers) ||
-      !find_number(line, "cells", 0, cells) ||
-      !find_number(line, "solved", 0, solved) ||
-      !find_number(line, "valid", 0, valid) ||
-      !find_number(line, "failed", 0, failed) ||
-      !find_number(line, "elapsed_seconds", 0, entry.elapsed_seconds) ||
-      !find_number(line, "cells_per_second", 0, entry.cells_per_second) ||
-      !find_percentiles(line, "rounds", entry.rounds) ||
-      !find_percentiles(line, "messages", entry.messages) ||
-      !find_percentiles(line, "steps_per_second", entry.steps_per_second))
+  try {
+    const json::Value root = json::Value::parse(line);
+    entry.date = root.at("date").as_string();
+    entry.grid_hash = json::u64_field(root.at("grid_hash"));
+    entry.workers = static_cast<int>(root.at("workers").as_i64());
+    entry.cells = static_cast<int>(root.at("cells").as_i64());
+    entry.solved = static_cast<int>(root.at("solved").as_i64());
+    entry.valid = static_cast<int>(root.at("valid").as_i64());
+    entry.failed = static_cast<int>(root.at("failed").as_i64());
+    entry.elapsed_seconds = root.at("elapsed_seconds").as_double();
+    entry.cells_per_second = root.at("cells_per_second").as_double();
+    entry.rounds = parse_percentiles(root.at("rounds"));
+    entry.messages = parse_percentiles(root.at("messages"));
+    entry.steps_per_second = parse_percentiles(root.at("steps_per_second"));
+    entry.peak_live_nodes =
+        parse_optional_percentiles(root, "peak_live_nodes");
+    entry.peak_frontier_nodes =
+        parse_optional_percentiles(root, "peak_frontier_nodes");
+    entry.dirty_spans_cleared =
+        parse_optional_percentiles(root, "dirty_spans_cleared");
+  } catch (...) {
     return false;
-  entry.workers = static_cast<int>(workers);
-  entry.cells = static_cast<int>(cells);
-  entry.solved = static_cast<int>(solved);
-  entry.valid = static_cast<int>(valid);
-  entry.failed = static_cast<int>(failed);
+  }
   return true;
 }
 
@@ -112,26 +83,33 @@ double ratio(double current, double baseline) {
 
 }  // namespace
 
-std::uint64_t campaign_grid_hash(const CampaignResult& result) {
+std::uint64_t campaign_grid_hash(const std::vector<CampaignCell>& cells) {
   std::uint64_t hash = 14695981039346656037ULL;
-  for (const CellResult& cell : result.cells) {
-    hash_string(hash, cell.cell.scenario);
-    hash_word(hash, static_cast<std::uint64_t>(cell.cell.params.n));
+  for (const CampaignCell& cell : cells) {
+    hash_string(hash, cell.scenario);
+    hash_word(hash, static_cast<std::uint64_t>(cell.params.n));
     // Knob doubles hashed bit-exactly (they come from CLI parsing, not
     // arithmetic, so bit equality is the right notion of "same grid").
-    double a = cell.cell.params.a;
-    double b = cell.cell.params.b;
+    double a = cell.params.a;
+    double b = cell.params.b;
     std::uint64_t word = 0;
     static_assert(sizeof(word) == sizeof(a));
     std::memcpy(&word, &a, sizeof(word));
     hash_word(hash, word);
     std::memcpy(&word, &b, sizeof(word));
     hash_word(hash, word);
-    hash_string(hash, cell.cell.algorithm);
-    hash_word(hash, cell.cell.seed);
-    hash_word(hash, static_cast<std::uint64_t>(cell.cell.identities));
+    hash_string(hash, cell.algorithm);
+    hash_word(hash, cell.seed);
+    hash_word(hash, static_cast<std::uint64_t>(cell.identities));
   }
   return hash;
+}
+
+std::uint64_t campaign_grid_hash(const CampaignResult& result) {
+  std::vector<CampaignCell> cells;
+  cells.reserve(result.cells.size());
+  for (const CellResult& cell : result.cells) cells.push_back(cell.cell);
+  return campaign_grid_hash(cells);
 }
 
 RunLogEntry make_run_log_entry(const CampaignResult& result) {
@@ -153,6 +131,9 @@ RunLogEntry make_run_log_entry(const CampaignResult& result) {
   entry.rounds = result.rounds;
   entry.messages = result.messages;
   entry.steps_per_second = result.steps_per_second;
+  entry.peak_live_nodes = result.peak_live_nodes;
+  entry.peak_frontier_nodes = result.peak_frontier_nodes;
+  entry.dirty_spans_cleared = result.dirty_spans_cleared;
   return entry;
 }
 
@@ -171,6 +152,12 @@ void append_run_log(const std::string& path, const CampaignResult& result) {
   write_percentiles(out, "messages", entry.messages);
   out << ',';
   write_percentiles(out, "steps_per_second", entry.steps_per_second);
+  out << ',';
+  write_percentiles(out, "peak_live_nodes", entry.peak_live_nodes);
+  out << ',';
+  write_percentiles(out, "peak_frontier_nodes", entry.peak_frontier_nodes);
+  out << ',';
+  write_percentiles(out, "dirty_spans_cleared", entry.dirty_spans_cleared);
   out << "}\n";
 }
 

@@ -28,9 +28,17 @@ struct RunLogEntry {
   CampaignPercentiles rounds;
   CampaignPercentiles messages;
   CampaignPercentiles steps_per_second;
+  /// Frontier telemetry percentiles; zero when the entry predates them
+  /// (the reader tolerates their absence).
+  CampaignPercentiles peak_live_nodes;
+  CampaignPercentiles peak_frontier_nodes;
+  CampaignPercentiles dirty_spans_cleared;
 };
 
 /// FNV-1a over every cell's identifying fields, independent of outcomes.
+/// The same fingerprint keys the run log, shard manifests, and shard-merge
+/// consistency checks (src/runtime/shard.h).
+std::uint64_t campaign_grid_hash(const std::vector<CampaignCell>& cells);
 std::uint64_t campaign_grid_hash(const CampaignResult& result);
 
 /// The entry append_run_log would write (date stamped from the system

@@ -12,6 +12,7 @@
 
 #include "src/problems/registry.h"
 #include "src/runtime/campaign.h"
+#include "src/util/json.h"
 
 namespace unilocal {
 namespace {
@@ -245,6 +246,83 @@ TEST(Campaign, WritesCsvAndJson) {
   EXPECT_EQ(text.back(), '}');
   EXPECT_NE(text.find("\"cells_per_second\""), std::string::npos);
   EXPECT_NE(text.find("\"cell_results\":["), std::string::npos);
+}
+
+TEST(Campaign, AggregatesFrontierTelemetry) {
+  const auto cells = small_grid();
+  const CampaignResult result = run_campaign(cells, {});
+  ASSERT_EQ(result.failed, 0);
+  // Every solved cell had at least one live node, so the percentiles are
+  // populated and ordered like the other blocks.
+  EXPECT_GT(result.peak_live_nodes.p50, 0.0);
+  EXPECT_LE(result.peak_live_nodes.p50, result.peak_live_nodes.p90);
+  EXPECT_LE(result.peak_live_nodes.p90, result.peak_live_nodes.p99);
+  EXPECT_LE(result.peak_live_nodes.p99, result.peak_live_nodes.max);
+  EXPECT_GT(result.peak_frontier_nodes.max, 0.0);
+  EXPECT_LE(result.dirty_spans_cleared.p50, result.dirty_spans_cleared.max);
+  // The max percentile is the max over the cells' counters.
+  double expected_max = 0.0;
+  for (const CellResult& cell : result.cells)
+    expected_max = std::max(
+        expected_max, static_cast<double>(cell.stats.peak_live_nodes));
+  EXPECT_DOUBLE_EQ(result.peak_live_nodes.max, expected_max);
+}
+
+TEST(Campaign, JsonStaysParseableWithHostileKeysAndErrors) {
+  // Scenario keys, algorithm names, and error strings are free text; the
+  // written JSON must survive all of it now that shard merge machine-parses
+  // campaign documents.
+  const std::string hostile = "we\"ird\\key\nwith\tcontrol\x01chars";
+  ScenarioRegistry scenarios;
+  scenarios.add(hostile, "hostile name", [](const ScenarioParams& params,
+                                            Rng&) {
+    return Graph(params.n);
+  });
+  AlgorithmRegistry algorithms;
+  algorithms.add({hostile, "mis", "throws a hostile error", {}, {},
+                  [&](const Instance&, const AlgorithmRunContext&)
+                      -> CellOutcome {
+                    throw std::runtime_error("boom \"quoted\"\\\n\x02");
+                  }});
+  CampaignCell cell;
+  cell.scenario = hostile;
+  cell.params.n = 8;
+  cell.algorithm = hostile;
+  CampaignOptions options;
+  options.scenarios = &scenarios;
+  options.algorithms = &algorithms;
+  const CampaignResult result = run_campaign({cell}, options);
+  ASSERT_EQ(result.failed, 1);
+
+  for (const bool canonical : {false, true}) {
+    std::ostringstream out;
+    CampaignJsonOptions json_options;
+    json_options.canonical = canonical;
+    write_campaign_json(out, result, json_options);
+    const json::Value doc = json::Value::parse(out.str());  // must not throw
+    const json::Value& first = doc.at("cell_results").as_array().at(0);
+    EXPECT_EQ(first.at("scenario").as_string(), hostile);
+    EXPECT_EQ(first.at("algorithm").as_string(), hostile);
+    EXPECT_NE(first.at("error").as_string().find("boom \"quoted\""),
+              std::string::npos);
+  }
+}
+
+TEST(Campaign, CanonicalJsonIsSchedulingInvariant) {
+  const auto cells = small_grid();
+  CampaignOptions options;
+  options.workers = 1;
+  const CampaignResult sequential = run_campaign(cells, options);
+  options.workers = 4;
+  const CampaignResult parallel = run_campaign(cells, options);
+  CampaignJsonOptions canonical;
+  canonical.canonical = true;
+  std::ostringstream a;
+  std::ostringstream b;
+  write_campaign_json(a, sequential, canonical);
+  write_campaign_json(b, parallel, canonical);
+  // Byte-identical: no timing, worker, or workspace-reuse fields survive.
+  EXPECT_EQ(a.str(), b.str());
 }
 
 }  // namespace

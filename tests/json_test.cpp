@@ -1,0 +1,149 @@
+// The JSON value tree (src/util/json.h): parse/dump round trips, lexeme
+// preservation for 64-bit integers and doubles, escaping, and the error
+// paths shard-merge diagnostics are built on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "src/util/json.h"
+
+namespace unilocal {
+namespace {
+
+using json::Value;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Value::parse("null").is_null());
+  EXPECT_TRUE(Value::parse("true").as_bool());
+  EXPECT_FALSE(Value::parse("false").as_bool());
+  EXPECT_EQ(Value::parse("42").as_i64(), 42);
+  EXPECT_EQ(Value::parse("-7").as_i64(), -7);
+  EXPECT_DOUBLE_EQ(Value::parse("2.5e3").as_double(), 2500.0);
+  EXPECT_EQ(Value::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Value::parse("  [1,2]  ").as_array().size(), 2u);
+}
+
+TEST(Json, RoundTripsNestedStructures) {
+  const std::string text =
+      R"({"a":[1,2.5,"x",null,true],"b":{"c":[],"d":{}},"e":-0.125})";
+  const Value value = Value::parse(text);
+  EXPECT_EQ(value.dump(), text);  // member order and lexemes preserved
+  EXPECT_EQ(Value::parse(value.dump()), value);
+  EXPECT_EQ(value.at("a").as_array()[2].as_string(), "x");
+  EXPECT_TRUE(value.at("b").at("d").as_object().empty());
+}
+
+TEST(Json, PreservesSixtyFourBitIntegerLexemes) {
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+  const std::int64_t small = std::numeric_limits<std::int64_t>::min();
+  Value object = Value::object();
+  object.set("u", Value::number(big));
+  object.set("i", Value::number(small));
+  const Value back = Value::parse(object.dump());
+  // A double-based tree would have lost the low bits of 2^64 - 1.
+  EXPECT_EQ(back.at("u").as_u64(), big);
+  EXPECT_EQ(back.at("i").as_i64(), small);
+  EXPECT_EQ(back.dump(), object.dump());
+}
+
+TEST(Json, RoundTripsDoublesBitExactly) {
+  for (const double value : {0.1, 1.0 / 3.0, 6.02214076e23, -0.0, 1e-300}) {
+    const Value parsed = Value::parse(Value::number(value).dump());
+    EXPECT_EQ(parsed.as_double(), value);
+  }
+}
+
+TEST(Json, EscapesAndUnescapesStrings) {
+  const std::string nasty =
+      "quote\" backslash\\ newline\n tab\t return\r bell\x07 del\x1f end";
+  Value object = Value::object();
+  object.set("s", Value::string(nasty));
+  const std::string text = object.dump();
+  // The dump contains no raw control characters or bare quotes inside the
+  // string body — it is valid JSON for any payload.
+  for (const char c : text)
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  EXPECT_EQ(Value::parse(text).at("s").as_string(), nasty);
+  // escape() alone (what the stream writers use) matches dump()'s body.
+  EXPECT_NE(text.find(json::escape(nasty)), std::string::npos);
+}
+
+TEST(Json, DecodesUnicodeEscapes) {
+  EXPECT_EQ(Value::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Value::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");  // é
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Value::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+  EXPECT_EQ(Value::parse("\"\\/\"").as_string(), "/");
+  // Broken surrogates never yield raw invalid UTF-8 — every unpaired half
+  // becomes U+FFFD.
+  const std::string replacement = "\xef\xbf\xbd";
+  EXPECT_EQ(Value::parse("\"\\ud800\"").as_string(), replacement);
+  EXPECT_EQ(Value::parse("\"\\udc00\"").as_string(), replacement);
+  EXPECT_EQ(Value::parse("\"\\ud800\\ud800\"").as_string(),
+            replacement + replacement);
+  EXPECT_EQ(Value::parse("\"\\ud800\\u0041\"").as_string(),
+            replacement + "A");
+}
+
+TEST(Json, RefusesNonFiniteDoubles) {
+  // %.17g would spell these as bare words no parser accepts; fail at the
+  // write, not in whoever reads the file later.
+  EXPECT_THROW(Value::number(std::numeric_limits<double>::infinity()),
+               std::runtime_error);
+  EXPECT_THROW(Value::number(-std::numeric_limits<double>::infinity()),
+               std::runtime_error);
+  EXPECT_THROW(Value::number(std::numeric_limits<double>::quiet_NaN()),
+               std::runtime_error);
+}
+
+TEST(Json, ReadsU64FieldsFromEitherSpelling) {
+  const Value doc = Value::parse(
+      R"({"s":"18446744073709551615","n":42,"bad":"12x","neg":"-1"})");
+  EXPECT_EQ(json::u64_field(doc.at("s")),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(json::u64_field(doc.at("n")), 42u);
+  EXPECT_THROW(json::u64_field(doc.at("bad")), std::runtime_error);
+  EXPECT_THROW(json::u64_field(doc.at("neg")), std::runtime_error);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "01", "1.", "1e", "\"unterminated",
+        "\"bad\\q\"", "{\"a\":1,\"a\":2}", "[1] trailing", "'single'",
+        "\"ctrl\n\"", "+1", "nan", "--1"}) {
+    EXPECT_THROW(Value::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Json, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_THROW(Value::parse(deep), std::runtime_error);
+}
+
+TEST(Json, AccessorsEnforceTypes) {
+  const Value value = Value::parse(R"({"n":1.5,"s":"x","neg":-1})");
+  EXPECT_THROW(value.at("s").as_i64(), std::runtime_error);
+  EXPECT_THROW(value.at("n").as_i64(), std::runtime_error);   // not integral
+  EXPECT_THROW(value.at("neg").as_u64(), std::runtime_error);  // negative
+  EXPECT_THROW(value.at("n").as_array(), std::runtime_error);
+  EXPECT_THROW(value.at("missing"), std::runtime_error);
+  EXPECT_EQ(value.find("missing"), nullptr);
+  EXPECT_THROW(Value::parse("18446744073709551616").as_u64(),
+               std::runtime_error);  // 2^64: parses, overflows on coercion
+}
+
+TEST(Json, ObjectSetRejectsDuplicates) {
+  Value object = Value::object();
+  object.set("k", Value::number(std::int64_t{1}));
+  EXPECT_THROW(object.set("k", Value::number(std::int64_t{2})),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace unilocal

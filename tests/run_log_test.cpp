@@ -57,11 +57,38 @@ TEST_F(RunLogTest, AppendsOneParseableLinePerRun) {
     EXPECT_DOUBLE_EQ(entry.rounds.p50, result.rounds.p50);
     EXPECT_DOUBLE_EQ(entry.rounds.max, result.rounds.max);
     EXPECT_DOUBLE_EQ(entry.messages.p90, result.messages.p90);
+    // Frontier telemetry blocks ride along.
+    EXPECT_DOUBLE_EQ(entry.peak_live_nodes.max, result.peak_live_nodes.max);
+    EXPECT_DOUBLE_EQ(entry.peak_frontier_nodes.p50,
+                     result.peak_frontier_nodes.p50);
+    EXPECT_DOUBLE_EQ(entry.dirty_spans_cleared.p99,
+                     result.dirty_spans_cleared.p99);
     // ISO-8601 UTC stamp.
     ASSERT_EQ(entry.date.size(), 20u) << entry.date;
     EXPECT_EQ(entry.date[10], 'T');
     EXPECT_EQ(entry.date.back(), 'Z');
   }
+}
+
+TEST_F(RunLogTest, ToleratesEntriesWithoutTelemetryBlocks) {
+  // A line from before the telemetry percentiles existed still parses —
+  // the missing blocks read as zero.
+  {
+    std::ofstream out(path_);
+    out << "{\"date\":\"2026-01-01T00:00:00Z\",\"grid_hash\":\"42\","
+           "\"workers\":1,\"cells\":2,\"solved\":2,\"valid\":2,\"failed\":0,"
+           "\"elapsed_seconds\":0.5,\"cells_per_second\":4,"
+           "\"rounds\":{\"p50\":3,\"p90\":3,\"p99\":4,\"max\":4},"
+           "\"messages\":{\"p50\":10,\"p90\":11,\"p99\":12,\"max\":12},"
+           "\"steps_per_second\":{\"p50\":1,\"p90\":1,\"p99\":1,\"max\":1}}"
+        << "\n";
+  }
+  const auto entries = read_run_log(path_);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].grid_hash, 42u);
+  EXPECT_DOUBLE_EQ(entries[0].rounds.max, 4.0);
+  EXPECT_DOUBLE_EQ(entries[0].peak_live_nodes.max, 0.0);
+  EXPECT_DOUBLE_EQ(entries[0].dirty_spans_cleared.p50, 0.0);
 }
 
 TEST_F(RunLogTest, CompareFindsTheLatestMatchingBaseline) {
