@@ -8,6 +8,7 @@
 #include "src/graph/generators.h"
 #include "src/graph/subgraph.h"
 #include "src/prune/ruling_set_prune.h"
+#include "src/runtime/kernel.h"
 #include "src/runtime/reference.h"
 #include "src/runtime/runner.h"
 
@@ -143,6 +144,68 @@ void BM_EngineArena_Arboricity100k(benchmark::State& state) {
 BENCHMARK(BM_EngineArena_Arboricity100k)
     ->Arg(1)
     ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// --- kernel vs vtable (BENCH_engine.json pr6_kernel_vs_vtable) --------------
+//
+// The PR 6 step-kernel tier against the Process vtable path on the same
+// arena engine, dense small-state acceptance workloads (Luby and greedy
+// MIS at n = 100k), single thread: Arg(0) forces the vtable path
+// (kernel_mode=off), Arg(1) the flat kernel (kernel_mode=on). Outputs are
+// bit-identical; only the per-step dispatch and state layout differ.
+
+void run_kernel_bench(benchmark::State& state, const Instance& instance,
+                      const Algorithm& algorithm, KernelMode mode) {
+  std::uint64_t seed = 1;
+  std::int64_t steps = 0;
+  EngineWorkspace workspace;
+  for (auto _ : state) {
+    RunOptions options;
+    options.seed = seed++;
+    options.num_threads = 1;
+    options.kernel_mode = mode;
+    const RunResult result =
+        run_local(instance, algorithm, options, &workspace);
+    steps += result.stats.total_steps;
+    benchmark::DoNotOptimize(result.outputs.data());
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+  state.counters["nodes"] = static_cast<double>(instance.num_nodes());
+}
+
+KernelMode bench_kernel_mode(benchmark::State& state) {
+  return state.range(0) == 0 ? KernelMode::kOff : KernelMode::kOn;
+}
+
+void BM_KernelVsVtable_LubyGnp100k(benchmark::State& state) {
+  run_kernel_bench(state, engine_gnp_instance(), LubyMis{},
+                   bench_kernel_mode(state));
+}
+BENCHMARK(BM_KernelVsVtable_LubyGnp100k)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_KernelVsVtable_LubyArboricity100k(benchmark::State& state) {
+  run_kernel_bench(state, engine_arboricity_instance(), LubyMis{},
+                   bench_kernel_mode(state));
+}
+BENCHMARK(BM_KernelVsVtable_LubyArboricity100k)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_KernelVsVtable_GreedyGnp100k(benchmark::State& state) {
+  run_kernel_bench(state, engine_gnp_instance(), GreedyMis{},
+                   bench_kernel_mode(state));
+}
+BENCHMARK(BM_KernelVsVtable_GreedyGnp100k)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 

@@ -1,18 +1,24 @@
 // unilocal_cli — run a uniform LOCAL algorithm on your own graph, or sweep
 // a campaign grid over the scenario registry.
 //
-//   unilocal_cli <problem> [file] [--stats]
+//   unilocal_cli <problem> [file] [--stats] [--kernel=off|auto|on]
 //
 //   <problem>: mis | matching | coloring | rulingset2
 //   [file]:    edge list ("n m" header then "u v" per line);
 //              reads stdin when omitted.
 //   --stats:   also print per-run engine statistics (arena bytes, peak
 //              messages/round, steps/sec, peak/final live nodes, frontier
-//              width, lazily cleared dirty spans) on stderr.
+//              width, lazily cleared dirty spans, kernel/vtable step split)
+//              on stderr.
+//   --kernel:  engine execution path (src/runtime/kernel.h): flat step
+//              kernels where an algorithm has a lowering (auto, the
+//              default), the Process vtable path always (off), or kernels
+//              required — error when a stage has no lowering (on). Outputs
+//              are bit-identical across modes.
 //
 //   unilocal_cli sweep [--scenarios=a,b,..] [--algorithms=x,y,..] [--n=N]
 //                      [--a=V] [--b=V] [--seeds=K] [--workers=W]
-//                      [--format=csv|json] [--log=FILE] [--list]
+//                      [--kernel=M] [--format=csv|json] [--log=FILE] [--list]
 //
 //   Runs the (scenario x algorithm x seed) grid concurrently on W workers
 //   (campaign layer, src/runtime/campaign.h), prints one CSV row (or JSON
@@ -23,7 +29,7 @@
 //   append-only run log and diffs against the last recorded sweep of the
 //   same grid.
 //
-//   unilocal_cli table1 [--n=N] [--seeds=K] [--workers=W]
+//   unilocal_cli table1 [--n=N] [--seeds=K] [--workers=W] [--kernel=M]
 //                       [--format=csv|json] [--log=FILE] [--smoke]
 //
 //   Regenerates the paper's Table 1 grid as ONE campaign: every registry
@@ -39,7 +45,7 @@
 //   JSON fields so sharded and single-process outputs diff byte-equal.
 //
 //   unilocal_cli shard plan --dir=DIR --shards=K [--policy=P] <grid flags>
-//   unilocal_cli shard run MANIFEST [--out=FILE] [--workers=W]
+//   unilocal_cli shard run MANIFEST [--out=FILE] [--workers=W] [--kernel=M]
 //   unilocal_cli shard merge PLAN RESULT... [--format=csv|json]
 //                            [--canonical] [--log=FILE]
 //
@@ -82,6 +88,7 @@
 #include "src/prune/matching_prune.h"
 #include "src/prune/ruling_set_prune.h"
 #include "src/runtime/campaign.h"
+#include "src/runtime/kernel.h"
 #include "src/runtime/run_log.h"
 #include "src/runtime/shard.h"
 
@@ -92,20 +99,20 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: unilocal_cli <mis|matching|coloring|rulingset2> "
-               "[edge-list-file] [--stats]\n"
+               "[edge-list-file] [--stats] [--kernel=off|auto|on]\n"
                "       unilocal_cli sweep [--scenarios=a,b,..] "
                "[--algorithms=x,y,..|all|glob*] [--n=N] [--a=V] [--b=V] "
-               "[--seeds=K] [--workers=W] [--shards=K] "
+               "[--seeds=K] [--workers=W] [--kernel=M] [--shards=K] "
                "[--policy=round-robin|cost-balanced] [--format=csv|json] "
                "[--canonical] [--log=FILE] [--list]\n"
                "       unilocal_cli table1 [--n=N] [--seeds=K] [--workers=W] "
-               "[--shards=K] [--policy=P] [--format=csv|json] [--canonical] "
-               "[--log=FILE] [--smoke]\n"
+               "[--kernel=M] [--shards=K] [--policy=P] [--format=csv|json] "
+               "[--canonical] [--log=FILE] [--smoke]\n"
                "       unilocal_cli shard plan --dir=DIR --shards=K "
                "[--policy=P] (--table1 [--smoke] | --scenarios=.. "
                "--algorithms=..) [--n=N] [--a=V] [--b=V] [--seeds=K]\n"
                "       unilocal_cli shard run MANIFEST [--out=FILE] "
-               "[--workers=W]\n"
+               "[--workers=W] [--kernel=M]\n"
                "       unilocal_cli shard merge PLAN RESULT... "
                "[--format=csv|json] [--canonical] [--log=FILE]\n");
   return 2;
@@ -190,6 +197,8 @@ int report_campaign(const char* what, const CampaignResult& result,
   print_percentiles("peak_live", result.peak_live_nodes);
   print_percentiles("peak_frontier", result.peak_frontier_nodes);
   print_percentiles("dirty_cleared", result.dirty_spans_cleared);
+  print_percentiles("kernel_steps", result.kernel_steps);
+  print_percentiles("vtable_steps", result.vtable_steps);
   for (const auto& cell : result.cells) {
     if (!cell.error.empty())
       std::fprintf(stderr, "%s: FAILED %s/%s seed=%llu: %s\n", what,
@@ -237,7 +246,7 @@ int report_campaign(const char* what, const CampaignResult& result,
 /// at all is fatal.
 int run_sharded(const char* what, const std::vector<CampaignCell>& cells,
                 int shards, ShardPolicy policy, int workers_per_shard,
-                bool json_output, bool canonical,
+                KernelMode kernel_mode, bool json_output, bool canonical,
                 const std::string& log_path) {
   namespace fs = std::filesystem;
   const ShardPlan plan = plan_shards(cells, shards, policy);
@@ -264,7 +273,8 @@ int run_sharded(const char* what, const std::vector<CampaignCell>& cells,
     const std::string command =
         shell_quote(exe) + " shard run " + shell_quote(manifest_path) +
         " --out=" + shell_quote(result_paths[s]) +
-        " --workers=" + std::to_string(workers_per_shard) + " 2>" +
+        " --workers=" + std::to_string(workers_per_shard) +
+        " --kernel=" + kernel_mode_name(kernel_mode) + " 2>" +
         shell_quote(result_paths[s] + ".err");
     children.emplace_back([command, s, &exit_codes] {
       exit_codes[s] = std::system(command.c_str());
@@ -421,6 +431,7 @@ int run_shard_run(int argc, char** argv) {
   std::string out_path;
   unsigned workers = std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
+  KernelMode kernel_mode = KernelMode::kAuto;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
@@ -428,6 +439,8 @@ int run_shard_run(int argc, char** argv) {
       out_path = value();
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = static_cast<unsigned>(std::stoi(value()));
+    } else if (arg.rfind("--kernel=", 0) == 0) {
+      kernel_mode = parse_kernel_mode(value());
     } else if (arg.rfind("--", 0) == 0) {
       return usage();
     } else if (manifest_path.empty()) {
@@ -441,6 +454,7 @@ int run_shard_run(int argc, char** argv) {
       ShardManifest::from_json(json::Value::parse(read_text_file(manifest_path)));
   CampaignOptions options;
   options.workers = static_cast<int>(workers);
+  options.kernel_mode = kernel_mode;
   const ShardResult result = run_shard(manifest, options);
   const std::string text = result.to_json().dump() + "\n";
   if (out_path.empty())
@@ -527,6 +541,7 @@ int run_sweep(int argc, char** argv) {
   bool workers_given = false;
   int shards = 0;
   ShardPolicy policy = ShardPolicy::kCostBalanced;
+  KernelMode kernel_mode = KernelMode::kAuto;
   bool json_output = false;
   bool canonical = false;
   std::string log_path;
@@ -571,6 +586,8 @@ int run_sweep(int argc, char** argv) {
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = static_cast<unsigned>(std::stoi(value()));
       workers_given = true;
+    } else if (arg.rfind("--kernel=", 0) == 0) {
+      kernel_mode = parse_kernel_mode(value());
     } else if (arg.rfind("--shards=", 0) == 0) {
       shards = std::stoi(value());
     } else if (arg.rfind("--policy=", 0) == 0) {
@@ -603,11 +620,12 @@ int run_sweep(int argc, char** argv) {
     const int per_shard = workers_given
                               ? static_cast<int>(workers)
                               : std::max(1, static_cast<int>(workers) / shards);
-    return run_sharded("sweep", cells, shards, policy, per_shard, json_output,
-                       canonical, log_path);
+    return run_sharded("sweep", cells, shards, policy, per_shard, kernel_mode,
+                       json_output, canonical, log_path);
   }
   CampaignOptions options;
   options.workers = static_cast<int>(workers);
+  options.kernel_mode = kernel_mode;
   const CampaignResult result = run_campaign(cells, options);
   return report_campaign("sweep", result, json_output, canonical, log_path);
 }
@@ -621,6 +639,7 @@ int run_table1(int argc, char** argv) {
   bool workers_given = false;
   int shards = 0;
   ShardPolicy policy = ShardPolicy::kCostBalanced;
+  KernelMode kernel_mode = KernelMode::kAuto;
   bool json_output = false;
   bool canonical = false;
   bool smoke = false;
@@ -641,6 +660,8 @@ int run_table1(int argc, char** argv) {
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = static_cast<unsigned>(std::stoi(value()));
       workers_given = true;
+    } else if (arg.rfind("--kernel=", 0) == 0) {
+      kernel_mode = parse_kernel_mode(value());
     } else if (arg.rfind("--shards=", 0) == 0) {
       shards = std::stoi(value());
     } else if (arg.rfind("--policy=", 0) == 0) {
@@ -675,10 +696,11 @@ int run_table1(int argc, char** argv) {
                               ? static_cast<int>(workers)
                               : std::max(1, static_cast<int>(workers) / shards);
     return run_sharded("table1", cells, shards, policy, per_shard,
-                       json_output, canonical, log_path);
+                       kernel_mode, json_output, canonical, log_path);
   }
   CampaignOptions options;
   options.workers = static_cast<int>(workers);
+  options.kernel_mode = kernel_mode;
   const CampaignResult result = run_campaign(cells, options);
   return report_campaign("table1", result, json_output, canonical, log_path);
 }
@@ -698,6 +720,9 @@ void emit_stats(const EngineStats& stats, const char* what) {
                static_cast<long long>(stats.final_live_nodes),
                static_cast<long long>(stats.peak_frontier_nodes),
                static_cast<long long>(stats.dirty_spans_cleared));
+  std::fprintf(stderr, "%s path: kernel_steps=%lld vtable_steps=%lld\n", what,
+               static_cast<long long>(stats.kernel_steps),
+               static_cast<long long>(stats.vtable_steps));
 }
 
 void emit(const Instance& instance, const std::vector<std::int64_t>& outputs,
@@ -742,11 +767,19 @@ int main(int argc, char** argv) {
     }
   }
   bool want_stats = false;
+  UniformRunOptions run_options;
   const char* file = nullptr;
   const char* problem_arg = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       want_stats = true;
+    } else if (std::strncmp(argv[i], "--kernel=", 9) == 0) {
+      try {
+        run_options.kernel_mode = parse_kernel_mode(argv[i] + 9);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return usage();
+      }
     } else if (problem_arg == nullptr) {
       problem_arg = argv[i];
     } else if (file == nullptr) {
@@ -776,10 +809,12 @@ int main(int argc, char** argv) {
                                     IdentityScheme::kRandomPermuted, 1);
 
   const std::string problem = problem_arg;
+  try {
   if (problem == "mis") {
     const auto algorithm = make_coloring_mis();
     const RulingSetPruning pruning(1);
-    const auto result = run_uniform_transformer(instance, *algorithm, pruning);
+    const auto result =
+        run_uniform_transformer(instance, *algorithm, pruning, run_options);
     emit(instance, result.outputs, result.total_rounds,
          result.solved &&
              is_maximal_independent_set(instance.graph, result.outputs),
@@ -788,14 +823,16 @@ int main(int argc, char** argv) {
   } else if (problem == "matching") {
     const auto algorithm = make_colored_matching();
     const MatchingPruning pruning;
-    const auto result = run_uniform_transformer(instance, *algorithm, pruning);
+    const auto result =
+        run_uniform_transformer(instance, *algorithm, pruning, run_options);
     emit(instance, result.outputs, result.total_rounds,
          result.solved && is_maximal_matching(instance.graph, result.outputs),
          "matching");
     if (want_stats) emit_stats(result.engine_stats, "matching");
   } else if (problem == "coloring") {
     const auto algorithm = make_lambda_gdelta_coloring(1);
-    const auto result = run_uniform_coloring_transform(instance, *algorithm);
+    const auto result =
+        run_uniform_coloring_transform(instance, *algorithm, run_options);
     emit(instance, result.colors, result.total_rounds,
          result.solved && is_proper_coloring(instance.graph, result.colors),
          "coloring");
@@ -804,7 +841,7 @@ int main(int argc, char** argv) {
     const auto algorithm = make_mc_ruling_set(2);
     const RulingSetPruning pruning(2);
     const auto result =
-        run_las_vegas_transformer(instance, *algorithm, pruning);
+        run_las_vegas_transformer(instance, *algorithm, pruning, run_options);
     emit(instance, result.outputs, result.total_rounds,
          result.solved &&
              is_two_beta_ruling_set(instance.graph, result.outputs, 2),
@@ -812,6 +849,11 @@ int main(int argc, char** argv) {
     if (want_stats) emit_stats(result.engine_stats, "rulingset2");
   } else {
     return usage();
+  }
+  } catch (const std::exception& e) {
+    // e.g. --kernel=on on a pipeline with unlowered stages.
+    std::fprintf(stderr, "%s: %s\n", problem.c_str(), e.what());
+    return 1;
   }
   return 0;
 }

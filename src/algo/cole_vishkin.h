@@ -22,9 +22,12 @@ class ColeVishkin final : public Algorithm {
   std::unique_ptr<Process> spawn(const NodeInit& init) const override;
   std::string name() const override;
   std::int64_t schedule_rounds() const noexcept;
+  /// Flat-kernel lowering ("cole-vishkin" in the kernel registry).
+  std::shared_ptr<const StepKernel> kernel() const override;
 
  private:
   std::vector<std::int64_t> spaces_;  // color-space sizes per step
+  std::shared_ptr<const StepKernel> kernel_;
 };
 
 /// Builds the rooted-forest instance for a forest graph: parent ports from a

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/runtime/kernel.h"
+
 namespace unilocal {
 
 namespace {
@@ -59,6 +61,88 @@ class ColorReduceProcess final : public Process {
   std::vector<std::int64_t> nbr_colors_;
 };
 
+// --- flat-kernel lowering (mirrors ColorReduceProcess::step bit-for-bit) ----
+//
+// The per-node neighbour-color cache moves into the engine's per-port state
+// arena (one word per directed edge); the smallest-free scan reuses the
+// per-thread scratch vector as a used[] flag array.
+
+struct ColorReduceKernelConfig {
+  std::int64_t k_start;
+  std::int64_t target;
+  std::int64_t rounds;
+};
+
+struct ColorReduceKernelState {
+  std::int64_t color;
+};
+
+void color_reduce_kernel_init(KernelCtx& ctx) {
+  const auto* cfg = static_cast<const ColorReduceKernelConfig*>(ctx.config);
+  auto& st = ctx.state_as<ColorReduceKernelState>();
+  st.color =
+      ctx.input.empty() ? 1 : std::max<std::int64_t>(ctx.input[0], 1);
+  for (NodeId j = 0; j < ctx.degree; ++j) ctx.port_state[j] = -1;
+  if (cfg->rounds == 1) {
+    ctx.finish(st.color);
+    return;
+  }
+  ctx.broadcast({st.color});
+}
+
+void color_reduce_kernel_eliminate(KernelCtx& ctx) {
+  const auto* cfg = static_cast<const ColorReduceKernelConfig*>(ctx.config);
+  auto& st = ctx.state_as<ColorReduceKernelState>();
+  // Update the neighbour-color cache (only changed colors arrive).
+  for (NodeId j = 0; j < ctx.degree; ++j) {
+    bool present = false;
+    const auto m = ctx.recv(j, &present);
+    if (present) ctx.port_state[j] = m[0];
+  }
+  const std::int64_t palette_max =
+      cfg->target <= 0 ? static_cast<std::int64_t>(ctx.degree) + 1
+                       : cfg->target;
+  // Round r eliminates color value k_start - r + 1.
+  const std::int64_t eliminated = cfg->k_start - ctx.round + 1;
+  if (st.color == eliminated && st.color > palette_max) {
+    auto& used = *ctx.scratch;
+    used.assign(static_cast<std::size_t>(palette_max) + 1, 0);
+    for (NodeId j = 0; j < ctx.degree; ++j) {
+      const std::int64_t c = ctx.port_state[j];
+      if (c >= 1 && c <= palette_max) used[static_cast<std::size_t>(c)] = 1;
+    }
+    std::int64_t chosen = palette_max;  // unreachable under good inputs
+    for (std::int64_t c = 1; c <= palette_max; ++c) {
+      if (used[static_cast<std::size_t>(c)] == 0) {
+        chosen = c;
+        break;
+      }
+    }
+    st.color = chosen;
+    if (ctx.round + 1 < cfg->rounds) ctx.broadcast({st.color});
+  }
+  if (ctx.round + 1 >= cfg->rounds) ctx.finish(st.color);
+}
+
+std::shared_ptr<const StepKernel> make_color_reduce_kernel(
+    std::int64_t k_start, std::int64_t target, std::int64_t rounds) {
+  auto kernel = std::make_shared<StepKernel>();
+  kernel->name = "color-reduce";
+  kernel->state_size = sizeof(ColorReduceKernelState);
+  kernel->state_align = alignof(ColorReduceKernelState);
+  kernel->port_state_words = 1;
+  kernel->phases = {{"init", color_reduce_kernel_init},
+                    {"eliminate", color_reduce_kernel_eliminate}};
+  kernel->select_fn = [](std::int64_t round, const std::byte*,
+                         const void*) -> std::uint16_t {
+    return round == 0 ? 0 : 1;
+  };
+  kernel->config = std::shared_ptr<const void>(
+      std::make_shared<ColorReduceKernelConfig>(
+          ColorReduceKernelConfig{k_start, target, rounds}));
+  return kernel;
+}
+
 }  // namespace
 
 ColorReduce::ColorReduce(std::int64_t k_start, std::int64_t target)
@@ -67,6 +151,11 @@ ColorReduce::ColorReduce(std::int64_t k_start, std::int64_t target)
   // and down to 2 in (deg+1) mode; plus the broadcast round 0.
   const std::int64_t floor_color = target_ <= 0 ? 1 : target_;
   rounds_ = std::max<std::int64_t>(k_start_ - floor_color, 0) + 1;
+  kernel_ = make_color_reduce_kernel(k_start_, target_, rounds_);
+}
+
+std::shared_ptr<const StepKernel> ColorReduce::kernel() const {
+  return kernel_;
 }
 
 std::unique_ptr<Process> ColorReduce::spawn(const NodeInit&) const {

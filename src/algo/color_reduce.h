@@ -23,6 +23,9 @@ class ColorReduce final : public Algorithm {
   ColorReduce(std::int64_t k_start, std::int64_t target);
   std::unique_ptr<Process> spawn(const NodeInit& init) const override;
   std::string name() const override;
+  /// Flat-kernel lowering ("color-reduce" in the kernel registry); the
+  /// neighbour-color cache lives in the per-port state arena.
+  std::shared_ptr<const StepKernel> kernel() const override;
 
   /// Rounds the fixed schedule takes (use as a chain-stage budget).
   std::int64_t schedule_rounds() const noexcept { return rounds_; }
@@ -31,6 +34,7 @@ class ColorReduce final : public Algorithm {
   std::int64_t k_start_;
   std::int64_t target_;
   std::int64_t rounds_;
+  std::shared_ptr<const StepKernel> kernel_;
 };
 
 }  // namespace unilocal

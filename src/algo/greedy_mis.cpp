@@ -1,5 +1,7 @@
 #include "src/algo/greedy_mis.h"
 
+#include "src/runtime/kernel.h"
+
 namespace unilocal {
 
 namespace {
@@ -55,10 +57,55 @@ class GlobalMis final : public NonUniformAlgorithm {
       "2n+4", [](std::int64_t n) { return 2.0 * static_cast<double>(n) + 4.0; }}}};
 };
 
+// --- flat-kernel lowering (mirrors GreedyMisProcess::step bit-for-bit) ------
+
+void greedy_mis_kernel_propose(KernelCtx& ctx) {
+  for (NodeId j = 0; j < ctx.degree; ++j) {
+    bool present = false;
+    const auto m = ctx.recv(j, &present);
+    if (present && m[0] == kTagJoined) {
+      ctx.finish(0);
+      return;
+    }
+  }
+  ctx.broadcast({kTagValue, ctx.identity});
+}
+
+void greedy_mis_kernel_resolve(KernelCtx& ctx) {
+  bool smallest = true;
+  for (NodeId j = 0; j < ctx.degree; ++j) {
+    bool present = false;
+    const auto m = ctx.recv(j, &present);
+    if (!present || m[0] != kTagValue) continue;
+    if (m[1] < ctx.identity) {
+      smallest = false;
+      break;
+    }
+  }
+  if (smallest) {
+    ctx.broadcast({kTagJoined});
+    ctx.finish(1);
+  }
+}
+
+std::shared_ptr<const StepKernel> make_greedy_mis_kernel() {
+  auto kernel = std::make_shared<StepKernel>();
+  kernel->name = "greedy-mis";
+  kernel->phases = {{"propose", greedy_mis_kernel_propose},
+                    {"resolve", greedy_mis_kernel_resolve}};
+  return kernel;
+}
+
 }  // namespace
 
 std::unique_ptr<Process> GreedyMis::spawn(const NodeInit&) const {
   return std::make_unique<GreedyMisProcess>();
+}
+
+std::shared_ptr<const StepKernel> GreedyMis::kernel() const {
+  static const std::shared_ptr<const StepKernel> kernel =
+      make_greedy_mis_kernel();
+  return kernel;
 }
 
 std::unique_ptr<NonUniformAlgorithm> make_global_mis() {

@@ -20,6 +20,8 @@ class GreedyMis final : public Algorithm {
  public:
   std::unique_ptr<Process> spawn(const NodeInit& init) const override;
   std::string name() const override { return "greedy-mis"; }
+  /// Flat-kernel lowering ("greedy-mis" in the kernel registry).
+  std::shared_ptr<const StepKernel> kernel() const override;
 };
 
 /// Greedy MIS wrapped as A_{n}: Gamma = Lambda = {n}, f(n~) = 2n~ + 4.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/runtime/kernel.h"
 #include "src/util/math.h"
 
 namespace unilocal {
@@ -168,12 +169,77 @@ class TrivialColorProcess final : public Process {
   }
 };
 
+// --- flat-kernel lowering (mirrors LinialProcess::step bit-for-bit) ---------
+
+struct LinialKernelState {
+  std::int64_t color;
+};
+
+void linial_kernel_init_phase(KernelCtx& ctx) {
+  const auto* schedule = static_cast<const LinialSchedule*>(ctx.config);
+  auto& st = ctx.state_as<LinialKernelState>();
+  st.color = ctx.input.empty() ? ctx.identity : ctx.input[0];
+  st.color = std::max<std::int64_t>(st.color - 1, 0) % schedule->initial_space;
+  ctx.broadcast({st.color});
+}
+
+void linial_kernel_reduce(KernelCtx& ctx) {
+  const auto* schedule = static_cast<const LinialSchedule*>(ctx.config);
+  auto& st = ctx.state_as<LinialKernelState>();
+  const std::size_t index = static_cast<std::size_t>(ctx.round - 1);
+  auto& nbr = *ctx.scratch;
+  nbr.assign(static_cast<std::size_t>(ctx.degree), -1);
+  for (NodeId j = 0; j < ctx.degree; ++j) {
+    bool present = false;
+    const auto m = ctx.recv(j, &present);
+    if (present) nbr[static_cast<std::size_t>(j)] = m[0];
+  }
+  st.color = linial_step_apply(schedule->steps[index], st.color, nbr);
+  if (index + 1 == schedule->length()) {
+    ctx.finish(st.color + 1);  // 1-based final color
+    return;
+  }
+  ctx.broadcast({st.color});
+}
+
+void trivial_color_kernel_step(KernelCtx& ctx) {
+  const std::int64_t c = ctx.input.empty() ? ctx.identity : ctx.input[0];
+  ctx.finish(std::max<std::int64_t>(c, 1));
+}
+
+std::shared_ptr<const StepKernel> make_linial_kernel(
+    const LinialSchedule& schedule) {
+  auto kernel = std::make_shared<StepKernel>();
+  if (schedule.length() == 0) {
+    kernel->name = "linial-trivial";
+    kernel->phases = {{"finish", trivial_color_kernel_step}};
+    return kernel;
+  }
+  kernel->name = "linial";
+  kernel->state_size = sizeof(LinialKernelState);
+  kernel->state_align = alignof(LinialKernelState);
+  kernel->phases = {{"init", linial_kernel_init_phase},
+                    {"reduce", linial_kernel_reduce}};
+  kernel->select_fn = [](std::int64_t round, const std::byte*,
+                         const void*) -> std::uint16_t {
+    return round == 0 ? 0 : 1;
+  };
+  kernel->config =
+      std::shared_ptr<const void>(std::make_shared<LinialSchedule>(schedule));
+  return kernel;
+}
+
 }  // namespace
 
 LinialColoring::LinialColoring(std::int64_t delta_guess,
                                std::int64_t space_guess)
     : schedule_(linial_schedule(delta_guess, space_guess)),
-      delta_guess_(delta_guess) {}
+      delta_guess_(delta_guess),
+      kernel_(make_linial_kernel(schedule_)) {}
+
+std::shared_ptr<const StepKernel> LinialColoring::kernel() const {
+  return kernel_;
+}
 
 std::unique_ptr<Process> LinialColoring::spawn(const NodeInit&) const {
   if (schedule_.length() == 0)

@@ -63,10 +63,14 @@ class LinialColoring final : public Algorithm {
   std::unique_ptr<Process> spawn(const NodeInit& init) const override;
   std::string name() const override;
   const LinialSchedule& schedule() const noexcept { return schedule_; }
+  /// Flat-kernel lowering ("linial" in the kernel registry); covers the
+  /// degenerate empty-schedule case too.
+  std::shared_ptr<const StepKernel> kernel() const override;
 
  private:
   LinialSchedule schedule_;
   std::int64_t delta_guess_;
+  std::shared_ptr<const StepKernel> kernel_;
 };
 
 /// Linial wrapped as the non-uniform O(Delta^2)-ish coloring algorithm:

@@ -1,5 +1,6 @@
 #include "src/algo/luby.h"
 
+#include "src/runtime/kernel.h"
 #include "src/util/math.h"
 
 namespace unilocal {
@@ -70,16 +71,119 @@ class TruncatedProcess final : public Process {
   std::int64_t fallback_;
 };
 
+// --- flat-kernel lowering (mirrors LubyProcess::step bit-for-bit) -----------
+
+struct LubyKernelState {
+  std::int64_t rank;
+};
+
+void luby_kernel_propose(KernelCtx& ctx) {
+  for (NodeId j = 0; j < ctx.degree; ++j) {
+    bool present = false;
+    const auto m = ctx.recv(j, &present);
+    if (present && m[0] == kTagJoined) {
+      ctx.finish(0);
+      return;
+    }
+  }
+  auto& st = ctx.state_as<LubyKernelState>();
+  st.rank = static_cast<std::int64_t>(ctx.rng->next() >> 1);
+  ctx.broadcast({kTagValue, st.rank, ctx.identity});
+}
+
+void luby_kernel_resolve(KernelCtx& ctx) {
+  const auto& st = ctx.state_as<LubyKernelState>();
+  bool smallest = true;
+  for (NodeId j = 0; j < ctx.degree; ++j) {
+    bool present = false;
+    const auto m = ctx.recv(j, &present);
+    if (!present || m[0] != kTagValue) continue;
+    if (m[1] < st.rank || (m[1] == st.rank && m[2] < ctx.identity)) {
+      smallest = false;
+      break;
+    }
+  }
+  if (smallest) {
+    ctx.broadcast({kTagJoined});
+    ctx.finish(1);
+  }
+}
+
+std::shared_ptr<const StepKernel> make_luby_kernel() {
+  auto kernel = std::make_shared<StepKernel>();
+  kernel->name = "luby";
+  kernel->state_size = sizeof(LubyKernelState);
+  kernel->state_align = alignof(LubyKernelState);
+  kernel->phases = {{"propose", luby_kernel_propose},
+                    {"resolve", luby_kernel_resolve}};
+  return kernel;
+}
+
+// --- truncation wrapper kernel ----------------------------------------------
+
+struct TruncateKernelConfig {
+  std::shared_ptr<const StepKernel> inner;
+  std::int64_t budget;
+  std::int64_t fallback;
+};
+
+void truncated_kernel_init(std::byte* state, const NodeInit& init,
+                           const void* config) {
+  const auto* cfg = static_cast<const TruncateKernelConfig*>(config);
+  cfg->inner->init_fn(state, init, cfg->inner->config.get());
+}
+
+void truncated_kernel_step(KernelCtx& ctx) {
+  const auto* cfg = static_cast<const TruncateKernelConfig*>(ctx.config);
+  if (ctx.round >= cfg->budget) {
+    ctx.finish(cfg->fallback);
+    return;
+  }
+  const StepKernel& inner = *cfg->inner;
+  ctx.config = inner.config.get();
+  inner.phases[kernel_phase_index(inner, ctx.round, ctx.state)].fn(ctx);
+  ctx.config = cfg;
+}
+
+std::shared_ptr<const StepKernel> make_truncated_kernel(
+    std::shared_ptr<const StepKernel> inner, std::int64_t budget,
+    std::int64_t fallback) {
+  if (inner == nullptr) return nullptr;
+  auto kernel = std::make_shared<StepKernel>();
+  kernel->name = inner->name + "@" + std::to_string(budget);
+  kernel->state_size = inner->state_size;
+  kernel->state_align = inner->state_align;
+  kernel->port_state_words = inner->port_state_words;
+  kernel->init_fn = inner->init_fn != nullptr ? truncated_kernel_init : nullptr;
+  kernel->phases = {{"truncate", truncated_kernel_step}};
+  kernel->config = std::shared_ptr<const void>(
+      std::make_shared<TruncateKernelConfig>(
+          TruncateKernelConfig{std::move(inner), budget, fallback}));
+  return kernel;
+}
+
 }  // namespace
 
 std::unique_ptr<Process> LubyMis::spawn(const NodeInit&) const {
   return std::make_unique<LubyProcess>();
 }
 
+std::shared_ptr<const StepKernel> LubyMis::kernel() const {
+  static const std::shared_ptr<const StepKernel> kernel = make_luby_kernel();
+  return kernel;
+}
+
 TruncatedAlgorithm::TruncatedAlgorithm(std::shared_ptr<const Algorithm> inner,
                                        std::int64_t budget,
                                        std::int64_t fallback)
-    : inner_(std::move(inner)), budget_(budget), fallback_(fallback) {}
+    : inner_(std::move(inner)),
+      budget_(budget),
+      fallback_(fallback),
+      kernel_(make_truncated_kernel(inner_->kernel(), budget, fallback)) {}
+
+std::shared_ptr<const StepKernel> TruncatedAlgorithm::kernel() const {
+  return kernel_;
+}
 
 std::unique_ptr<Process> TruncatedAlgorithm::spawn(const NodeInit& init) const {
   return std::make_unique<TruncatedProcess>(inner_->spawn(init), budget_,

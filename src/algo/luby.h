@@ -19,6 +19,8 @@ class LubyMis final : public Algorithm {
  public:
   std::unique_ptr<Process> spawn(const NodeInit& init) const override;
   std::string name() const override { return "luby-mis"; }
+  /// Flat-kernel lowering ("luby" in the kernel registry).
+  std::shared_ptr<const StepKernel> kernel() const override;
 };
 
 /// Wraps any algorithm so every node force-finishes (with `fallback`) once
@@ -29,11 +31,16 @@ class TruncatedAlgorithm final : public Algorithm {
                      std::int64_t budget, std::int64_t fallback = 0);
   std::unique_ptr<Process> spawn(const NodeInit& init) const override;
   std::string name() const override;
+  /// Lowered whenever the inner algorithm is: wraps the inner kernel in a
+  /// budget check, so transformer pipelines keep the kernel path for their
+  /// truncated stages.
+  std::shared_ptr<const StepKernel> kernel() const override;
 
  private:
   std::shared_ptr<const Algorithm> inner_;
   std::int64_t budget_;
   std::int64_t fallback_;
+  std::shared_ptr<const StepKernel> kernel_;
 };
 
 /// The non-uniform weak Monte-Carlo MIS: Luby truncated to

@@ -24,6 +24,7 @@ NodeId AlternatingDriver::run_step(const Algorithm& algorithm,
   options.max_rounds = budget;
   options.seed = seed;
   options.num_threads = std::max(1, engine_threads);
+  options.kernel_mode = kernel_mode;
   const RunResult result =
       run_local(current_, algorithm, options, &workspace());
   stats_.merge(result.stats);

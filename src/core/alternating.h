@@ -51,6 +51,10 @@ class AlternatingDriver {
   /// engine is thread-count invariant, so this only affects latency.
   int engine_threads = 1;
 
+  /// RunOptions::kernel_mode of every engine run the driver issues (flat
+  /// step kernels vs the Process vtable path; outputs are bit-identical).
+  KernelMode kernel_mode = KernelMode::kAuto;
+
   bool done() const noexcept { return current_.num_nodes() == 0; }
   NodeId remaining() const noexcept { return current_.num_nodes(); }
   const Instance& current() const noexcept { return current_; }

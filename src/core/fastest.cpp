@@ -16,11 +16,13 @@ class LocalExecutable final : public UniformExecutable {
   std::string name() const override { return algorithm_->name(); }
   AlternatingDriver::CustomOutcome run(
       const Instance& instance, std::int64_t budget, std::uint64_t seed,
-      EngineWorkspace* workspace, int engine_threads) const override {
+      EngineWorkspace* workspace, int engine_threads,
+      KernelMode kernel_mode) const override {
     RunOptions options;
     options.max_rounds = budget;
     options.seed = seed;
     options.num_threads = std::max(1, engine_threads);
+    options.kernel_mode = kernel_mode;
     RunResult result = run_local(instance, *algorithm_, options, workspace);
     return {std::move(result.outputs), result.rounds_used, result.stats};
   }
@@ -39,7 +41,8 @@ class TransformedExecutable final : public UniformExecutable {
   }
   AlternatingDriver::CustomOutcome run(
       const Instance& instance, std::int64_t budget, std::uint64_t seed,
-      EngineWorkspace* workspace, int engine_threads) const override {
+      EngineWorkspace* workspace, int engine_threads,
+      KernelMode kernel_mode) const override {
     // The nested transformer's driver joins the lent arena (when the caller
     // lends one), so every Theorem-1/2/3 sub-run shares the outer driver's
     // workspace instead of re-allocating its own.
@@ -48,6 +51,7 @@ class TransformedExecutable final : public UniformExecutable {
     options.round_cap = budget;
     options.workspace = workspace;
     options.engine_threads = engine_threads;
+    options.kernel_mode = kernel_mode;
     UniformRunResult result =
         run_uniform_transformer(instance, *algorithm_, *pruning_, options);
     return {std::move(result.outputs), result.total_rounds,
@@ -79,6 +83,7 @@ UniformRunResult run_fastest(
     const PruningAlgorithm& pruning, const UniformRunOptions& options) {
   AlternatingDriver driver(instance, pruning, options.workspace);
   driver.engine_threads = options.engine_threads;
+  driver.kernel_mode = options.kernel_mode;
   UniformRunResult result;
   std::uint64_t seed = options.seed;
   for (int i = 1; i <= options.max_iterations && !driver.done(); ++i) {
@@ -100,7 +105,8 @@ UniformRunResult run_fastest(
           [&](const Instance& current) {
             return algorithm->run(current, budget, step_seed,
                                   &driver.workspace(),
-                                  options.engine_threads);
+                                  options.engine_threads,
+                                  options.kernel_mode);
           },
           &trace);
       result.trace.push_back(std::move(trace));

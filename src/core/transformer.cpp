@@ -20,6 +20,7 @@ UniformRunResult run_uniform_transformer(const Instance& instance,
   // composition never re-allocates engine state between stages.
   AlternatingDriver driver(instance, pruning, options.workspace);
   driver.engine_threads = options.engine_threads;
+  driver.kernel_mode = options.kernel_mode;
   UniformRunResult result;
   std::uint64_t seed = options.seed;
   const std::int64_t c = algorithm.bound().bounding_constant();

@@ -37,6 +37,9 @@ struct UniformRunOptions {
   /// thread-count invariant, so outputs are bit-identical for any value;
   /// campaigns raise it for large cells to cut tail latency.
   int engine_threads = 1;
+  /// RunOptions::kernel_mode of every sub-iteration (flat step kernels vs
+  /// the Process vtable path; outputs are bit-identical either way).
+  KernelMode kernel_mode = KernelMode::kAuto;
 };
 
 struct UniformRunResult {

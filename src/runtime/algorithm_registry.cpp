@@ -148,6 +148,7 @@ UniformRunOptions uniform_options(const AlgorithmRunContext& context) {
   options.seed = context.seed;
   options.workspace = context.workspace;
   options.engine_threads = context.engine_threads;
+  options.kernel_mode = context.kernel_mode;
   return options;
 }
 
@@ -155,6 +156,7 @@ RunOptions local_options(const AlgorithmRunContext& context) {
   RunOptions options;
   options.seed = context.seed;
   options.num_threads = std::max(1, context.engine_threads);
+  options.kernel_mode = context.kernel_mode;
   return options;
 }
 

@@ -45,6 +45,9 @@ struct AlgorithmRunContext {
   /// RunOptions::num_threads for the entry's engine runs (thread-count
   /// invariant — affects latency only, never outputs).
   int engine_threads = 1;
+  /// RunOptions::kernel_mode for the entry's engine runs (flat step kernels
+  /// vs the Process vtable path; bit-identical outputs either way).
+  KernelMode kernel_mode = KernelMode::kAuto;
 };
 
 struct AlgorithmSpec {

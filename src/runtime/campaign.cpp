@@ -85,6 +85,7 @@ CellResult run_cell(const CampaignCell& cell,
     AlgorithmRunContext context;
     context.seed = cell.seed;
     context.workspace = workspace;
+    context.kernel_mode = options.kernel_mode;
     // The large-cell policy: big instances get engine threads (the engine
     // is thread-count invariant, so the outputs stay bit-identical).
     if (options.engine_threads_for_large_cells > 1 &&
@@ -166,6 +167,8 @@ void finalize_campaign_aggregates(CampaignResult& result) {
   std::vector<double> peak_live;
   std::vector<double> peak_frontier;
   std::vector<double> dirty_cleared;
+  std::vector<double> kernel_steps;
+  std::vector<double> vtable_steps;
   for (const CellResult& cell : result.cells) {
     if (!cell.error.empty()) {
       ++result.failed;
@@ -183,6 +186,8 @@ void finalize_campaign_aggregates(CampaignResult& result) {
         static_cast<double>(cell.stats.peak_frontier_nodes));
     dirty_cleared.push_back(
         static_cast<double>(cell.stats.dirty_spans_cleared));
+    kernel_steps.push_back(static_cast<double>(cell.stats.kernel_steps));
+    vtable_steps.push_back(static_cast<double>(cell.stats.vtable_steps));
   }
   result.rounds = percentiles(std::move(rounds));
   result.messages = percentiles(std::move(messages));
@@ -190,6 +195,8 @@ void finalize_campaign_aggregates(CampaignResult& result) {
   result.peak_live_nodes = percentiles(std::move(peak_live));
   result.peak_frontier_nodes = percentiles(std::move(peak_frontier));
   result.dirty_spans_cleared = percentiles(std::move(dirty_cleared));
+  result.kernel_steps = percentiles(std::move(kernel_steps));
+  result.vtable_steps = percentiles(std::move(vtable_steps));
 }
 
 CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
@@ -350,6 +357,7 @@ std::string csv_escape(const std::string& field) {
 void write_campaign_csv(std::ostream& out, const CampaignResult& result) {
   out << "scenario,n,a,b,algorithm,seed,identities,nodes,edges,rounds,"
          "solved,valid,seconds,messages,peak_round_messages,steps,"
+         "kernel_steps,vtable_steps,"
          "steps_per_sec,arena_bytes,peak_live_nodes,peak_frontier_nodes,"
          "dirty_spans_cleared,output_hash,error\n";
   for (const CellResult& cell : result.cells) {
@@ -361,6 +369,7 @@ void write_campaign_csv(std::ostream& out, const CampaignResult& result) {
         << (cell.solved ? 1 : 0) << ',' << (cell.valid ? 1 : 0) << ','
         << cell.seconds << ',' << cell.stats.total_messages << ','
         << cell.stats.peak_round_messages << ',' << cell.stats.total_steps
+        << ',' << cell.stats.kernel_steps << ',' << cell.stats.vtable_steps
         << ',' << cell.stats.steps_per_second << ','
         << cell.stats.arena_bytes << ',' << cell.stats.peak_live_nodes << ','
         << cell.stats.peak_frontier_nodes << ','
@@ -409,6 +418,15 @@ void write_campaign_json(std::ostream& out, const CampaignResult& result,
   out << ',';
   write_percentiles_json(out, "dirty_spans_cleared",
                          result.dirty_spans_cleared);
+  if (!options.canonical) {
+    // The kernel/vtable split depends on CampaignOptions::kernel_mode, not
+    // the grid: the same grid under --kernel=off and --kernel=auto must
+    // stay byte-identical in canonical mode (outputs are).
+    out << ',';
+    write_percentiles_json(out, "kernel_steps", result.kernel_steps);
+    out << ',';
+    write_percentiles_json(out, "vtable_steps", result.vtable_steps);
+  }
   out << ",\"cell_results\":[";
   bool first = true;
   for (const CellResult& cell : result.cells) {
@@ -427,6 +445,9 @@ void write_campaign_json(std::ostream& out, const CampaignResult& result,
     if (!options.canonical) out << ",\"seconds\":" << cell.seconds;
     out << ",\"messages\":" << cell.stats.total_messages
         << ",\"steps\":" << cell.stats.total_steps;
+    if (!options.canonical)
+      out << ",\"kernel_steps\":" << cell.stats.kernel_steps
+          << ",\"vtable_steps\":" << cell.stats.vtable_steps;
     if (!options.canonical) {
       // steps/sec is wall-clock; arena_bytes is the workspace's *capacity*,
       // which depends on what the reused workspace ran before this cell.

@@ -129,6 +129,10 @@ struct CampaignResult {
   CampaignPercentiles peak_live_nodes;
   CampaignPercentiles peak_frontier_nodes;
   CampaignPercentiles dirty_spans_cleared;
+  /// Engine-path split (PR 6 step kernels): node steps executed through the
+  /// flat kernel tier vs the Process vtable path, per solved cell.
+  CampaignPercentiles kernel_steps;
+  CampaignPercentiles vtable_steps;
 };
 
 /// Recomputes every aggregate field of `result` (solved/valid/failed
@@ -165,6 +169,11 @@ struct CampaignOptions {
   /// skewed grids without giving up determinism). 1 disables the policy.
   int engine_threads_for_large_cells = 1;
   NodeId large_cell_node_threshold = 100000;
+  /// Engine path for every cell (RunOptions::kernel_mode): flat step
+  /// kernels where available (auto, the default), vtable always (off), or
+  /// kernels required (on). Outputs are bit-identical across modes, so
+  /// campaign artifacts stay canonical regardless.
+  KernelMode kernel_mode = KernelMode::kAuto;
 };
 
 /// Runs every cell; never throws on per-cell failures (they land in

@@ -1,0 +1,114 @@
+#include "src/runtime/kernel.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/algo/cole_vishkin.h"
+#include "src/algo/color_reduce.h"
+#include "src/algo/greedy_mis.h"
+#include "src/algo/linial.h"
+#include "src/algo/luby.h"
+
+// Note on layering: like src/runtime/algorithm_registry.*, the default
+// table below wires up src/algo lowerings, so this .cpp sits above the
+// algorithm layer even though the header is foundational (only local.h).
+
+namespace unilocal {
+
+const char* kernel_mode_name(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kOff:
+      return "off";
+    case KernelMode::kAuto:
+      return "auto";
+    case KernelMode::kOn:
+      return "on";
+  }
+  return "auto";
+}
+
+KernelMode parse_kernel_mode(const std::string& name) {
+  if (name == "off") return KernelMode::kOff;
+  if (name == "auto") return KernelMode::kAuto;
+  if (name == "on") return KernelMode::kOn;
+  throw std::runtime_error("unknown kernel mode: " + name +
+                           " (expected off, auto, or on)");
+}
+
+void KernelRegistry::add(KernelSpec spec) {
+  if (spec.name.empty())
+    throw std::runtime_error("kernel spec with empty name");
+  if (!spec.lower)
+    throw std::runtime_error("kernel spec '" + spec.name +
+                             "' has no lowering adapter");
+  const auto [it, inserted] = entries_.emplace(spec.name, std::move(spec));
+  if (!inserted)
+    throw std::runtime_error("duplicate kernel spec: " + it->first);
+}
+
+bool KernelRegistry::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(entries_.size());
+  for (const auto& [name, spec] : entries_) result.push_back(name);
+  return result;
+}
+
+const KernelSpec& KernelRegistry::spec(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw std::runtime_error("unknown kernel: " + name);
+  return it->second;
+}
+
+std::shared_ptr<const StepKernel> KernelRegistry::lower(
+    const std::string& name, const Algorithm& algorithm) const {
+  return spec(name).lower(algorithm);
+}
+
+namespace {
+
+/// Adapter for rows whose key lowers exactly one Algorithm type: checks
+/// the dynamic type and delegates to the algorithm's own kernel().
+template <typename AlgorithmT>
+std::shared_ptr<const StepKernel> lower_as(const Algorithm& algorithm) {
+  const auto* typed = dynamic_cast<const AlgorithmT*>(&algorithm);
+  return typed != nullptr ? typed->kernel() : nullptr;
+}
+
+KernelRegistry build_default_kernel_registry() {
+  KernelRegistry registry;
+  registry.add({"luby",
+                "Luby randomized MIS: 2-phase propose/resolve machine, "
+                "8-byte rank state",
+                lower_as<LubyMis>});
+  registry.add({"linial",
+                "Linial iterated color reduction: init/reduce phases over "
+                "the (Delta~, m~) schedule, 8-byte color state",
+                lower_as<LinialColoring>});
+  registry.add({"color-reduce",
+                "one-color-class-per-round palette reduction: init/eliminate "
+                "phases, 8-byte color state + 1 port word (neighbour cache)",
+                lower_as<ColorReduce>});
+  registry.add({"greedy-mis",
+                "deterministic greedy-by-identity MIS: 2-phase "
+                "propose/resolve machine, stateless",
+                lower_as<GreedyMis>});
+  registry.add({"cole-vishkin",
+                "Cole-Vishkin rooted-forest 3-coloring: init/shrink/tail "
+                "phases, 24-byte color/previous/parent state",
+                lower_as<ColeVishkin>});
+  return registry;
+}
+
+}  // namespace
+
+const KernelRegistry& default_kernel_registry() {
+  static const KernelRegistry registry = build_default_kernel_registry();
+  return registry;
+}
+
+}  // namespace unilocal

@@ -1,0 +1,238 @@
+// Step kernels: algorithms compiled to flat, devirtualized round functions.
+//
+// A StepKernel is the lowered form of an Algorithm: instead of one
+// heap-allocated Process (vtable + private members) per node, the engine
+// keeps every node's state as a fixed-size POD record packed into one
+// engine-owned arena, and runs each local round by calling a free function
+// through a plain function pointer. Receives hand out zero-copy spans into
+// the engine's message arenas and sends write them directly — no
+// Process::step virtual call, no ContextBackend virtual hops, and no
+// per-port Message materialization on the hot path. The engine loops,
+// frontier lists, message arenas, RNG streams, and round accounting are
+// exactly the ones the vtable path uses, so a kernel run is bit-identical
+// to the Process run of the same algorithm (tests/kernel_test.cpp enforces
+// this against both engine modes and the seed reference engine).
+//
+// The shape follows the classic runtime-graph lowering (flat node records,
+// a phase table, function-pointer callbacks over a scratchpad): a kernel
+// declares its per-node state layout (state_size/state_align), an optional
+// per-port state width (port_state_words, for degree-sized caches such as
+// color_reduce's neighbour palette), an optional spawn-time initializer,
+// and a phase/state-machine table — one KernelStepFn per phase with a
+// selector mapping the local round (and state/config) to the phase to run.
+//
+// Lowering contract (what "bit-identical" requires of a kernel):
+//   - consume the node RNG in exactly the order the Process does;
+//   - send the same words to the same ports in the same order;
+//   - read all messages BEFORE the first send of a step: in the
+//     synchronizer mode recv() spans point into the history arena, which a
+//     send may grow (the vtable path pays a defensive copy instead).
+//
+// Selection is RunOptions::kernel_mode (off / auto / on): `auto` uses the
+// kernel whenever Algorithm::kernel() provides one and falls back to the
+// vtable path otherwise — composed pipelines thereby pick up kernels
+// stage-by-stage; `on` requires one and throws when the algorithm has no
+// lowering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/runtime/local.h"
+#include "src/util/rng.h"
+
+namespace unilocal {
+
+/// Engine path selection, plumbed from the CLI (--kernel=) through
+/// CampaignOptions / UniformRunOptions / RunOptions.
+enum class KernelMode {
+  kOff,   // always the Process vtable path
+  kAuto,  // kernel when the algorithm is lowered, vtable otherwise
+  kOn,    // kernel required; run_local throws when there is no lowering
+};
+
+/// Stable names ("off", "auto", "on"); parse throws std::runtime_error on
+/// anything else.
+const char* kernel_mode_name(KernelMode mode);
+KernelMode parse_kernel_mode(const std::string& name);
+
+struct KernelCtx;
+
+/// One phase of a kernel's state machine: a plain function, one local
+/// round.
+using KernelStepFn = void (*)(KernelCtx&);
+/// Spawn-time state initializer; `state` is zero-filled before the call.
+using KernelInitFn = void (*)(std::byte* state, const NodeInit& init,
+                              const void* config);
+/// Maps (local round, node state, config) to the phase index to run.
+using KernelSelectFn = std::uint16_t (*)(std::int64_t round,
+                                         const std::byte* state,
+                                         const void* config);
+
+/// Engine transport installed into every KernelCtx: non-virtual free
+/// functions over the engine's arenas (one perfectly-predicted indirect
+/// call per send/receive instead of two virtual hops and a Message copy).
+using KernelRecvFn = std::span<const std::int64_t> (*)(void* engine, int tid,
+                                                       NodeId node,
+                                                       NodeId port,
+                                                       bool* present);
+using KernelSendFn = void (*)(void* engine, int tid, NodeId node, NodeId port,
+                              const std::int64_t* data, std::size_t words);
+
+/// Per-step view handed to a KernelStepFn — the devirtualized counterpart
+/// of Context. Built by the engine per node step; valid only for the call.
+struct KernelCtx {
+  // What the node knows (mirrors Context::degree/id/input/round).
+  NodeId node = 0;
+  NodeId degree = 0;
+  std::int64_t identity = 0;
+  std::int64_t round = 0;
+  std::span<const std::int64_t> input;
+  /// Private randomness stream of this node (same split-by-identity stream
+  /// the vtable path hands out).
+  Rng* rng = nullptr;
+
+  /// This node's packed state record (StepKernel::state_size bytes,
+  /// zero-filled at spawn unless init_fn wrote it).
+  std::byte* state = nullptr;
+  /// This node's per-port words (degree * StepKernel::port_state_words
+  /// int64s, zero-filled at spawn); null when port_state_words == 0.
+  std::int64_t* port_state = nullptr;
+  /// The kernel's algorithm-wide read-only config blob.
+  const void* config = nullptr;
+  /// Per-thread reusable int64 scratch (capacity persists across steps).
+  std::vector<std::int64_t>* scratch = nullptr;
+
+  // Finish latch (mirrors Context::finish).
+  bool finished = false;
+  std::int64_t output = 0;
+
+  // Engine transport; filled by the engine, opaque to kernels.
+  void* engine = nullptr;
+  int tid = 0;
+  KernelRecvFn recv_fn = nullptr;
+  KernelSendFn send_fn = nullptr;
+
+  /// The node's state record viewed as T (sizeof(T) == state_size).
+  template <typename T>
+  T& state_as() {
+    return *reinterpret_cast<T*>(state);
+  }
+
+  /// Message from neighbour port j sent in the previous round; empty and
+  /// absent when none arrived. Zero-copy: in the synchronizer mode the span
+  /// is invalidated by this step's first send — read before sending.
+  std::span<const std::int64_t> recv(NodeId j, bool* present) {
+    return recv_fn(engine, tid, node, j, present);
+  }
+
+  /// Sends the words to port j (delivered next round; last write wins).
+  void send(NodeId j, const std::int64_t* data, std::size_t words) {
+    send_fn(engine, tid, node, j, data, words);
+  }
+  void send(NodeId j, std::initializer_list<std::int64_t> words) {
+    send_fn(engine, tid, node, j, words.begin(), words.size());
+  }
+
+  /// Sends the same words to every neighbour, ports in ascending order
+  /// (matching Context::broadcast).
+  void broadcast(std::initializer_list<std::int64_t> words) {
+    for (NodeId j = 0; j < degree; ++j)
+      send_fn(engine, tid, node, j, words.begin(), words.size());
+  }
+
+  void finish(std::int64_t out) {
+    finished = true;
+    output = out;
+  }
+};
+
+/// One row of a kernel's phase/state-machine table.
+struct KernelPhase {
+  std::string name;
+  KernelStepFn fn = nullptr;
+};
+
+/// The lowered algorithm descriptor. Like spawned Processes, a kernel (and
+/// its config blob) must stay valid for the lifetime of the Algorithm that
+/// produced it.
+struct StepKernel {
+  std::string name;
+  /// POD per-node state layout; the engine packs n records of this shape
+  /// into one arena (stride = state_size rounded up to state_align).
+  std::uint32_t state_size = 0;
+  std::uint32_t state_align = 1;
+  /// int64 words of per-port state per directed edge (0 = none); addressed
+  /// through KernelCtx::port_state.
+  std::uint32_t port_state_words = 0;
+  /// Optional spawn-time initializer (state is zero-filled either way).
+  KernelInitFn init_fn = nullptr;
+  /// The state-machine table; local round r runs
+  /// phases[select_fn(r, state, config)], or phases[r % phases.size()]
+  /// when select_fn is null. Must be non-empty with non-null fns.
+  std::vector<KernelPhase> phases;
+  KernelSelectFn select_fn = nullptr;
+  /// Algorithm-wide read-only parameters (schedules, palettes, budgets)
+  /// shared by every node; exposed as KernelCtx::config.
+  std::shared_ptr<const void> config;
+};
+
+/// Resolves which phase of `kernel` local round `round` runs — the exact
+/// dispatch rule both engine loops use (shared so composed kernels such as
+/// the truncation wrapper forward to their inner kernel identically).
+inline std::size_t kernel_phase_index(const StepKernel& kernel,
+                                      std::int64_t round,
+                                      const std::byte* state) {
+  if (kernel.select_fn != nullptr)
+    return kernel.select_fn(round, state, kernel.config.get());
+  const std::size_t n = kernel.phases.size();
+  return n == 1 ? 0
+               : static_cast<std::size_t>(round % static_cast<std::int64_t>(n));
+}
+
+/// One registry row: a key (matching the algorithm-registry building block
+/// the kernel lowers), documentation, and the Algorithm -> StepKernel
+/// adapter (returns null when the algorithm is not an instance the key
+/// lowers — e.g. asking the "luby" row to lower a ColorReduce).
+struct KernelSpec {
+  std::string name;
+  std::string describe;
+  std::function<std::shared_ptr<const StepKernel>(const Algorithm&)> lower;
+};
+
+/// String-keyed table of kernel lowerings, symmetric with
+/// AlgorithmRegistry. The engine itself resolves kernels through
+/// Algorithm::kernel(); the registry is the introspectable index of what
+/// is lowered (CLI listings, tests, docs).
+class KernelRegistry {
+ public:
+  /// Throws std::runtime_error on duplicate/empty names or missing adapters.
+  void add(KernelSpec spec);
+
+  bool contains(const std::string& name) const;
+  /// Registered keys, sorted.
+  std::vector<std::string> names() const;
+  /// Throws std::runtime_error on unknown names.
+  const KernelSpec& spec(const std::string& name) const;
+  /// Lowers `algorithm` through the named row. Throws std::runtime_error on
+  /// unknown kernel keys; returns null when the algorithm is not an
+  /// instance this row can lower.
+  std::shared_ptr<const StepKernel> lower(const std::string& name,
+                                          const Algorithm& algorithm) const;
+
+ private:
+  std::map<std::string, KernelSpec> entries_;
+};
+
+/// The built-in table: luby, linial, color-reduce, greedy-mis,
+/// cole-vishkin (the five lowered registry building blocks).
+const KernelRegistry& default_kernel_registry();
+
+}  // namespace unilocal

@@ -1,0 +1,94 @@
+#include "src/runtime/local.h"
+
+#include <algorithm>
+#include <cassert>
+#include <new>
+
+namespace unilocal {
+
+namespace {
+
+/// Every Process allocation is prefixed by one max-aligned header word
+/// recording where the block came from, so operator delete can tell a
+/// bump-arena block (destructor only, memory reclaimed on arena reset)
+/// from a heap block (freed normally).
+constexpr std::size_t kHeaderBytes =
+    alignof(std::max_align_t) > sizeof(std::uint64_t)
+        ? alignof(std::max_align_t)
+        : sizeof(std::uint64_t);
+constexpr std::uint64_t kHeapTag = 0x50524f435f484541ULL;   // "PROC_HEA"
+constexpr std::uint64_t kArenaTag = 0x50524f435f415245ULL;  // "PROC_ARE"
+constexpr std::size_t kMinChunkBytes = std::size_t{64} << 10;
+
+thread_local ProcessArena* t_active_arena = nullptr;
+
+std::size_t align_up(std::size_t value, std::size_t align) noexcept {
+  return (value + align - 1) / align * align;
+}
+
+}  // namespace
+
+ProcessArena::Scope::Scope(ProcessArena& arena) noexcept {
+  assert(t_active_arena == nullptr && "ProcessArena scopes must not nest");
+  t_active_arena = &arena;
+}
+
+ProcessArena::Scope::~Scope() noexcept { t_active_arena = nullptr; }
+
+void ProcessArena::reset() noexcept {
+  cur_chunk_ = 0;
+  cur_offset_ = 0;
+  used_ = 0;
+}
+
+void* ProcessArena::bump(std::size_t size) {
+  const std::size_t need = align_up(size, alignof(std::max_align_t));
+  while (cur_chunk_ < chunks_.size() &&
+         cur_offset_ + need > chunk_sizes_[cur_chunk_]) {
+    ++cur_chunk_;
+    cur_offset_ = 0;
+  }
+  if (cur_chunk_ == chunks_.size()) {
+    const std::size_t chunk_bytes = std::max(kMinChunkBytes, need);
+    chunks_.push_back(std::make_unique<std::byte[]>(chunk_bytes));
+    chunk_sizes_.push_back(chunk_bytes);
+    cur_offset_ = 0;
+  }
+  std::byte* p = chunks_[cur_chunk_].get() + cur_offset_;
+  cur_offset_ += need;
+  used_ += need;
+  return p;
+}
+
+void* ProcessArena::allocate(std::size_t size) {
+  const std::size_t total = kHeaderBytes + size;
+  std::byte* base;
+  std::uint64_t tag;
+  if (t_active_arena != nullptr) {
+    base = static_cast<std::byte*>(t_active_arena->bump(total));
+    tag = kArenaTag;
+  } else {
+    base = static_cast<std::byte*>(::operator new(total));
+    tag = kHeapTag;
+  }
+  *reinterpret_cast<std::uint64_t*>(base) = tag;
+  return base + kHeaderBytes;
+}
+
+void ProcessArena::deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  std::byte* base = static_cast<std::byte*>(p) - kHeaderBytes;
+  if (*reinterpret_cast<const std::uint64_t*>(base) == kArenaTag)
+    return;  // reclaimed wholesale by ProcessArena::reset()
+  ::operator delete(base);
+}
+
+void* Process::operator new(std::size_t size) {
+  return ProcessArena::allocate(size);
+}
+
+void Process::operator delete(void* p) noexcept {
+  ProcessArena::deallocate(p);
+}
+
+}  // namespace unilocal

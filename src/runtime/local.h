@@ -22,6 +22,7 @@
 // way.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
@@ -165,13 +166,70 @@ struct ContextAccess {
   static std::int64_t output(const Context& ctx) { return ctx.output_; }
 };
 
+/// Bump allocator backing per-node Process storage. An engine installs a
+/// Scope around its spawn loop; every Process (and nested inner process)
+/// allocated while the scope is active comes out of this arena's chunks
+/// instead of n individual heap allocations, and deleting such a process
+/// runs its destructor but returns no memory — the arena reclaims
+/// everything at once on reset(). Allocations outside any scope go to the
+/// heap and are freed normally, so the same unique_ptr<Process> works
+/// either way (each allocation carries a one-word provenance tag).
+///
+/// reset() requires every process allocated from the arena to be destroyed
+/// already; scopes are per-thread (thread_local active arena) and must not
+/// nest.
+class ProcessArena {
+ public:
+  ProcessArena() = default;
+  ~ProcessArena() = default;
+  ProcessArena(const ProcessArena&) = delete;
+  ProcessArena& operator=(const ProcessArena&) = delete;
+
+  /// Drops every allocation; chunk capacity is kept for the next run.
+  void reset() noexcept;
+  /// Bytes handed out since the last reset (headers included).
+  std::size_t bytes_used() const noexcept { return used_; }
+
+  /// While alive, Process allocations on this thread bump through `arena`.
+  class Scope {
+   public:
+    explicit Scope(ProcessArena& arena) noexcept;
+    ~Scope() noexcept;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+
+ private:
+  friend class Process;
+  static void* allocate(std::size_t size);
+  static void deallocate(void* p) noexcept;
+  void* bump(std::size_t size);
+
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::vector<std::size_t> chunk_sizes_;
+  std::size_t cur_chunk_ = 0;
+  std::size_t cur_offset_ = 0;
+  std::size_t used_ = 0;
+};
+
 /// The per-node program.
 class Process {
  public:
   virtual ~Process() = default;
   /// Called once per local round while the node has not finished.
   virtual void step(Context& ctx) = 0;
+
+  /// Allocation routes through the active ProcessArena::Scope when one is
+  /// installed on this thread (engines wrap their spawn loops), and the
+  /// heap otherwise; delete is correct for both.
+  static void* operator new(std::size_t size);
+  static void operator delete(void* p) noexcept;
+
+ protected:
+  Process() = default;
 };
+
+struct StepKernel;
 
 /// A distributed algorithm: spawns one process per node.
 class Algorithm {
@@ -179,6 +237,14 @@ class Algorithm {
   virtual ~Algorithm() = default;
   virtual std::unique_ptr<Process> spawn(const NodeInit& init) const = 0;
   virtual std::string name() const = 0;
+
+  /// Optional flat-kernel lowering (src/runtime/kernel.h): a POD per-node
+  /// state layout plus free-function round kernels the engine runs without
+  /// Process/Context virtual dispatch, bit-identical to spawn()'s
+  /// processes. Like spawned processes, the returned descriptor is only
+  /// guaranteed valid while this Algorithm lives. Null (the default) means
+  /// no lowering; the engine then uses the vtable path.
+  virtual std::shared_ptr<const StepKernel> kernel() const { return nullptr; }
 };
 
 }  // namespace unilocal

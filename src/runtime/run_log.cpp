@@ -71,6 +71,8 @@ bool parse_entry(const std::string& line, RunLogEntry& entry) {
         parse_optional_percentiles(root, "peak_frontier_nodes");
     entry.dirty_spans_cleared =
         parse_optional_percentiles(root, "dirty_spans_cleared");
+    entry.kernel_steps = parse_optional_percentiles(root, "kernel_steps");
+    entry.vtable_steps = parse_optional_percentiles(root, "vtable_steps");
   } catch (...) {
     return false;
   }
@@ -134,6 +136,8 @@ RunLogEntry make_run_log_entry(const CampaignResult& result) {
   entry.peak_live_nodes = result.peak_live_nodes;
   entry.peak_frontier_nodes = result.peak_frontier_nodes;
   entry.dirty_spans_cleared = result.dirty_spans_cleared;
+  entry.kernel_steps = result.kernel_steps;
+  entry.vtable_steps = result.vtable_steps;
   return entry;
 }
 
@@ -158,6 +162,10 @@ void append_run_log(const std::string& path, const CampaignResult& result) {
   write_percentiles(out, "peak_frontier_nodes", entry.peak_frontier_nodes);
   out << ',';
   write_percentiles(out, "dirty_spans_cleared", entry.dirty_spans_cleared);
+  out << ',';
+  write_percentiles(out, "kernel_steps", entry.kernel_steps);
+  out << ',';
+  write_percentiles(out, "vtable_steps", entry.vtable_steps);
   out << "}\n";
 }
 

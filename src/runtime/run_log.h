@@ -33,6 +33,10 @@ struct RunLogEntry {
   CampaignPercentiles peak_live_nodes;
   CampaignPercentiles peak_frontier_nodes;
   CampaignPercentiles dirty_spans_cleared;
+  /// Engine-path split (kernel vs vtable steps); zero when the entry
+  /// predates the step-kernel tier.
+  CampaignPercentiles kernel_steps;
+  CampaignPercentiles vtable_steps;
 };
 
 /// FNV-1a over every cell's identifying fields, independent of outcomes.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdint>
 #include <numeric>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 
 #include "src/graph/csr.h"
@@ -54,7 +56,10 @@ struct StepDelta {
 /// All storage the engine needs, owned by EngineWorkspace so consecutive
 /// runs (alternation steps, run_sequential stages) reuse capacity.
 struct EngineWorkspaceState {
-  // Struct-of-arrays node state.
+  // Struct-of-arrays node state. proc_arena backs the procs' storage and is
+  // declared first so the (no-op-delete) Process destructors in ~procs run
+  // while its chunks are still alive.
+  ProcessArena proc_arena;
   std::vector<std::unique_ptr<Process>> procs;
   std::vector<Rng> rngs;
   std::vector<char> finished;
@@ -98,13 +103,21 @@ struct EngineWorkspaceState {
   StampSet queued, candidate_set;
   WakeSchedule wake_schedule;
 
+  // Packed per-node kernel state (stride-aligned records; see
+  // src/runtime/kernel.h) and the per-port word arena, used instead of
+  // procs when the run goes through a StepKernel.
+  std::vector<std::byte> kernel_state;
+  std::vector<std::int64_t> kernel_port_state;
+
   // Per-thread receive scratch: Message materializations per port with
-  // epoch tags so capacity survives across nodes and rounds.
+  // epoch tags so capacity survives across nodes and rounds; kwords is the
+  // reusable int64 scratch handed to kernels as KernelCtx::scratch.
   struct Scratch {
     std::vector<Message> cache;
     std::vector<char> present;
     std::vector<std::uint64_t> epoch;
     std::uint64_t cur_epoch = 0;
+    std::vector<std::int64_t> kwords;
   };
   std::vector<Scratch> scratch;
 
@@ -137,8 +150,27 @@ class ArenaEngine {
         ws_.pool = std::make_unique<ThreadPool>(threads_);
     }
 
+    if (options.kernel_mode != KernelMode::kOff) {
+      kernel_ = algorithm.kernel();
+      if (kernel_ == nullptr && options.kernel_mode == KernelMode::kOn)
+        throw std::runtime_error("kernel mode 'on' but algorithm '" +
+                                 algorithm.name() + "' has no kernel lowering");
+      if (kernel_ != nullptr) {
+        if (kernel_->phases.empty())
+          throw std::runtime_error("kernel '" + kernel_->name +
+                                   "' has no phases");
+        for (const KernelPhase& phase : kernel_->phases)
+          if (phase.fn == nullptr)
+            throw std::runtime_error("kernel '" + kernel_->name +
+                                     "' phase '" + phase.name +
+                                     "' has a null step function");
+      }
+    }
+
     const std::size_t nn = static_cast<std::size_t>(n_);
-    ws_.procs.resize(nn);
+    // Destroy any previous run's processes before reclaiming their arena.
+    ws_.procs.clear();
+    ws_.proc_arena.reset();
     ws_.rngs.assign(nn, Rng(0));
     ws_.finished.assign(nn, 0);
     ws_.outputs.assign(nn, 0);
@@ -149,14 +181,51 @@ class ArenaEngine {
     NodeId max_degree = 0;
     Rng base(options.seed);
     for (NodeId v = 0; v < n_; ++v) {
-      NodeInit init;
-      init.degree = csr_.degree(v);
-      init.identity = instance.identities[static_cast<std::size_t>(v)];
-      init.input = instance.inputs[static_cast<std::size_t>(v)];
-      ws_.procs[static_cast<std::size_t>(v)] = algorithm.spawn(init);
-      ws_.rngs[static_cast<std::size_t>(v)] =
-          base.split(static_cast<std::uint64_t>(init.identity));
-      max_degree = std::max(max_degree, init.degree);
+      ws_.rngs[static_cast<std::size_t>(v)] = base.split(
+          static_cast<std::uint64_t>(
+              instance.identities[static_cast<std::size_t>(v)]));
+      max_degree = std::max(max_degree, csr_.degree(v));
+    }
+
+    if (kernel_ != nullptr) {
+      // Pack every node's POD state record into one zero-filled arena
+      // (stride = state_size rounded up to state_align, base aligned by
+      // hand so vector reuse never mis-aligns records).
+      const std::size_t align = std::max<std::size_t>(kernel_->state_align, 1);
+      kstride_ = (static_cast<std::size_t>(kernel_->state_size) + align - 1) /
+                 align * align;
+      ws_.kernel_state.assign(nn * kstride_ + align, std::byte{0});
+      const auto addr =
+          reinterpret_cast<std::uintptr_t>(ws_.kernel_state.data());
+      kstate_base_ =
+          ws_.kernel_state.data() +
+          static_cast<std::size_t>((align - addr % align) % align);
+      kport_words_ = kernel_->port_state_words;
+      ws_.kernel_port_state.assign(
+          kport_words_ * static_cast<std::size_t>(csr_.num_directed_edges()),
+          0);
+      if (kernel_->init_fn != nullptr) {
+        for (NodeId v = 0; v < n_; ++v) {
+          NodeInit init;
+          init.degree = csr_.degree(v);
+          init.identity = instance.identities[static_cast<std::size_t>(v)];
+          init.input = instance.inputs[static_cast<std::size_t>(v)];
+          kernel_->init_fn(kstate_base_ + static_cast<std::size_t>(v) * kstride_,
+                           init, kernel_->config.get());
+        }
+      }
+    } else {
+      // Vtable path: spawn all processes through the workspace bump arena
+      // (one pair of chunks instead of n individual heap allocations).
+      ws_.procs.reserve(nn);
+      ProcessArena::Scope arena_scope(ws_.proc_arena);
+      for (NodeId v = 0; v < n_; ++v) {
+        NodeInit init;
+        init.degree = csr_.degree(v);
+        init.identity = instance.identities[static_cast<std::size_t>(v)];
+        init.input = instance.inputs[static_cast<std::size_t>(v)];
+        ws_.procs.push_back(algorithm.spawn(init));
+      }
     }
 
     ws_.scratch.resize(static_cast<std::size_t>(threads_));
@@ -546,7 +615,56 @@ class ArenaEngine {
     }
   }
 
+  // Non-virtual transport installed into every KernelCtx. Receives are the
+  // zero-copy arena lookup (kernels honour the read-before-send contract, so
+  // the vtable path's defensive scratch copy is unnecessary); sends share
+  // do_send with the vtable path.
+  static std::span<const std::int64_t> kernel_recv(void* engine, int tid,
+                                                   NodeId node, NodeId port,
+                                                   bool* present) {
+    (void)tid;
+    return static_cast<ArenaEngine*>(engine)->raw_recv(node, port, present);
+  }
+  static void kernel_send(void* engine, int tid, NodeId node, NodeId port,
+                          const std::int64_t* data, std::size_t words) {
+    static_cast<ArenaEngine*>(engine)->do_send(tid, node, port, data, words);
+  }
+
+  /// One local round of node v through the flat kernel: no Process::step
+  /// virtual call, no ContextBackend hops, no per-port Message copies.
+  void step_kernel(int tid, NodeId v, std::int64_t round) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    KernelCtx ctx;
+    ctx.node = v;
+    ctx.degree = csr_.degree(v);
+    ctx.identity = instance_.identities[vi];
+    ctx.round = round;
+    ctx.input = instance_.inputs[vi];
+    ctx.rng = &ws_.rngs[vi];
+    ctx.state = kstate_base_ + vi * kstride_;
+    ctx.port_state =
+        kport_words_ == 0
+            ? nullptr
+            : ws_.kernel_port_state.data() +
+                  static_cast<std::size_t>(csr_.offset(v)) * kport_words_;
+    ctx.config = kernel_->config.get();
+    ctx.scratch = &ws_.scratch[static_cast<std::size_t>(tid)].kwords;
+    ctx.engine = this;
+    ctx.tid = tid;
+    ctx.recv_fn = &ArenaEngine::kernel_recv;
+    ctx.send_fn = &ArenaEngine::kernel_send;
+    kernel_->phases[kernel_phase_index(*kernel_, round, ctx.state)].fn(ctx);
+    if (ctx.finished) {
+      ws_.finished[vi] = 1;
+      ws_.outputs[vi] = ctx.output;
+    }
+  }
+
   void step_one(int tid, NodeId v, std::int64_t round) {
+    if (kernel_ != nullptr) {
+      step_kernel(tid, v, round);
+      return;
+    }
     auto& scratch = ws_.scratch[static_cast<std::size_t>(tid)];
     ++scratch.cur_epoch;
     Context ctx = ContextAccess::make(
@@ -627,6 +745,8 @@ class ArenaEngine {
                   std::chrono::steady_clock::time_point start, bool sync) {
     auto& stats = result.stats;
     stats.total_steps = total_steps_;
+    stats.kernel_steps = kernel_ != nullptr ? total_steps_ : 0;
+    stats.vtable_steps = kernel_ != nullptr ? 0 : total_steps_;
     stats.peak_round_messages = peak_round_messages_;
     stats.total_messages = messages_sent_;
     stats.peak_live_nodes = peak_live_;
@@ -652,6 +772,9 @@ class ArenaEngine {
           (ws_.send_spans.capacity() + ws_.recv_spans.capacity()) *
           sizeof(Span));
     }
+    bytes += static_cast<std::int64_t>(ws_.kernel_state.capacity());
+    bytes += static_cast<std::int64_t>(ws_.kernel_port_state.capacity()) * 8;
+    bytes += static_cast<std::int64_t>(ws_.proc_arena.bytes_used());
     stats.arena_bytes = bytes;
     stats.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -668,6 +791,11 @@ class ArenaEngine {
   EngineWorkspaceState& ws_;
   const NodeId n_;
   int threads_ = 1;
+  // Resolved kernel path (null = vtable) and its packed-state geometry.
+  std::shared_ptr<const StepKernel> kernel_;
+  std::byte* kstate_base_ = nullptr;
+  std::size_t kstride_ = 0;
+  std::size_t kport_words_ = 0;
   bool sync_mode_ = false;
   bool bulk_mode_ = false;  // current round skips dirty recording
   std::vector<Backend> backends_;

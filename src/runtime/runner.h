@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/runtime/instance.h"
+#include "src/runtime/kernel.h"
 #include "src/runtime/local.h"
 
 namespace unilocal {
@@ -53,6 +54,11 @@ struct RunOptions {
   /// (1 = fully inline). Outputs are independent of this value; the
   /// synchronizer mode always runs single-threaded.
   int num_threads = 1;
+  /// Engine path: the flat step-kernel tier (src/runtime/kernel.h) when the
+  /// algorithm is lowered (kAuto, the default), the Process vtable path
+  /// always (kOff), or the kernel required (kOn — run_local throws when the
+  /// algorithm has no lowering). Outputs are bit-identical either way.
+  KernelMode kernel_mode = KernelMode::kAuto;
 };
 
 /// Engine-side counters of one run (RunResult::stats).
@@ -67,6 +73,11 @@ struct EngineStats {
   std::int64_t total_messages = 0;
   /// Total Process::step invocations.
   std::int64_t total_steps = 0;
+  /// Node steps executed through the flat kernel path / the Process vtable
+  /// path (kernel_steps + vtable_steps == total_steps; composed algorithms
+  /// mix both when only some stages are lowered).
+  std::int64_t kernel_steps = 0;
+  std::int64_t vtable_steps = 0;
   /// Most unfinished nodes at the start of any round (= n for a non-empty
   /// run; informative per stage in composed algorithms).
   std::int64_t peak_live_nodes = 0;
@@ -95,6 +106,8 @@ struct EngineStats {
         std::max(peak_round_messages, other.peak_round_messages);
     total_messages += other.total_messages;
     total_steps += other.total_steps;
+    kernel_steps += other.kernel_steps;
+    vtable_steps += other.vtable_steps;
     peak_live_nodes = std::max(peak_live_nodes, other.peak_live_nodes);
     final_live_nodes = other.final_live_nodes;
     peak_frontier_nodes =

@@ -73,6 +73,8 @@ json::Value cell_result_to_json(std::size_t index, const CellResult& cell) {
             json::Value::number(cell.stats.peak_round_messages));
   stats.set("total_messages", json::Value::number(cell.stats.total_messages));
   stats.set("total_steps", json::Value::number(cell.stats.total_steps));
+  stats.set("kernel_steps", json::Value::number(cell.stats.kernel_steps));
+  stats.set("vtable_steps", json::Value::number(cell.stats.vtable_steps));
   stats.set("peak_live_nodes",
             json::Value::number(cell.stats.peak_live_nodes));
   stats.set("final_live_nodes",
@@ -107,6 +109,8 @@ CellResult cell_result_from_json(const json::Value& value,
   cell.stats.peak_round_messages = stats.at("peak_round_messages").as_i64();
   cell.stats.total_messages = stats.at("total_messages").as_i64();
   cell.stats.total_steps = stats.at("total_steps").as_i64();
+  cell.stats.kernel_steps = stats.at("kernel_steps").as_i64();
+  cell.stats.vtable_steps = stats.at("vtable_steps").as_i64();
   cell.stats.peak_live_nodes = stats.at("peak_live_nodes").as_i64();
   cell.stats.final_live_nodes = stats.at("final_live_nodes").as_i64();
   cell.stats.peak_frontier_nodes = stats.at("peak_frontier_nodes").as_i64();

@@ -142,7 +142,8 @@ class BudgetRecorder final : public UniformExecutable {
   std::string name() const override { return "budget-recorder"; }
   AlternatingDriver::CustomOutcome run(
       const Instance& instance, std::int64_t budget, std::uint64_t /*seed*/,
-      EngineWorkspace* /*workspace*/, int /*engine_threads*/) const override {
+      EngineWorkspace* /*workspace*/, int /*engine_threads*/,
+      KernelMode /*kernel_mode*/) const override {
     budgets_->push_back(budget);
     return {std::vector<std::int64_t>(
                 static_cast<std::size_t>(instance.num_nodes()), 0),

@@ -1,0 +1,231 @@
+// Step-kernel equivalence: for every lowered registry building block the
+// flat-kernel engine path (RunOptions::kernel_mode = auto/on) must produce
+// RunResult fields bit-identical to the Process vtable path (off) and to
+// the preserved seed engine (src/runtime/reference.cpp) — on every
+// instance family, thread count, and both engine modes (simultaneous and
+// synchronizer). Plus the KernelRegistry surface: names, error paths, the
+// auto fallback for algorithms with no lowering, and `on` refusing them.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algo/cole_vishkin.h"
+#include "src/algo/color_reduce.h"
+#include "src/algo/greedy_mis.h"
+#include "src/algo/linial.h"
+#include "src/algo/luby.h"
+#include "src/algo/ruling_set_mc.h"
+#include "src/graph/params.h"
+#include "src/runtime/kernel.h"
+#include "src/runtime/reference.h"
+#include "src/runtime/runner.h"
+#include "tests/test_support.h"
+
+namespace unilocal {
+namespace {
+
+using testing_support::standard_instances;
+
+void expect_same(const RunResult& want, const RunResult& got,
+                 const std::string& label) {
+  EXPECT_EQ(want.outputs, got.outputs) << label;
+  EXPECT_EQ(want.finish_rounds, got.finish_rounds) << label;
+  EXPECT_EQ(want.global_finish_rounds, got.global_finish_rounds) << label;
+  EXPECT_EQ(want.all_finished, got.all_finished) << label;
+  EXPECT_EQ(want.rounds_used, got.rounds_used) << label;
+  EXPECT_EQ(want.global_rounds, got.global_rounds) << label;
+  EXPECT_EQ(want.messages_sent, got.messages_sent) << label;
+  EXPECT_EQ(want.max_message_words, got.max_message_words) << label;
+}
+
+/// Reference engine vs every (kernel mode x thread count) combination.
+/// `options.wake_rounds` decides the engine mode: empty = simultaneous,
+/// non-empty = synchronizer — callers exercise both.
+void check_kernel_equivalence(const Instance& instance,
+                              const Algorithm& algorithm, RunOptions options,
+                              const std::string& label) {
+  options.kernel_mode = KernelMode::kOff;
+  const RunResult want = run_local_reference(instance, algorithm, options);
+  for (const int threads : {1, 2, 8}) {
+    options.num_threads = threads;
+    for (const KernelMode mode :
+         {KernelMode::kOff, KernelMode::kAuto, KernelMode::kOn}) {
+      options.kernel_mode = mode;
+      const RunResult got = run_local(instance, algorithm, options);
+      const std::string tag = label + "/" + kernel_mode_name(mode) +
+                              "/threads=" + std::to_string(threads);
+      expect_same(want, got, tag);
+      // The path split must report where the steps actually ran.
+      if (mode == KernelMode::kOff) {
+        EXPECT_EQ(got.stats.kernel_steps, 0) << tag;
+        EXPECT_EQ(got.stats.vtable_steps, got.stats.total_steps) << tag;
+      } else {
+        EXPECT_EQ(got.stats.kernel_steps, got.stats.total_steps) << tag;
+        EXPECT_EQ(got.stats.vtable_steps, 0) << tag;
+      }
+    }
+  }
+}
+
+/// Both engine modes: the simultaneous loop and, via a staggered wake-round
+/// grid, the synchronizer loop.
+void check_both_engine_modes(const Instance& instance,
+                             const Algorithm& algorithm, std::uint64_t seed,
+                             const std::string& label) {
+  RunOptions options;
+  options.seed = seed;
+  check_kernel_equivalence(instance, algorithm, options, label + "/simul");
+
+  Rng wake_rng(seed + 1000);
+  options.wake_rounds.resize(static_cast<std::size_t>(instance.num_nodes()));
+  for (auto& w : options.wake_rounds)
+    w = static_cast<std::int64_t>(wake_rng.next_below(5));
+  check_kernel_equivalence(instance, algorithm, options, label + "/sync");
+}
+
+TEST(KernelEquivalence, LubyAndGreedyAcrossInstances) {
+  const LubyMis luby;
+  const GreedyMis greedy;
+  for (const auto& named : standard_instances(/*seed=*/61)) {
+    check_both_engine_modes(named.instance, luby, 7, "luby/" + named.name);
+    check_both_engine_modes(named.instance, greedy, 7, "greedy/" + named.name);
+  }
+}
+
+TEST(KernelEquivalence, TruncatedLubyKeepsKernelPath) {
+  // The truncation wrapper lowers by wrapping the inner kernel; a budget
+  // that bites mid-run must stay bit-identical on the kernel path too.
+  const TruncatedAlgorithm truncated(std::make_shared<LubyMis>(), 3, 0);
+  ASSERT_NE(truncated.kernel(), nullptr);
+  for (const auto& named : standard_instances(/*seed=*/67))
+    check_both_engine_modes(named.instance, truncated, 11,
+                            "truncated-luby/" + named.name);
+}
+
+TEST(KernelEquivalence, LinialAcrossInstances) {
+  for (const auto& named : standard_instances(/*seed=*/71)) {
+    const std::int64_t delta =
+        std::max<std::int64_t>(max_degree(named.instance.graph), 1);
+    const std::int64_t m =
+        std::max<std::int64_t>(named.instance.max_identity(), 2);
+    const LinialColoring linial(delta, m);
+    check_both_engine_modes(named.instance, linial, 13,
+                            "linial/" + named.name);
+  }
+}
+
+TEST(KernelEquivalence, ColorReduceAcrossInstances) {
+  // Identity inputs act as the starting coloring; both the deg+1 target
+  // (0) and a fixed palette exercise the per-port state cache. The
+  // reduction runs one round per eliminated color, so skip the
+  // sparse-identity instances whose color space is astronomically large
+  // (as tests/algo_coloring_test.cpp does).
+  for (const auto& named : standard_instances(/*seed=*/73)) {
+    if (named.instance.num_nodes() == 0) continue;
+    const std::int64_t m = named.instance.max_identity();
+    if (m > 4096) continue;
+    Instance seeded = named.instance;
+    for (NodeId v = 0; v < seeded.num_nodes(); ++v)
+      seeded.inputs[static_cast<std::size_t>(v)] = {
+          seeded.identities[static_cast<std::size_t>(v)]};
+    const ColorReduce to_deg_plus_one(m, 0);
+    const ColorReduce to_fixed(m, 5);
+    check_both_engine_modes(seeded, to_deg_plus_one, 17,
+                            "color-reduce-d1/" + named.name);
+    check_both_engine_modes(seeded, to_fixed, 17,
+                            "color-reduce-5/" + named.name);
+  }
+}
+
+TEST(KernelEquivalence, ColeVishkinOnRootedForests) {
+  Rng rng(79);
+  std::vector<testing_support::NamedInstance> forests;
+  forests.push_back(
+      {"tree", make_rooted_forest_instance(random_tree(120, rng), 81)});
+  forests.push_back(
+      {"forest", make_rooted_forest_instance(random_forest(90, 6, rng), 82)});
+  forests.push_back({"path", make_rooted_forest_instance(path_graph(33), 83)});
+  forests.push_back({"singleton", make_rooted_forest_instance(Graph(1), 84)});
+  for (const auto& named : forests) {
+    const ColeVishkin cv(named.instance.max_identity());
+    check_both_engine_modes(named.instance, cv, 19, "cv/" + named.name);
+  }
+}
+
+TEST(KernelRegistry, DefaultTableListsTheLoweredBlocks) {
+  const KernelRegistry& registry = default_kernel_registry();
+  const std::vector<std::string> expected = {
+      "cole-vishkin", "color-reduce", "greedy-mis", "linial", "luby"};
+  EXPECT_EQ(registry.names(), expected);
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_FALSE(registry.spec(name).describe.empty()) << name;
+  }
+  EXPECT_FALSE(registry.contains("no-such-kernel"));
+}
+
+TEST(KernelRegistry, LowersMatchingAlgorithmsOnly) {
+  const KernelRegistry& registry = default_kernel_registry();
+  const LubyMis luby;
+  const GreedyMis greedy;
+  // The right row lowers; the wrong row returns null (not an error).
+  EXPECT_NE(registry.lower("luby", luby), nullptr);
+  EXPECT_NE(registry.lower("greedy-mis", greedy), nullptr);
+  EXPECT_EQ(registry.lower("luby", greedy), nullptr);
+  EXPECT_EQ(registry.lower("cole-vishkin", luby), nullptr);
+  // Unknown keys throw.
+  EXPECT_THROW(registry.lower("no-such-kernel", luby), std::runtime_error);
+  EXPECT_THROW(registry.spec("no-such-kernel"), std::runtime_error);
+}
+
+TEST(KernelRegistry, LoweredKernelMatchesAlgorithmKernel) {
+  // The registry adapter and Algorithm::kernel() expose the same lowering.
+  const LubyMis luby;
+  const auto via_registry = default_kernel_registry().lower("luby", luby);
+  const auto via_algorithm = luby.kernel();
+  ASSERT_NE(via_registry, nullptr);
+  ASSERT_NE(via_algorithm, nullptr);
+  EXPECT_EQ(via_registry->name, via_algorithm->name);
+}
+
+TEST(KernelMode, AutoFallsBackToVtableForUnloweredAlgorithms) {
+  // BetaLubyRulingSet has no lowering: auto must silently run the vtable
+  // path bit-identically to off, and report the split accordingly.
+  Rng rng(83);
+  const Instance instance = make_instance(gnp(80, 0.06, rng),
+                                          IdentityScheme::kRandomPermuted, 3);
+  const BetaLubyRulingSet ruling(2);
+  ASSERT_EQ(ruling.kernel(), nullptr);
+  RunOptions options;
+  options.seed = 29;
+  options.kernel_mode = KernelMode::kOff;
+  const RunResult off = run_local(instance, ruling, options);
+  options.kernel_mode = KernelMode::kAuto;
+  const RunResult fallback = run_local(instance, ruling, options);
+  expect_same(off, fallback, "ruling-fallback");
+  EXPECT_EQ(fallback.stats.kernel_steps, 0);
+  EXPECT_GT(fallback.stats.vtable_steps, 0);
+}
+
+TEST(KernelMode, OnThrowsForUnloweredAlgorithms) {
+  Rng rng(89);
+  const Instance instance = make_instance(path_graph(10),
+                                          IdentityScheme::kSequential, 1);
+  const BetaLubyRulingSet ruling(2);
+  RunOptions options;
+  options.kernel_mode = KernelMode::kOn;
+  EXPECT_THROW(run_local(instance, ruling, options), std::runtime_error);
+}
+
+TEST(KernelMode, NamesRoundTrip) {
+  for (const KernelMode mode :
+       {KernelMode::kOff, KernelMode::kAuto, KernelMode::kOn})
+    EXPECT_EQ(parse_kernel_mode(kernel_mode_name(mode)), mode);
+  EXPECT_THROW(parse_kernel_mode("bogus"), std::runtime_error);
+  EXPECT_THROW(parse_kernel_mode(""), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace unilocal
