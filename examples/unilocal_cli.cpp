@@ -15,6 +15,16 @@
 //              default), the Process vtable path always (off), or kernels
 //              required — error when a stage has no lowering (on). Outputs
 //              are bit-identical across modes.
+//   --network: delivery layer (src/runtime/network.h): the round-exact
+//              synchronous arena (sync, the default) or the seeded
+//              event-queue transport (delay:uniform | delay:weighted |
+//              delay:heavytail). Fault knobs — --drop/--dup/--crash/--late
+//              (probabilities) and --max-delay/--late-by (ticks) — apply
+//              to the delayed presets only. When every message is
+//              eventually delivered, outputs are bit-identical to the
+//              synchronous run (the paper's Observation 2.1); sweep and
+//              table1 accept a comma-separated spec list and cross the
+//              grid with it like a scenario dimension.
 //
 //   unilocal_cli sweep [--scenarios=a,b,..] [--algorithms=x,y,..] [--n=N]
 //                      [--a=V] [--b=V] [--seeds=K] [--workers=W]
@@ -99,18 +109,24 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: unilocal_cli <mis|matching|coloring|rulingset2> "
-               "[edge-list-file] [--stats] [--kernel=off|auto|on]\n"
+               "[edge-list-file] [--stats] [--kernel=off|auto|on] "
+               "[--network=sync|delay:uniform|delay:weighted|delay:heavytail] "
+               "[--drop=P] [--dup=P] [--crash=P] [--late=P] [--max-delay=T] "
+               "[--late-by=T]\n"
                "       unilocal_cli sweep [--scenarios=a,b,..] "
                "[--algorithms=x,y,..|all|glob*] [--n=N] [--a=V] [--b=V] "
-               "[--seeds=K] [--workers=W] [--kernel=M] [--shards=K] "
+               "[--seeds=K] [--workers=W] [--kernel=M] "
+               "[--network=SPEC,..] [fault knobs] [--shards=K] "
                "[--policy=round-robin|cost-balanced] [--format=csv|json] "
                "[--canonical] [--log=FILE] [--list]\n"
                "       unilocal_cli table1 [--n=N] [--seeds=K] [--workers=W] "
-               "[--kernel=M] [--shards=K] [--policy=P] [--format=csv|json] "
+               "[--kernel=M] [--network=SPEC,..] [fault knobs] [--shards=K] "
+               "[--policy=P] [--format=csv|json] "
                "[--canonical] [--log=FILE] [--smoke]\n"
                "       unilocal_cli shard plan --dir=DIR --shards=K "
                "[--policy=P] (--table1 [--smoke] | --scenarios=.. "
-               "--algorithms=..) [--n=N] [--a=V] [--b=V] [--seeds=K]\n"
+               "--algorithms=..) [--n=N] [--a=V] [--b=V] [--seeds=K] "
+               "[--network=SPEC,..] [fault knobs]\n"
                "       unilocal_cli shard run MANIFEST [--out=FILE] "
                "[--workers=W] [--kernel=M]\n"
                "       unilocal_cli shard merge PLAN RESULT... "
@@ -167,6 +183,92 @@ std::vector<std::string> split_csv(const std::string& text) {
   return result;
 }
 
+/// The delivery-layer flag group every subcommand shares: --network=SPEC[,..]
+/// plus the fault knobs. Flags may arrive in any order, so the knobs are
+/// buffered and applied to the delayed specs in resolve(). consume() and
+/// resolve() throw std::runtime_error naming the offending flag on
+/// malformed or inconsistent values.
+struct NetworkFlags {
+  std::vector<std::string> specs;  // raw --network= values, in order
+  NetworkOptions knobs;
+  bool drop_set = false, dup_set = false, crash_set = false;
+  bool late_set = false, max_delay_set = false, late_by_set = false;
+
+  bool consume(const std::string& arg) {
+    const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
+    if (arg.rfind("--network=", 0) == 0) {
+      for (const std::string& spec : split_csv(value()))
+        specs.push_back(spec);
+      if (specs.empty())
+        throw std::runtime_error(
+            "--network: expected sync or delay:<preset>, got ''");
+    } else if (arg.rfind("--drop=", 0) == 0) {
+      knobs.drop = parse_unit_interval("--drop", value());
+      drop_set = true;
+    } else if (arg.rfind("--dup=", 0) == 0) {
+      knobs.duplicate = parse_unit_interval("--dup", value());
+      dup_set = true;
+    } else if (arg.rfind("--crash=", 0) == 0) {
+      knobs.crash = parse_unit_interval("--crash", value());
+      crash_set = true;
+    } else if (arg.rfind("--late=", 0) == 0) {
+      knobs.late = parse_unit_interval("--late", value());
+      late_set = true;
+    } else if (arg.rfind("--max-delay=", 0) == 0) {
+      knobs.max_delay = parse_positive_ticks("--max-delay", value());
+      max_delay_set = true;
+    } else if (arg.rfind("--late-by=", 0) == 0) {
+      knobs.late_by = parse_positive_ticks("--late-by", value());
+      late_by_set = true;
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  bool any_knob() const {
+    return drop_set || dup_set || crash_set || late_set || max_delay_set ||
+           late_by_set;
+  }
+
+  /// One NetworkOptions per --network= spec (empty = all-sync default),
+  /// fault knobs folded into the delayed entries.
+  std::vector<NetworkOptions> resolve() const {
+    std::vector<NetworkOptions> result;
+    bool any_delayed = false;
+    for (const std::string& spec : specs) {
+      NetworkOptions network = parse_network_spec(spec);
+      if (network.kind == NetworkKind::kDelayed) {
+        any_delayed = true;
+        if (drop_set) network.drop = knobs.drop;
+        if (dup_set) network.duplicate = knobs.duplicate;
+        if (crash_set) network.crash = knobs.crash;
+        if (late_set) network.late = knobs.late;
+        if (max_delay_set) network.max_delay = knobs.max_delay;
+        if (late_by_set) network.late_by = knobs.late_by;
+        validate_network_options(network);
+      }
+      result.push_back(network);
+    }
+    if (any_knob() && !any_delayed)
+      throw std::runtime_error(
+          "--drop/--dup/--crash/--late/--max-delay/--late-by require "
+          "--network=delay:<preset> (the synchronous network has no fault "
+          "knobs)");
+    return result;
+  }
+
+  /// The single-run form: at most one spec.
+  NetworkOptions resolve_single() const {
+    if (specs.size() > 1)
+      throw std::runtime_error(
+          "--network: expected one value in single-problem mode, got " +
+          std::to_string(specs.size()));
+    const std::vector<NetworkOptions> resolved = resolve();
+    return resolved.empty() ? NetworkOptions{} : resolved.front();
+  }
+};
+
 void print_percentiles(const char* what, const CampaignPercentiles& p) {
   std::fprintf(stderr, "  %-16s p50=%.0f p90=%.0f p99=%.0f max=%.0f\n", what,
                p.p50, p.p90, p.p99, p.max);
@@ -199,6 +301,9 @@ int report_campaign(const char* what, const CampaignResult& result,
   print_percentiles("dirty_cleared", result.dirty_spans_cleared);
   print_percentiles("kernel_steps", result.kernel_steps);
   print_percentiles("vtable_steps", result.vtable_steps);
+  print_percentiles("msgs_dropped", result.messages_dropped);
+  print_percentiles("msgs_duplicated", result.messages_duplicated);
+  print_percentiles("delivery_skew", result.max_delivery_skew);
   for (const auto& cell : result.cells) {
     if (!cell.error.empty())
       std::fprintf(stderr, "%s: FAILED %s/%s seed=%llu: %s\n", what,
@@ -345,13 +450,15 @@ int run_shard_plan(int argc, char** argv) {
   bool seeds_given = false;
   std::vector<std::string> scenarios;
   std::vector<std::string> algorithm_patterns;
+  NetworkFlags network_flags;
   ScenarioParams params;
   params.n = 256;
   int seeds = 2;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
-    if (arg == "--table1") {
+    if (network_flags.consume(arg)) {
+    } else if (arg == "--table1") {
       table1 = true;
     } else if (arg == "--smoke") {
       smoke = true;
@@ -387,13 +494,15 @@ int run_shard_plan(int argc, char** argv) {
     if (!n_given) params.n = 64;
     if (!seeds_given) seeds = 1;
   }
+  GridOptions grid_options;
+  grid_options.networks = network_flags.resolve();
   std::vector<CampaignCell> cells;
   if (table1) {
-    cells = make_table1_grid(params, seeds);
+    cells = make_table1_grid(params, seeds, grid_options);
   } else {
     const auto algorithms =
         default_algorithm_registry().resolve(algorithm_patterns);
-    cells = make_grid(scenarios, params, algorithms, seeds);
+    cells = make_grid(scenarios, params, algorithms, seeds, grid_options);
   }
   if (cells.empty()) {
     std::fprintf(stderr, "shard plan: empty grid\n");
@@ -542,13 +651,15 @@ int run_sweep(int argc, char** argv) {
   int shards = 0;
   ShardPolicy policy = ShardPolicy::kCostBalanced;
   KernelMode kernel_mode = KernelMode::kAuto;
+  NetworkFlags network_flags;
   bool json_output = false;
   bool canonical = false;
   std::string log_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
-    if (arg == "--list") {
+    if (network_flags.consume(arg)) {
+    } else if (arg == "--list") {
       const auto& registry = default_algorithm_registry();
       std::printf("scenario families:\n");
       for (const auto& name : default_scenarios().names())
@@ -609,7 +720,10 @@ int run_sweep(int argc, char** argv) {
   // every key up front (one error listing all unknown keys).
   const auto algorithms =
       default_algorithm_registry().resolve(algorithm_patterns);
-  const auto cells = make_grid(scenarios, params, algorithms, seeds);
+  GridOptions grid_options;
+  grid_options.networks = network_flags.resolve();
+  const auto cells =
+      make_grid(scenarios, params, algorithms, seeds, grid_options);
   if (cells.empty()) {
     std::fprintf(stderr, "sweep: empty grid\n");
     return 1;
@@ -640,6 +754,7 @@ int run_table1(int argc, char** argv) {
   int shards = 0;
   ShardPolicy policy = ShardPolicy::kCostBalanced;
   KernelMode kernel_mode = KernelMode::kAuto;
+  NetworkFlags network_flags;
   bool json_output = false;
   bool canonical = false;
   bool smoke = false;
@@ -649,7 +764,8 @@ int run_table1(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
-    if (arg == "--smoke") {
+    if (network_flags.consume(arg)) {
+    } else if (arg == "--smoke") {
       smoke = true;
     } else if (arg.rfind("--n=", 0) == 0) {
       params.n = static_cast<NodeId>(std::stol(value()));
@@ -685,7 +801,9 @@ int run_table1(int argc, char** argv) {
     if (!n_given) params.n = 64;
     if (!seeds_given) seeds = 1;
   }
-  const auto cells = make_table1_grid(params, seeds);
+  GridOptions grid_options;
+  grid_options.networks = network_flags.resolve();
+  const auto cells = make_table1_grid(params, seeds, grid_options);
   std::fprintf(stderr,
                "table1: %zu cells (%zu algorithms x their Table 1 "
                "families x %d seed%s, n=%d)\n",
@@ -723,6 +841,12 @@ void emit_stats(const EngineStats& stats, const char* what) {
   std::fprintf(stderr, "%s path: kernel_steps=%lld vtable_steps=%lld\n", what,
                static_cast<long long>(stats.kernel_steps),
                static_cast<long long>(stats.vtable_steps));
+  std::fprintf(stderr,
+               "%s delivery: messages_dropped=%lld messages_duplicated=%lld "
+               "max_delivery_skew=%lld\n",
+               what, static_cast<long long>(stats.messages_dropped),
+               static_cast<long long>(stats.messages_duplicated),
+               static_cast<long long>(stats.max_delivery_skew));
 }
 
 void emit(const Instance& instance, const std::vector<std::int64_t>& outputs,
@@ -768,12 +892,24 @@ int main(int argc, char** argv) {
   }
   bool want_stats = false;
   UniformRunOptions run_options;
+  NetworkFlags network_flags;
   const char* file = nullptr;
   const char* problem_arg = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--stats") == 0) {
+    const std::string arg = argv[i];
+    bool consumed = false;
+    try {
+      // Malformed --network=/--drop=/... values are rejected here with an
+      // error naming the flag, exactly like --kernel= below.
+      consumed = network_flags.consume(arg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return usage();
+    }
+    if (consumed) {
+    } else if (arg == "--stats") {
       want_stats = true;
-    } else if (std::strncmp(argv[i], "--kernel=", 9) == 0) {
+    } else if (arg.rfind("--kernel=", 0) == 0) {
       try {
         run_options.kernel_mode = parse_kernel_mode(argv[i] + 9);
       } catch (const std::exception& e) {
@@ -789,6 +925,14 @@ int main(int argc, char** argv) {
     }
   }
   if (problem_arg == nullptr) return usage();
+  try {
+    // Unknown presets ("--network=delay:pareto") and knobs without a
+    // delayed network surface here, before any graph is read.
+    run_options.network = network_flags.resolve_single();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
   Graph g;
   try {
     if (file != nullptr) {

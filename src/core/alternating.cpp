@@ -25,6 +25,7 @@ NodeId AlternatingDriver::run_step(const Algorithm& algorithm,
   options.seed = seed;
   options.num_threads = std::max(1, engine_threads);
   options.kernel_mode = kernel_mode;
+  options.network = network;
   const RunResult result =
       run_local(current_, algorithm, options, &workspace());
   stats_.merge(result.stats);

@@ -55,6 +55,10 @@ class AlternatingDriver {
   /// step kernels vs the Process vtable path; outputs are bit-identical).
   KernelMode kernel_mode = KernelMode::kAuto;
 
+  /// RunOptions::network of every engine run the driver issues (synchronous
+  /// arena vs the seeded event-queue transport).
+  NetworkOptions network;
+
   bool done() const noexcept { return current_.num_nodes() == 0; }
   NodeId remaining() const noexcept { return current_.num_nodes(); }
   const Instance& current() const noexcept { return current_; }

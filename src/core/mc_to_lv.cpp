@@ -15,6 +15,7 @@ UniformRunResult run_las_vegas_transformer(const Instance& instance,
   AlternatingDriver driver(instance, pruning, options.workspace);
   driver.engine_threads = options.engine_threads;
   driver.kernel_mode = options.kernel_mode;
+  driver.network = options.network;
   UniformRunResult result;
   std::uint64_t seed = options.seed;
   const std::int64_t c = algorithm.bound().bounding_constant();

@@ -40,6 +40,9 @@ struct UniformRunOptions {
   /// RunOptions::kernel_mode of every sub-iteration (flat step kernels vs
   /// the Process vtable path; outputs are bit-identical either way).
   KernelMode kernel_mode = KernelMode::kAuto;
+  /// RunOptions::network of every sub-iteration (synchronous arena vs the
+  /// seeded event-queue transport with latency/fault injection).
+  NetworkOptions network;
 };
 
 struct UniformRunResult {

@@ -149,6 +149,7 @@ UniformRunOptions uniform_options(const AlgorithmRunContext& context) {
   options.workspace = context.workspace;
   options.engine_threads = context.engine_threads;
   options.kernel_mode = context.kernel_mode;
+  options.network = context.network;
   return options;
 }
 
@@ -157,6 +158,7 @@ RunOptions local_options(const AlgorithmRunContext& context) {
   options.seed = context.seed;
   options.num_threads = std::max(1, context.engine_threads);
   options.kernel_mode = context.kernel_mode;
+  options.network = context.network;
   return options;
 }
 

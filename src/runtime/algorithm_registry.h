@@ -48,6 +48,9 @@ struct AlgorithmRunContext {
   /// RunOptions::kernel_mode for the entry's engine runs (flat step kernels
   /// vs the Process vtable path; bit-identical outputs either way).
   KernelMode kernel_mode = KernelMode::kAuto;
+  /// RunOptions::network for the entry's engine runs (synchronous arena vs
+  /// the seeded event-queue transport with latency/fault injection).
+  NetworkOptions network;
 };
 
 struct AlgorithmSpec {

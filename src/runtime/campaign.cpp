@@ -75,6 +75,11 @@ CellResult run_cell(const CampaignCell& cell,
                     const CampaignOptions& options) {
   CellResult result;
   result.cell = cell;
+  // Cells with an explicit network keep it; default-sync cells inherit the
+  // campaign-wide delivery layer. The effective network is written back so
+  // every artifact (CSV, JSON, shard manifests) reports what actually ran.
+  if (cell.network == NetworkOptions{})
+    result.cell.network = options.network;
   const auto start = std::chrono::steady_clock::now();
   try {
     Graph graph = scenarios.build(cell.scenario, cell.params, cell.seed);
@@ -86,6 +91,7 @@ CellResult run_cell(const CampaignCell& cell,
     context.seed = cell.seed;
     context.workspace = workspace;
     context.kernel_mode = options.kernel_mode;
+    context.network = result.cell.network;
     // The large-cell policy: big instances get engine threads (the engine
     // is thread-count invariant, so the outputs stay bit-identical).
     if (options.engine_threads_for_large_cells > 1 &&
@@ -169,6 +175,9 @@ void finalize_campaign_aggregates(CampaignResult& result) {
   std::vector<double> dirty_cleared;
   std::vector<double> kernel_steps;
   std::vector<double> vtable_steps;
+  std::vector<double> dropped;
+  std::vector<double> duplicated;
+  std::vector<double> delivery_skew;
   for (const CellResult& cell : result.cells) {
     if (!cell.error.empty()) {
       ++result.failed;
@@ -188,6 +197,10 @@ void finalize_campaign_aggregates(CampaignResult& result) {
         static_cast<double>(cell.stats.dirty_spans_cleared));
     kernel_steps.push_back(static_cast<double>(cell.stats.kernel_steps));
     vtable_steps.push_back(static_cast<double>(cell.stats.vtable_steps));
+    dropped.push_back(static_cast<double>(cell.stats.messages_dropped));
+    duplicated.push_back(static_cast<double>(cell.stats.messages_duplicated));
+    delivery_skew.push_back(
+        static_cast<double>(cell.stats.max_delivery_skew));
   }
   result.rounds = percentiles(std::move(rounds));
   result.messages = percentiles(std::move(messages));
@@ -197,6 +210,9 @@ void finalize_campaign_aggregates(CampaignResult& result) {
   result.dirty_spans_cleared = percentiles(std::move(dirty_cleared));
   result.kernel_steps = percentiles(std::move(kernel_steps));
   result.vtable_steps = percentiles(std::move(vtable_steps));
+  result.messages_dropped = percentiles(std::move(dropped));
+  result.messages_duplicated = percentiles(std::move(duplicated));
+  result.max_delivery_skew = percentiles(std::move(delivery_skew));
 }
 
 CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
@@ -282,15 +298,24 @@ std::vector<CampaignCell> make_grid(
   std::vector<CampaignCell> cells;
   cells.reserve(scenarios.size() * algorithms.size() *
                 static_cast<std::size_t>(std::max(0, seeds_per_combination)));
+  // The delivery layer is a grid dimension like the scenario families:
+  // every combination is emitted once per requested network (sync when
+  // none were requested).
+  const std::vector<NetworkOptions> networks =
+      options.networks.empty() ? std::vector<NetworkOptions>{NetworkOptions{}}
+                               : options.networks;
   for (const std::string& scenario : scenarios) {
     for (const std::string& algorithm : algorithms) {
-      for (int s = 0; s < seeds_per_combination; ++s) {
-        CampaignCell cell;
-        cell.scenario = scenario;
-        cell.params = params;
-        cell.algorithm = algorithm;
-        cell.seed = options.base_seed + static_cast<std::uint64_t>(s);
-        cells.push_back(std::move(cell));
+      for (const NetworkOptions& network : networks) {
+        for (int s = 0; s < seeds_per_combination; ++s) {
+          CampaignCell cell;
+          cell.scenario = scenario;
+          cell.params = params;
+          cell.algorithm = algorithm;
+          cell.seed = options.base_seed + static_cast<std::uint64_t>(s);
+          cell.network = network;
+          cells.push_back(std::move(cell));
+        }
       }
     }
   }
@@ -355,16 +380,22 @@ std::string csv_escape(const std::string& field) {
 }  // namespace
 
 void write_campaign_csv(std::ostream& out, const CampaignResult& result) {
-  out << "scenario,n,a,b,algorithm,seed,identities,nodes,edges,rounds,"
+  out << "scenario,n,a,b,algorithm,seed,identities,network,drop,duplicate,"
+         "crash,late,nodes,edges,rounds,"
          "solved,valid,seconds,messages,peak_round_messages,steps,"
          "kernel_steps,vtable_steps,"
          "steps_per_sec,arena_bytes,peak_live_nodes,peak_frontier_nodes,"
-         "dirty_spans_cleared,output_hash,error\n";
+         "dirty_spans_cleared,messages_dropped,messages_duplicated,"
+         "max_delivery_skew,output_hash,error\n";
   for (const CellResult& cell : result.cells) {
     out << csv_escape(cell.cell.scenario) << ',' << cell.cell.params.n << ','
         << cell.cell.params.a << ',' << cell.cell.params.b << ','
         << csv_escape(cell.cell.algorithm) << ',' << cell.cell.seed << ','
-        << identity_scheme_name(cell.cell.identities) << ',' << cell.nodes
+        << identity_scheme_name(cell.cell.identities) << ','
+        << network_spec_name(cell.cell.network) << ','
+        << cell.cell.network.drop << ',' << cell.cell.network.duplicate << ','
+        << cell.cell.network.crash << ',' << cell.cell.network.late << ','
+        << cell.nodes
         << ',' << cell.edges << ',' << cell.rounds << ','
         << (cell.solved ? 1 : 0) << ',' << (cell.valid ? 1 : 0) << ','
         << cell.seconds << ',' << cell.stats.total_messages << ','
@@ -373,7 +404,10 @@ void write_campaign_csv(std::ostream& out, const CampaignResult& result) {
         << ',' << cell.stats.steps_per_second << ','
         << cell.stats.arena_bytes << ',' << cell.stats.peak_live_nodes << ','
         << cell.stats.peak_frontier_nodes << ','
-        << cell.stats.dirty_spans_cleared << ',' << cell.output_hash << ','
+        << cell.stats.dirty_spans_cleared << ','
+        << cell.stats.messages_dropped << ','
+        << cell.stats.messages_duplicated << ','
+        << cell.stats.max_delivery_skew << ',' << cell.output_hash << ','
         << csv_escape(cell.error) << '\n';
   }
 }
@@ -426,6 +460,19 @@ void write_campaign_json(std::ostream& out, const CampaignResult& result,
     write_percentiles_json(out, "kernel_steps", result.kernel_steps);
     out << ',';
     write_percentiles_json(out, "vtable_steps", result.vtable_steps);
+    // The fault counters are delivery-layer telemetry, not grid identity:
+    // like the kernel/vtable split they stay out of canonical mode, which
+    // describes only what the grid deterministically computes (outputs,
+    // rounds, verdicts) — properties Observation 2.1 keeps invariant under
+    // the delivery layer whenever every message eventually arrives.
+    out << ',';
+    write_percentiles_json(out, "messages_dropped", result.messages_dropped);
+    out << ',';
+    write_percentiles_json(out, "messages_duplicated",
+                           result.messages_duplicated);
+    out << ',';
+    write_percentiles_json(out, "max_delivery_skew",
+                           result.max_delivery_skew);
   }
   out << ",\"cell_results\":[";
   bool first = true;
@@ -438,7 +485,15 @@ void write_campaign_json(std::ostream& out, const CampaignResult& result,
         << json::escape(cell.cell.algorithm)
         << "\",\"seed\":" << cell.cell.seed << ",\"identities\":\""
         << identity_scheme_name(cell.cell.identities)
-        << "\",\"nodes\":" << cell.nodes << ",\"edges\":" << cell.edges
+        // The delivery layer is part of the cell's identity (canonical
+        // included): the same cell under a different network is a different
+        // deterministic experiment.
+        << "\",\"network\":\"" << network_spec_name(cell.cell.network)
+        << "\",\"drop\":" << cell.cell.network.drop
+        << ",\"duplicate\":" << cell.cell.network.duplicate
+        << ",\"crash\":" << cell.cell.network.crash
+        << ",\"late\":" << cell.cell.network.late
+        << ",\"nodes\":" << cell.nodes << ",\"edges\":" << cell.edges
         << ",\"rounds\":" << cell.rounds
         << ",\"solved\":" << (cell.solved ? "true" : "false")
         << ",\"valid\":" << (cell.valid ? "true" : "false");
@@ -447,7 +502,10 @@ void write_campaign_json(std::ostream& out, const CampaignResult& result,
         << ",\"steps\":" << cell.stats.total_steps;
     if (!options.canonical)
       out << ",\"kernel_steps\":" << cell.stats.kernel_steps
-          << ",\"vtable_steps\":" << cell.stats.vtable_steps;
+          << ",\"vtable_steps\":" << cell.stats.vtable_steps
+          << ",\"messages_dropped\":" << cell.stats.messages_dropped
+          << ",\"messages_duplicated\":" << cell.stats.messages_duplicated
+          << ",\"max_delivery_skew\":" << cell.stats.max_delivery_skew;
     if (!options.canonical) {
       // steps/sec is wall-clock; arena_bytes is the workspace's *capacity*,
       // which depends on what the reused workspace ran before this cell.

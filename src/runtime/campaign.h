@@ -80,6 +80,11 @@ struct CampaignCell {
   std::string algorithm;
   std::uint64_t seed = 1;
   IdentityScheme identities = IdentityScheme::kRandomPermuted;
+  /// Delivery layer the cell's engine runs use (part of the cell's
+  /// identity: the same cell under a different network is a different
+  /// deterministic experiment, hashed into the grid hash and round-tripped
+  /// through shard manifests).
+  NetworkOptions network;
 };
 
 struct CellResult {
@@ -133,6 +138,12 @@ struct CampaignResult {
   /// flat kernel tier vs the Process vtable path, per solved cell.
   CampaignPercentiles kernel_steps;
   CampaignPercentiles vtable_steps;
+  /// Fault-injection telemetry (the PR 7 delivery layer), per solved cell:
+  /// dropped transmissions, duplicated deliveries, and the worst delivery
+  /// latency beyond the synchronous one-tick ideal. All zero on sync grids.
+  CampaignPercentiles messages_dropped;
+  CampaignPercentiles messages_duplicated;
+  CampaignPercentiles max_delivery_skew;
 };
 
 /// Recomputes every aggregate field of `result` (solved/valid/failed
@@ -174,6 +185,11 @@ struct CampaignOptions {
   /// kernels required (on). Outputs are bit-identical across modes, so
   /// campaign artifacts stay canonical regardless.
   KernelMode kernel_mode = KernelMode::kAuto;
+  /// Delivery layer applied to every cell whose own CampaignCell::network
+  /// was left at the default (sync). A cell with an explicit non-default
+  /// network keeps it — grids built with GridOptions::networks bake the
+  /// network into each cell.
+  NetworkOptions network;
 };
 
 /// Runs every cell; never throws on per-cell failures (they land in
@@ -195,6 +211,10 @@ struct GridOptions {
   const AlgorithmRegistry* algorithms = nullptr;
   /// Skip validation entirely (grids aimed at a registry built later).
   bool validate = true;
+  /// Delivery layers to cross the grid with (a scenario dimension like the
+  /// families themselves): every (scenario x algorithm x seed) combination
+  /// is emitted once per entry. Empty = one synchronous cell each.
+  std::vector<NetworkOptions> networks;
 };
 
 /// The full (scenario x algorithm x seed) product grid with shared params;

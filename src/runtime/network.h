@@ -1,0 +1,363 @@
+// Pluggable message-delivery layer of the arena engine.
+//
+// The engine (src/runtime/runner.cpp) decides WHO steps; a network model
+// decides WHEN and WHETHER a sent message reaches its receiver:
+//
+//   SynchronousNetwork — the round-exact double-buffered span arena the
+//     engine has always used: everything sent in round r is available in
+//     round r+1, nothing is lost. This is the default and stays
+//     bit-identical to the seed reference engine.
+//
+//   DelayedNetwork — an event-queue transport for the asynchronous regime
+//     the paper's synchronizer exists to tame: every transmission of a
+//     directed edge gets a latency drawn from a per-edge stream (uniform,
+//     per-edge-weighted, or heavy-tail presets), with fault knobs for
+//     message drops (lost transmissions retransmitted after a timeout),
+//     duplication, fail-stop crashed nodes, and late joiners. All draws
+//     derive from the run seed through dedicated streams consumed in
+//     sender-schedule order, so a run is bit-repeatable for any engine
+//     thread count and shards merge byte-identically.
+//
+// A NetworkOptions value travels with RunOptions (and through the campaign
+// and shard layers as a grid dimension); parsing/naming helpers here back
+// the `--network=` / fault-knob CLI flags and the manifest round trip.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/util/rng.h"
+
+namespace unilocal {
+
+/// Which delivery layer a run executes through.
+enum class NetworkKind : std::uint8_t {
+  kSynchronous,  // round-exact arena (the default)
+  kDelayed,      // seeded event-queue transport with latency + faults
+};
+
+/// Latency family of the DelayedNetwork, per directed edge and message.
+enum class DelayPreset : std::uint8_t {
+  kUniform,    // fresh uniform draw in [1, max_delay] per transmission
+  kWeighted,   // fixed per-edge latency drawn once in [1, max_delay]
+  kHeavyTail,  // integer Pareto-like: ~half the messages take 1-2 ticks,
+               // a 2^-k tail reaches ~2^16 ticks
+};
+
+struct NetworkOptions {
+  NetworkKind kind = NetworkKind::kSynchronous;
+  /// Latency preset (DelayedNetwork only).
+  DelayPreset preset = DelayPreset::kUniform;
+  /// Probability that one transmission is lost. Lost transmissions are
+  /// retransmitted after a timeout of 2*max_delay ticks (so moderate drop
+  /// rates delay delivery instead of changing outputs); a transmission
+  /// abandoned after 64 consecutive losses — or any transmission when
+  /// drop >= 1 — is never delivered and stalls its receiver at the cutoff.
+  double drop = 0.0;
+  /// Probability that a delivered message arrives a second time (the copy
+  /// lands strictly later; receivers ignore it).
+  double duplicate = 0.0;
+  /// Fraction of nodes that fail-stop before their first step: they never
+  /// run, never send, and are finalized as cut off with default_output.
+  double crash = 0.0;
+  /// Fraction of nodes that join late: their wake is delayed by a per-node
+  /// draw in [1, late_by] ticks on top of any RunOptions::wake_rounds.
+  double late = 0.0;
+  /// Latency ceiling of the uniform/weighted presets (>= 1, in ticks);
+  /// also sets the retransmission timeout (2*max_delay) for every preset.
+  std::int64_t max_delay = 8;
+  /// Ceiling of a late joiner's extra wake delay (>= 1, in ticks).
+  std::int64_t late_by = 64;
+
+  friend bool operator==(const NetworkOptions&,
+                         const NetworkOptions&) = default;
+};
+
+/// Stable preset names ("uniform", "weighted", "heavytail").
+const char* delay_preset_name(DelayPreset preset);
+
+/// Canonical spec string: "sync", or "delay:<preset>". Used by the CSV/JSON
+/// writers and the shard manifest round trip.
+std::string network_spec_name(const NetworkOptions& options);
+
+/// Parses a spec string ("sync" | "delay:uniform" | "delay:weighted" |
+/// "delay:heavytail") into kind + preset, leaving every knob at its
+/// default. Throws std::runtime_error naming the valid specs otherwise.
+NetworkOptions parse_network_spec(const std::string& spec);
+
+/// Strict CLI knob parsing: the whole text must parse and land in range, or
+/// a std::runtime_error naming `flag` is thrown. parse_unit_interval
+/// accepts [0, 1]; parse_positive_ticks accepts integers >= 1.
+double parse_unit_interval(const char* flag, const std::string& text);
+std::int64_t parse_positive_ticks(const char* flag, const std::string& text);
+
+/// Validates knob ranges (same rules as the parsers); throws
+/// std::runtime_error on the first violation. run_local calls this, so a
+/// malformed NetworkOptions fails fast instead of mid-run.
+void validate_network_options(const NetworkOptions& options);
+
+/// Arena descriptor of one directed edge's message: offset into the owning
+/// word buffer and length. words < 0 means no message. In the synchronous
+/// arena the top bits of offset carry the id of the stepping thread whose
+/// word buffer holds the payload — needed because the live list is
+/// re-chunked across threads every round, so a sender's thread cannot be
+/// derived from its node id; packing keeps the span at 16 bytes (4 per
+/// cache line) on the hot receive path.
+struct Span {
+  std::int64_t offset = 0;
+  std::int64_t words = -1;
+};
+
+/// offset layout: bits [kOwnerShift, 63) = writer thread, low bits = word
+/// offset. Word buffers stay far below 2^48 entries; thread counts below
+/// 2^15 are enforced in the engine constructor.
+constexpr int kOwnerShift = 48;
+constexpr std::int64_t kOffsetMask = (std::int64_t{1} << kOwnerShift) - 1;
+
+inline std::int64_t pack_offset(int owner, std::size_t offset) {
+  return (static_cast<std::int64_t>(owner) << kOwnerShift) |
+         static_cast<std::int64_t>(offset);
+}
+
+/// The round-exact delivery layer: spans indexed by directed-edge slot,
+/// double-buffered between a send half and a receive half that swap at each
+/// round barrier; payload words live in per-thread buffers (the owner rides
+/// the span offset's top bits). Slots are reset lazily through per-thread
+/// dirty lists — only the slots written two rounds ago — with an adaptive
+/// fallback to a linear fill on dense rounds; the all-clean exit invariant
+/// keeps reused workspaces O(m)-init-free. Owned by EngineWorkspaceState so
+/// capacity survives across runs. send() may be called from concurrent
+/// stepping threads as long as each thread passes its own tid.
+class SynchronousNetwork {
+ public:
+  /// Per-run preparation: rebuilds the span tables only when the slot count
+  /// changed or the last run exited dirty (a thrown step).
+  void begin_run(std::size_t slots, int threads);
+
+  /// Resets the send half (strategy it was written under) and picks this
+  /// round's write strategy: a round whose predecessor moved at least a
+  /// quarter of the slot space writes in bulk mode — no dirty recording,
+  /// reset by linear fill — because a sequential sweep beats per-slot
+  /// indirection when nearly everything was written.
+  void begin_round(std::int64_t prev_round_messages);
+
+  /// The round barrier: what was sent becomes receivable.
+  void end_round();
+
+  /// Restores the all-clean invariant (both halves reset under the strategy
+  /// they were written with).
+  void end_run();
+
+  void send(int tid, std::int64_t slot, const std::int64_t* data,
+            std::size_t words) {
+    auto& buf = send_words_[static_cast<std::size_t>(tid)];
+    Span& s = send_spans_[static_cast<std::size_t>(slot)];
+    if (!send_bulk_ && s.words < 0)
+      send_dirty_[static_cast<std::size_t>(tid)]
+          .push_back(slot);  // first write this round: schedule the reset
+    s.offset = pack_offset(tid, buf.size());
+    s.words = static_cast<std::int64_t>(words);
+    buf.insert(buf.end(), data, data + words);
+  }
+
+  /// What the previous round sent through `slot`. The returned span points
+  /// into the receive half, which no send of the current round can touch,
+  /// so it stays valid for the whole step.
+  std::span<const std::int64_t> recv(std::int64_t slot, bool* present) const {
+    const Span s = recv_spans_[static_cast<std::size_t>(slot)];
+    if (s.words < 0) {
+      *present = false;
+      return {};
+    }
+    const auto& buf =
+        recv_words_[static_cast<std::size_t>(s.offset >> kOwnerShift)];
+    *present = true;
+    return {buf.data() + (s.offset & kOffsetMask),
+            static_cast<std::size_t>(s.words)};
+  }
+
+  /// Send-half slot inspection (post-step message accounting).
+  const Span& send_span(std::int64_t slot) const {
+    return send_spans_[static_cast<std::size_t>(slot)];
+  }
+
+  /// Slots lazily reset through the dirty lists this run (the clearing-work
+  /// stat; bulk fills are not counted).
+  std::int64_t dirty_cleared() const { return dirty_cleared_; }
+
+  /// Capacity held by the arena (word buffers + span tables + dirty lists).
+  std::int64_t arena_bytes() const;
+
+ private:
+  void reset_half(std::vector<Span>& spans,
+                  std::vector<std::vector<std::int64_t>>& dirty_lists,
+                  bool bulk);
+
+  std::vector<Span> send_spans_, recv_spans_;
+  std::vector<std::vector<std::int64_t>> send_words_, recv_words_;
+  std::vector<std::vector<std::int64_t>> send_dirty_, recv_dirty_;
+  // Whether each half was written in bulk mode — travels with the buffer
+  // across the per-round swaps so the reset strategy always matches how the
+  // half was written.
+  bool send_bulk_ = false, recv_bulk_ = false;
+  // Whether the all-clean invariant held when the last run exited (a thrown
+  // step leaves it false and the next begin_run rebuilds both halves).
+  bool clean_ = false;
+  std::int64_t bulk_threshold_ = 0;
+  std::int64_t dirty_cleared_ = 0;
+};
+
+/// The asynchronous delivery layer: a seeded deterministic event queue.
+///
+/// Every (sender, local round, port) transmission is one "pulse" — silence
+/// included, because under the alpha synchronizer the arrival of round-r
+/// traffic IS the signal that the neighbour performed round r (paper,
+/// "Synchronicity and time complexity"). Each pulse gets a latency from the
+/// owning edge's private stream, may be lost (retransmitted after a
+/// timeout) or duplicated, and lands in a per-edge delivered history; the
+/// receiver's contiguous delivered prefix generalizes the synchronizer's
+/// dependency-lag counters from round stamps to delivery timestamps.
+///
+/// Determinism contract: all draws happen at SEND time in sender-schedule
+/// order from per-edge streams split off a network-tagged base seed (never
+/// the per-node algorithm streams), and the event queue breaks timestamp
+/// ties by (edge, round, push sequence) — so the delivery order is a pure
+/// function of (topology, seed, options), independent of engine thread
+/// count, shard count, and heap implementation.
+class DelayedNetwork {
+ public:
+  /// One delivered pulse, popped in deterministic timestamp order.
+  struct Delivery {
+    std::int64_t time = 0;
+    std::int64_t edge = 0;  // directed-edge slot it was delivered on
+    NodeId receiver = 0;
+    std::int64_t round = 0;  // sender-local round of the pulse
+    bool payload = false;    // carried words (vs a silent round pulse)
+    // Receiver-side bookkeeping around this delivery, for the engine's
+    // eligibility update: the contiguous delivered prefix of the edge and
+    // whether the edge is saturated (sender finished, everything it ever
+    // sent delivered — nothing further to wait for).
+    std::int64_t prefix_before = 0, prefix_after = 0;
+    bool saturated_before = false, saturated_after = false;
+  };
+
+  struct FlushDelta {
+    std::int64_t messages = 0;  // payload pulses (parity with sync totals)
+    std::int64_t max_words = 0;
+  };
+
+  /// One scheduled delivery (public for the file-local heap comparator).
+  struct Event {
+    std::int64_t time = 0;
+    std::int64_t edge = 0;
+    std::int64_t round = 0;
+    std::int64_t offset = 0;  // into words_; meaningful when words >= 0
+    std::int64_t words = -1;  // -1 = silent pulse
+    std::int64_t sent_at = 0;
+    std::uint64_t seq = 0;  // push order: the deterministic tie-breaker
+    NodeId receiver = 0;
+    bool final_round = false;
+  };
+
+  /// Per-run preparation: derives edge/fault streams from `seed`, draws the
+  /// crash/late-joiner sets, and clears the delivered histories. Capacity
+  /// is kept across runs (workspace reuse).
+  void begin_run(const CsrGraph& csr, std::uint64_t seed,
+                 const NetworkOptions& options);
+
+  bool crashed(NodeId v) const {
+    return crashed_[static_cast<std::size_t>(v)] != 0;
+  }
+  /// Extra wake delay of a late joiner (0 for punctual nodes).
+  std::int64_t wake_delay(NodeId v) const {
+    return wake_extra_[static_cast<std::size_t>(v)];
+  }
+
+  /// Sender side. stage() buffers the stepping node's outgoing message for
+  /// one of its ports (a resend overwrites: last write wins, as in the
+  /// synchronous arena); flush_node() — called once after the step — draws
+  /// latency/fault decisions for every port's pulse, silent ports included,
+  /// and schedules the deliveries. sender_finished marks the pulses as the
+  /// sender's final round so receivers saturate instead of waiting forever.
+  void stage(NodeId port, const std::int64_t* data, std::size_t words);
+  FlushDelta flush_node(NodeId v, std::int64_t round, std::int64_t now,
+                        bool sender_finished);
+
+  /// Earliest pending delivery timestamp; false when the queue is empty
+  /// (either done or stalled on undeliverable dependencies).
+  bool next_delivery_time(std::int64_t* time) const {
+    if (heap_.empty()) return false;
+    *time = heap_.front().time;
+    return true;
+  }
+  /// Pops the next delivery, lands it in the edge history, and advances the
+  /// receiver's contiguous prefix. A duplicate of an already-delivered
+  /// pulse is a no-op (prefix_before == prefix_after).
+  bool pop_delivery(Delivery* out);
+
+  std::int64_t prefix(std::int64_t edge) const {
+    return prefix_[static_cast<std::size_t>(edge)];
+  }
+  /// Sender finished and every round it ever pulsed has been delivered.
+  bool saturated(std::int64_t edge) const {
+    const std::size_t e = static_cast<std::size_t>(edge);
+    return final_round_[e] >= 0 && prefix_[e] > final_round_[e];
+  }
+
+  /// What `edge` delivered for the sender's local round `round`; absent for
+  /// rounds never pulsed (sender finished earlier) or not yet delivered.
+  /// The span stays valid for a whole step: the payload arena only grows in
+  /// flush_node, which runs between steps.
+  std::span<const std::int64_t> recv(std::int64_t edge, std::int64_t round,
+                                    bool* present) const;
+
+  std::int64_t dropped() const { return dropped_; }
+  std::int64_t duplicated() const { return duplicated_; }
+  /// Max over delivered pulses of (arrival - send - 1): the worst latency
+  /// in excess of the synchronous network's exactly-one-tick delivery.
+  std::int64_t max_skew() const { return max_skew_; }
+  std::int64_t arena_bytes() const;
+
+ private:
+  std::int64_t draw_delay(std::int64_t edge);
+  void transmit(std::int64_t edge, NodeId receiver, std::int64_t round,
+                std::int64_t now, Span payload, bool final_round);
+  void push_event(Event event);
+
+  const CsrGraph* csr_ = nullptr;
+  NetworkOptions opts_;
+  std::int64_t retransmit_after_ = 0;
+
+  std::vector<Rng> edge_rngs_;
+  std::vector<std::int64_t> edge_base_;  // kWeighted per-edge latency
+  std::vector<char> crashed_;
+  std::vector<std::int64_t> wake_extra_;
+
+  // Delivered history per edge: hist_[e][r] = the round-r pulse, words
+  // kNotArrived until delivery, -1 for a delivered silent pulse, >= 0 a
+  // span into words_. prefix_[e] = contiguous delivered rounds;
+  // final_round_[e] = the sender's last round once a final pulse landed.
+  std::vector<std::vector<Span>> hist_;
+  std::vector<std::int64_t> prefix_;
+  std::vector<std::int64_t> final_round_;
+  std::vector<std::int64_t> words_;
+
+  // Min-heap over (time, edge, round, seq) via std::push_heap/pop_heap —
+  // the strict total order keeps pops identical across stdlib heaps.
+  std::vector<Event> heap_;
+  std::uint64_t seq_ = 0;
+
+  // Per-step staging (outbox): spans per port into outbox_words_, flushed
+  // and cleared by flush_node.
+  std::vector<Span> outbox_;
+  std::vector<std::int64_t> outbox_words_;
+
+  std::int64_t dropped_ = 0;
+  std::int64_t duplicated_ = 0;
+  std::int64_t max_skew_ = 0;
+};
+
+}  // namespace unilocal

@@ -73,6 +73,12 @@ bool parse_entry(const std::string& line, RunLogEntry& entry) {
         parse_optional_percentiles(root, "dirty_spans_cleared");
     entry.kernel_steps = parse_optional_percentiles(root, "kernel_steps");
     entry.vtable_steps = parse_optional_percentiles(root, "vtable_steps");
+    entry.messages_dropped =
+        parse_optional_percentiles(root, "messages_dropped");
+    entry.messages_duplicated =
+        parse_optional_percentiles(root, "messages_duplicated");
+    entry.max_delivery_skew =
+        parse_optional_percentiles(root, "max_delivery_skew");
   } catch (...) {
     return false;
   }
@@ -103,6 +109,18 @@ std::uint64_t campaign_grid_hash(const std::vector<CampaignCell>& cells) {
     hash_string(hash, cell.algorithm);
     hash_word(hash, cell.seed);
     hash_word(hash, static_cast<std::uint64_t>(cell.identities));
+    // The delivery layer is part of the grid's identity: the same cells
+    // under a different network (or different fault knobs) are a different
+    // experiment, so they must never share a perf baseline.
+    hash_string(hash, network_spec_name(cell.network));
+    for (const double knob : {cell.network.drop, cell.network.duplicate,
+                              cell.network.crash, cell.network.late}) {
+      std::uint64_t word = 0;
+      std::memcpy(&word, &knob, sizeof(word));
+      hash_word(hash, word);
+    }
+    hash_word(hash, static_cast<std::uint64_t>(cell.network.max_delay));
+    hash_word(hash, static_cast<std::uint64_t>(cell.network.late_by));
   }
   return hash;
 }
@@ -138,6 +156,9 @@ RunLogEntry make_run_log_entry(const CampaignResult& result) {
   entry.dirty_spans_cleared = result.dirty_spans_cleared;
   entry.kernel_steps = result.kernel_steps;
   entry.vtable_steps = result.vtable_steps;
+  entry.messages_dropped = result.messages_dropped;
+  entry.messages_duplicated = result.messages_duplicated;
+  entry.max_delivery_skew = result.max_delivery_skew;
   return entry;
 }
 
@@ -166,6 +187,12 @@ void append_run_log(const std::string& path, const CampaignResult& result) {
   write_percentiles(out, "kernel_steps", entry.kernel_steps);
   out << ',';
   write_percentiles(out, "vtable_steps", entry.vtable_steps);
+  out << ',';
+  write_percentiles(out, "messages_dropped", entry.messages_dropped);
+  out << ',';
+  write_percentiles(out, "messages_duplicated", entry.messages_duplicated);
+  out << ',';
+  write_percentiles(out, "max_delivery_skew", entry.max_delivery_skew);
   out << "}\n";
 }
 

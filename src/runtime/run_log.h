@@ -37,6 +37,11 @@ struct RunLogEntry {
   /// predates the step-kernel tier.
   CampaignPercentiles kernel_steps;
   CampaignPercentiles vtable_steps;
+  /// Fault-injection telemetry (the delivery layer); zero when the entry
+  /// predates it or the grid ran synchronously.
+  CampaignPercentiles messages_dropped;
+  CampaignPercentiles messages_duplicated;
+  CampaignPercentiles max_delivery_skew;
 };
 
 /// FNV-1a over every cell's identifying fields, independent of outcomes.

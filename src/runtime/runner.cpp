@@ -19,28 +19,6 @@ namespace unilocal {
 
 namespace {
 
-/// Arena descriptor of one directed edge's message: offset into the owning
-/// word buffer and length. words < 0 means no message. The top bits of
-/// offset carry the id of the stepping thread whose word buffer holds the
-/// payload — needed because the live list is re-chunked across threads every
-/// round, so a sender's thread cannot be derived from its node id; packing
-/// keeps the span at 16 bytes (4 per cache line) on the hot receive path.
-struct Span {
-  std::int64_t offset = 0;
-  std::int64_t words = -1;
-};
-
-/// offset layout: bits [kOwnerShift, 63) = writer thread, low bits = word
-/// offset. Word buffers stay far below 2^48 entries; thread counts below
-/// 2^15 are enforced in the engine constructor.
-constexpr int kOwnerShift = 48;
-constexpr std::int64_t kOffsetMask = (std::int64_t{1} << kOwnerShift) - 1;
-
-std::int64_t pack_offset(int owner, std::size_t offset) {
-  return (static_cast<std::int64_t>(owner) << kOwnerShift) |
-         static_cast<std::int64_t>(offset);
-}
-
 /// Per-thread accumulators reduced after each round (keeps results
 /// independent of the node-stepping interleave).
 struct StepDelta {
@@ -68,21 +46,18 @@ struct EngineWorkspaceState {
   std::vector<std::int64_t> finish_local;
   std::vector<std::int64_t> finish_global;
 
-  // Double-buffered round arena (simultaneous mode): spans indexed by
-  // directed-edge index; words partitioned per stepping thread. Slots are
-  // reset lazily through the per-thread dirty lists (only slots written two
-  // rounds ago), never by an O(edges) fill; sim_spans_clean records whether
-  // the all-clean invariant held when the last run exited (a thrown step
-  // leaves it false and the next run rebuilds both halves).
-  std::vector<Span> send_spans, recv_spans;
-  std::vector<std::vector<std::int64_t>> send_words, recv_words;
-  std::vector<std::vector<std::int64_t>> send_dirty, recv_dirty;
-  // Whether each half was written in bulk mode (dense round: no dirty
-  // recording, reset by linear fill) — travels with the buffer across the
-  // per-round swaps so the reset strategy always matches how the half was
-  // written.
-  bool send_bulk = false, recv_bulk = false;
-  bool sim_spans_clean = false;
+  // Delivery layers (src/runtime/network.h), owned here so consecutive
+  // runs reuse their capacity: the double-buffered round arena of the
+  // simultaneous mode and the event-queue transport of the delayed mode.
+  SynchronousNetwork sim_net;
+  DelayedNetwork delayed_net;
+
+  // Delayed-mode scheduling state: pending[v] counts in-edges still owing
+  // rounds below v's next local round (v is eligible exactly when awake,
+  // unfinished, and pending == 0); step_heap is the (time, node) min-heap
+  // of eligible steps, merged against the network's delivery queue.
+  std::vector<std::int32_t> pending;
+  std::vector<std::pair<std::int64_t, NodeId>> step_heap;
 
   // Compacted list of unfinished nodes (simultaneous mode), ascending; the
   // per-round thread chunks partition this list, not the node-id space.
@@ -142,8 +117,13 @@ class ArenaEngine {
         options_(options),
         ws_(ws),
         n_(instance.graph.num_nodes()) {
-    threads_ = options.wake_rounds.empty() ? std::max(1, options.num_threads)
-                                           : 1;
+    validate_network_options(options.network);
+    delayed_mode_ = options.network.kind == NetworkKind::kDelayed;
+    // The synchronizer and delayed event loops are sequential; only the
+    // simultaneous mode fans the live list out over threads.
+    threads_ = options.wake_rounds.empty() && !delayed_mode_
+                   ? std::max(1, options.num_threads)
+                   : 1;
     threads_ = std::min(threads_, 1 << 14);  // owner tag fits pack_offset
     if (threads_ > 1) {
       if (!ws_.pool || ws_.pool->threads() != threads_)
@@ -245,19 +225,8 @@ class ArenaEngine {
     const auto start = std::chrono::steady_clock::now();
     const std::size_t slots = static_cast<std::size_t>(
         csr_.num_directed_edges());
-    if (!ws_.sim_spans_clean || ws_.send_spans.size() != slots ||
-        ws_.recv_spans.size() != slots) {
-      ws_.send_spans.assign(slots, Span{});
-      ws_.recv_spans.assign(slots, Span{});
-    }
-    ws_.sim_spans_clean = false;
-    ws_.send_words.resize(static_cast<std::size_t>(threads_));
-    ws_.recv_words.resize(static_cast<std::size_t>(threads_));
-    for (auto& buf : ws_.recv_words) buf.clear();
-    ws_.send_dirty.resize(static_cast<std::size_t>(threads_));
-    ws_.recv_dirty.resize(static_cast<std::size_t>(threads_));
-    for (auto& dirty : ws_.send_dirty) dirty.clear();
-    for (auto& dirty : ws_.recv_dirty) dirty.clear();
+    SynchronousNetwork& net = ws_.sim_net;
+    net.begin_run(slots, threads_);
 
     ws_.live.resize(static_cast<std::size_t>(n_));
     std::iota(ws_.live.begin(), ws_.live.end(), NodeId{0});
@@ -265,24 +234,11 @@ class ArenaEngine {
     deltas_.assign(static_cast<std::size_t>(threads_), StepDelta{});
     NodeId live = n_;
     peak_live_ = n_;
-    // Dense rounds (traffic a large fraction of the slot space) reset the
-    // send half with a linear fill and skip dirty recording — a sequential
-    // sweep beats per-slot indirection when nearly everything was written.
-    // Sparse rounds reset lazily through the dirty lists, so clearing cost
-    // tracks the straggler frontier's traffic instead of the edge count.
-    const std::int64_t bulk_threshold =
-        static_cast<std::int64_t>(slots) / 4;
     std::int64_t prev_round_messages =
         static_cast<std::int64_t>(slots);  // round 0 assumes a dense start
-    ws_.send_bulk = ws_.recv_bulk = false;
     std::int64_t round = 0;
     for (; live > 0 && round < options_.max_rounds; ++round) {
-      // Reset the slots written two rounds ago (stale in the send half
-      // after the swaps below) using the strategy they were written under.
-      reset_half(ws_.send_spans, ws_.send_dirty, ws_.send_bulk);
-      ws_.send_bulk = prev_round_messages >= bulk_threshold;
-      bulk_mode_ = ws_.send_bulk;
-      for (auto& buf : ws_.send_words) buf.clear();
+      net.begin_round(prev_round_messages);
       peak_frontier_ = std::max<std::int64_t>(peak_frontier_, live);
       std::int64_t round_messages = 0;
       const std::size_t live_n = ws_.live.size();
@@ -313,25 +269,18 @@ class ArenaEngine {
       peak_round_messages_ =
           std::max(peak_round_messages_, round_messages);
       prev_round_messages = round_messages;
-      std::swap(ws_.send_spans, ws_.recv_spans);
-      std::swap(ws_.send_words, ws_.recv_words);
-      std::swap(ws_.send_dirty, ws_.recv_dirty);
-      std::swap(ws_.send_bulk, ws_.recv_bulk);
+      net.end_round();
       erase_finished(ws_.live, ws_.finished);
       if (live == 0) {
         ++round;
         break;
       }
     }
-    // Restore the all-clean invariant: both halves still hold the last two
-    // rounds' spans, each reset under the strategy it was written with.
-    reset_half(ws_.send_spans, ws_.send_dirty, ws_.send_bulk);
-    reset_half(ws_.recv_spans, ws_.recv_dirty, ws_.recv_bulk);
-    ws_.send_bulk = ws_.recv_bulk = false;
-    ws_.sim_spans_clean = true;
+    net.end_run();
+    dirty_cleared_ = net.dirty_cleared();
     final_live_ = live;
     RunResult result = finalize(live, round, round);
-    fill_stats(result, start, /*sync=*/false);
+    fill_stats(result, start);
     return result;
   }
 
@@ -482,7 +431,151 @@ class ArenaEngine {
       max_local =
           std::max(max_local, ws_.local_round[static_cast<std::size_t>(v)]);
     RunResult result = finalize(live, max_local, global);
-    fill_stats(result, start, /*sync=*/true);
+    fill_stats(result, start);
+    return result;
+  }
+
+  /// The asynchronous mode: one merged event loop over message deliveries
+  /// (the DelayedNetwork's queue) and node steps (ws_.step_heap), both in
+  /// deterministic timestamp order with deliveries first at ties. This
+  /// generalizes the synchronizer from round stamps to delivery timestamps:
+  /// a node performs local round r once every in-edge's contiguous
+  /// delivered prefix covers round r-1 (or is saturated — the sender
+  /// finished and everything it pulsed has landed), which is exactly the
+  /// alpha-synchronizer eligibility rule applied to what has physically
+  /// arrived instead of what has been computed. When every pulse is
+  /// eventually delivered, each node sees the same message contents in the
+  /// same local rounds as the synchronous run, so outputs are bit-identical
+  /// to it (the paper's Observation 2.1); drops past the retransmission cap
+  /// and crashed nodes starve their neighbourhoods, the queues drain, and
+  /// the loop exits cleanly with the survivors finalized as cut off.
+  RunResult run_delayed(const std::vector<std::int64_t>& wake_rounds) {
+    const auto start = std::chrono::steady_clock::now();
+    DelayedNetwork& net = ws_.delayed_net;
+    net.begin_run(csr_, options_.seed, options_.network);
+    const std::size_t nn = static_cast<std::size_t>(n_);
+    ws_.pending.assign(nn, 0);
+    auto& steps = ws_.step_heap;
+    steps.clear();
+    const auto step_after = [](const std::pair<std::int64_t, NodeId>& a,
+                               const std::pair<std::int64_t, NodeId>& b) {
+      return a > b;  // (time, node) min-heap; nodes are queued at most once
+    };
+    const auto push_step = [&](std::int64_t time, NodeId v) {
+      steps.emplace_back(time, v);
+      std::push_heap(steps.begin(), steps.end(), step_after);
+    };
+
+    NodeId live = n_;
+    peak_live_ = n_;
+    // Round 0 needs no messages: every non-crashed node's first step is
+    // scheduled at its wake time (plus a late joiner's extra delay).
+    // Crashed nodes never step; they stay live and are finalized as cut
+    // off, like any node starved past the cutoff.
+    for (NodeId v = 0; v < n_; ++v) {
+      if (net.crashed(v)) continue;
+      const std::int64_t wake =
+          (wake_rounds.empty()
+               ? 0
+               : wake_rounds[static_cast<std::size_t>(v)]) +
+          net.wake_delay(v);
+      push_step(wake, v);
+    }
+
+    std::int64_t global = 0;
+    // Per-tick accounting: deliveries/steps sharing one timestamp form the
+    // delayed mode's analogue of a round for the peak stats.
+    std::int64_t cur_tick = -1;
+    std::int64_t tick_messages = 0, tick_steps = 0;
+    const auto enter_tick = [&](std::int64_t time) {
+      if (time == cur_tick) return;
+      peak_round_messages_ = std::max(peak_round_messages_, tick_messages);
+      peak_frontier_ = std::max(peak_frontier_, tick_steps);
+      cur_tick = time;
+      tick_messages = tick_steps = 0;
+    };
+    while (live > 0) {
+      std::int64_t delivery_time = 0;
+      const bool has_delivery = net.next_delivery_time(&delivery_time);
+      const bool has_step = !steps.empty();
+      if (!has_delivery && !has_step) break;  // stall: starved dependencies
+      if (has_delivery && (!has_step || delivery_time <= steps[0].first)) {
+        DelayedNetwork::Delivery d;
+        net.pop_delivery(&d);
+        global = std::max(global, d.time);
+        enter_tick(d.time);
+        if (d.payload) ++tick_messages;
+        const std::size_t ui = static_cast<std::size_t>(d.receiver);
+        // A receiver waiting on this edge (stepped at least once, so its
+        // pending count is current) may become eligible. Nodes that never
+        // stepped need nothing (round 0), so prefix_before < need is
+        // impossible for them and the update is skipped naturally — but
+        // finished/crashed receivers must be skipped explicitly.
+        if (!ws_.finished[ui] && !net.crashed(d.receiver) &&
+            ws_.local_round[ui] > 0) {
+          const std::int64_t need = ws_.local_round[ui];
+          const bool was_blocking =
+              !d.saturated_before && d.prefix_before < need;
+          const bool now_ready = d.saturated_after || d.prefix_after >= need;
+          if (was_blocking && now_ready && --ws_.pending[ui] == 0)
+            push_step(d.time, d.receiver);
+        }
+        continue;
+      }
+      const auto [now, v] = steps[0];
+      std::pop_heap(steps.begin(), steps.end(), step_after);
+      steps.pop_back();
+      global = std::max(global, now);
+      enter_tick(now);
+      ++tick_steps;
+      const std::size_t vi = static_cast<std::size_t>(v);
+      const std::int64_t r = ws_.local_round[vi];
+      step_one(0, v, r);
+      ++total_steps_;
+      ++ws_.local_round[vi];
+      if (ws_.finished[vi]) {
+        ws_.finish_local[vi] = r;
+        ws_.finish_global[vi] = now;
+        --live;
+      } else if (ws_.local_round[vi] >= options_.max_rounds) {
+        ws_.finished[vi] = 1;
+        ws_.outputs[vi] = options_.default_output;
+        ++cut_off_;
+        ws_.finish_local[vi] = options_.max_rounds;
+        ws_.finish_global[vi] = now;
+        --live;
+      }
+      // Flush the step's pulses AFTER the finish bookkeeping so a finishing
+      // (or cut-off) node's last-round traffic goes out flagged final —
+      // receivers saturate those edges instead of waiting forever. The
+      // messages of the finishing step are still delivered, matching the
+      // synchronous modes.
+      const auto delta =
+          net.flush_node(v, r, now, ws_.finished[vi] != 0);
+      messages_sent_ += delta.messages;
+      max_message_words_ = std::max(max_message_words_, delta.max_words);
+      if (!ws_.finished[vi]) {
+        // Recount the in-edges still owing rounds below the new local
+        // round; an immediately-satisfied node re-queues at the same tick.
+        const std::int64_t need = ws_.local_round[vi];
+        std::int32_t owing = 0;
+        const NodeId deg = csr_.degree(v);
+        for (NodeId j = 0; j < deg; ++j) {
+          const std::int64_t e = csr_.in_edge_index(v, j);
+          if (!net.saturated(e) && net.prefix(e) < need) ++owing;
+        }
+        ws_.pending[vi] = owing;
+        if (owing == 0) push_step(now, v);
+      }
+    }
+    enter_tick(cur_tick + 1);  // flush the last tick's peaks
+    final_live_ = live;
+    std::int64_t max_local = 0;
+    for (NodeId v = 0; v < n_; ++v)
+      max_local =
+          std::max(max_local, ws_.local_round[static_cast<std::size_t>(v)]);
+    RunResult result = finalize(live, max_local, global);
+    fill_stats(result, start);
     return result;
   }
 
@@ -506,16 +599,14 @@ class ArenaEngine {
 
   void do_send(int tid, NodeId node, NodeId port, const std::int64_t* data,
                std::size_t words) {
+    if (delayed_mode_) {
+      // Staged per port; the event loop flushes the whole step's pulses
+      // (with their latency/fault draws) after the step returns.
+      ws_.delayed_net.stage(port, data, words);
+      return;
+    }
     if (!sync_mode_) {
-      auto& buf = ws_.send_words[static_cast<std::size_t>(tid)];
-      const std::int64_t slot = csr_.edge_index(node, port);
-      Span& s = ws_.send_spans[static_cast<std::size_t>(slot)];
-      if (!bulk_mode_ && s.words < 0)
-        ws_.send_dirty[static_cast<std::size_t>(tid)]
-            .push_back(slot);  // first write this round: schedule the reset
-      s.offset = pack_offset(tid, buf.size());
-      s.words = static_cast<std::int64_t>(words);
-      buf.insert(buf.end(), data, data + words);
+      ws_.sim_net.send(tid, csr_.edge_index(node, port), data, words);
       return;
     }
     const std::int64_t r = ws_.local_round[static_cast<std::size_t>(node)];
@@ -536,19 +627,16 @@ class ArenaEngine {
   /// do_recv/do_recv_message (which copy through the scratch) may hold it.
   std::span<const std::int64_t> raw_recv(NodeId node, NodeId port,
                                          bool* present) {
-    if (!sync_mode_) {
-      const Span s = ws_.recv_spans[static_cast<std::size_t>(
-          csr_.in_edge_index(node, port))];
-      if (s.words < 0) {
-        *present = false;
-        return {};
-      }
-      const auto& buf = ws_.recv_words[static_cast<std::size_t>(
-          s.offset >> kOwnerShift)];
-      *present = true;
-      return {buf.data() + (s.offset & kOffsetMask),
-              static_cast<std::size_t>(s.words)};
+    if (delayed_mode_) {
+      // Eligibility guarantees the previous round's pulse has been
+      // delivered on every non-saturated in-edge, so this lookup sees
+      // exactly what the synchronous run would.
+      return ws_.delayed_net.recv(
+          csr_.in_edge_index(node, port),
+          ws_.local_round[static_cast<std::size_t>(node)] - 1, present);
     }
+    if (!sync_mode_)
+      return ws_.sim_net.recv(csr_.in_edge_index(node, port), present);
     const std::int64_t want =
         ws_.local_round[static_cast<std::size_t>(node)] - 1;
     const auto& h = ws_.hist[static_cast<std::size_t>(
@@ -569,8 +657,9 @@ class ArenaEngine {
 
   std::span<const std::int64_t> do_recv(int tid, NodeId node, NodeId port,
                                         bool* present) {
-    // Simultaneous mode reads the receive half, which no send of this round
-    // can touch, so the raw span honours Context::received_span's
+    // The simultaneous mode reads the receive half, which no send of this
+    // round can touch, and the delayed mode's payload arena only grows
+    // between steps — both raw spans honour Context::received_span's
     // valid-for-the-step contract directly. The synchronizer mode's history
     // arena grows on send, so hand out the step-stable scratch copy instead.
     if (!sync_mode_) return raw_recv(node, port, present);
@@ -594,25 +683,6 @@ class ArenaEngine {
       if (present) scratch.cache[p].assign(words.begin(), words.end());
     }
     return scratch.present[p] ? &scratch.cache[p] : nullptr;
-  }
-
-  /// Resets one arena half to all-clean under the strategy it was written
-  /// with: a linear fill for bulk-written halves, a dirty-list sweep (and
-  /// clearing-work accounting) otherwise. Leaves the dirty lists empty.
-  void reset_half(std::vector<Span>& spans,
-                  std::vector<std::vector<std::int64_t>>& dirty_lists,
-                  bool bulk) {
-    if (bulk) {
-      std::fill(spans.begin(), spans.end(), Span{});
-      for (auto& dirty : dirty_lists) dirty.clear();  // empty by invariant
-      return;
-    }
-    for (auto& dirty : dirty_lists) {
-      dirty_cleared_ += static_cast<std::int64_t>(dirty.size());
-      for (const std::int64_t slot : dirty)
-        spans[static_cast<std::size_t>(slot)].words = -1;
-      dirty.clear();
-    }
   }
 
   // Non-virtual transport installed into every KernelCtx. Receives are the
@@ -707,7 +777,7 @@ class ArenaEngine {
       const std::int64_t base = csr_.offset(v);
       const NodeId deg = csr_.degree(v);
       for (NodeId j = 0; j < deg; ++j) {
-        const Span& s = ws_.send_spans[static_cast<std::size_t>(base + j)];
+        const Span& s = ws_.sim_net.send_span(base + j);
         if (s.words >= 0) {
           ++delta.messages;
           delta.max_words = std::max(delta.max_words, s.words);
@@ -742,7 +812,7 @@ class ArenaEngine {
   }
 
   void fill_stats(RunResult& result,
-                  std::chrono::steady_clock::time_point start, bool sync) {
+                  std::chrono::steady_clock::time_point start) {
     auto& stats = result.stats;
     stats.total_steps = total_steps_;
     stats.kernel_steps = kernel_ != nullptr ? total_steps_ : 0;
@@ -755,22 +825,20 @@ class ArenaEngine {
     stats.dirty_spans_cleared = dirty_cleared_;
     stats.threads = threads_;
     std::int64_t bytes = 0;
-    if (sync) {
+    if (delayed_mode_) {
+      const DelayedNetwork& net = ws_.delayed_net;
+      stats.messages_dropped = net.dropped();
+      stats.messages_duplicated = net.duplicated();
+      stats.max_delivery_skew = net.max_skew();
+      bytes += net.arena_bytes();
+      bytes += static_cast<std::int64_t>(ws_.step_heap.capacity() *
+                                         sizeof(ws_.step_heap[0]));
+    } else if (sync_mode_) {
       bytes += static_cast<std::int64_t>(ws_.hist_words.capacity()) * 8;
       for (const auto& h : ws_.hist)
         bytes += static_cast<std::int64_t>(h.capacity() * sizeof(Span));
     } else {
-      for (const auto& buf : ws_.send_words)
-        bytes += static_cast<std::int64_t>(buf.capacity()) * 8;
-      for (const auto& buf : ws_.recv_words)
-        bytes += static_cast<std::int64_t>(buf.capacity()) * 8;
-      for (const auto& dirty : ws_.send_dirty)
-        bytes += static_cast<std::int64_t>(dirty.capacity()) * 8;
-      for (const auto& dirty : ws_.recv_dirty)
-        bytes += static_cast<std::int64_t>(dirty.capacity()) * 8;
-      bytes += static_cast<std::int64_t>(
-          (ws_.send_spans.capacity() + ws_.recv_spans.capacity()) *
-          sizeof(Span));
+      bytes += ws_.sim_net.arena_bytes();
     }
     bytes += static_cast<std::int64_t>(ws_.kernel_state.capacity());
     bytes += static_cast<std::int64_t>(ws_.kernel_port_state.capacity()) * 8;
@@ -797,7 +865,7 @@ class ArenaEngine {
   std::size_t kstride_ = 0;
   std::size_t kport_words_ = 0;
   bool sync_mode_ = false;
-  bool bulk_mode_ = false;  // current round skips dirty recording
+  bool delayed_mode_ = false;
   std::vector<Backend> backends_;
   std::vector<StepDelta> deltas_;
   std::int64_t messages_sent_ = 0;
@@ -818,6 +886,8 @@ RunResult run_local(const Instance& instance, const Algorithm& algorithm,
   std::optional<EngineWorkspace> local;
   if (workspace == nullptr) workspace = &local.emplace();
   ArenaEngine engine(instance, algorithm, options, workspace->state());
+  if (options.network.kind == NetworkKind::kDelayed)
+    return engine.run_delayed(options.wake_rounds);
   if (options.wake_rounds.empty()) return engine.run_simultaneous();
   return engine.run_synchronized(options.wake_rounds);
 }

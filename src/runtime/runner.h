@@ -37,6 +37,7 @@
 #include "src/runtime/instance.h"
 #include "src/runtime/kernel.h"
 #include "src/runtime/local.h"
+#include "src/runtime/network.h"
 
 namespace unilocal {
 
@@ -59,6 +60,12 @@ struct RunOptions {
   /// always (kOff), or the kernel required (kOn — run_local throws when the
   /// algorithm has no lowering). Outputs are bit-identical either way.
   KernelMode kernel_mode = KernelMode::kAuto;
+  /// Delivery layer (src/runtime/network.h): the round-exact synchronous
+  /// arena (default), or the seeded event-queue transport with per-edge
+  /// latency and fault injection. The delayed mode runs the event loop
+  /// single-threaded; outputs are a pure function of (instance, seed,
+  /// network), so they stay invariant under num_threads and sharding.
+  NetworkOptions network;
 };
 
 /// Engine-side counters of one run (RunResult::stats).
@@ -92,6 +99,13 @@ struct EngineStats {
   /// O(edges) per-round fill (simultaneous mode only; the engine's clearing
   /// work is proportional to this, not to rounds x edges).
   std::int64_t dirty_spans_cleared = 0;
+  /// Fault-injection counters (DelayedNetwork runs; all zero under the
+  /// synchronous network): transmissions lost to the drop knob (each
+  /// retransmission attempt counts), duplicated deliveries, and the worst
+  /// delivery latency in excess of the synchronous one-tick ideal.
+  std::int64_t messages_dropped = 0;
+  std::int64_t messages_duplicated = 0;
+  std::int64_t max_delivery_skew = 0;
   double elapsed_seconds = 0.0;
   /// total_steps / elapsed_seconds (0 when the run was too fast to time).
   double steps_per_second = 0.0;
@@ -113,6 +127,9 @@ struct EngineStats {
     peak_frontier_nodes =
         std::max(peak_frontier_nodes, other.peak_frontier_nodes);
     dirty_spans_cleared += other.dirty_spans_cleared;
+    messages_dropped += other.messages_dropped;
+    messages_duplicated += other.messages_duplicated;
+    max_delivery_skew = std::max(max_delivery_skew, other.max_delivery_skew);
     elapsed_seconds += other.elapsed_seconds;
     steps_per_second =
         elapsed_seconds > 0.0

@@ -40,6 +40,15 @@ void cell_identity_to_json(json::Value& out, std::size_t index,
   out.set("seed", u64_string(cell.seed));
   out.set("identities",
           json::Value::string(identity_scheme_name(cell.identities)));
+  out.set("network", json::Value::string(network_spec_name(cell.network)));
+  // Fault knobs round-trip exactly (%.17g), so the worker's recomputed
+  // grid hash — which covers their bit patterns — matches the planner's.
+  out.set("drop", json::Value::number(cell.network.drop));
+  out.set("duplicate", json::Value::number(cell.network.duplicate));
+  out.set("crash", json::Value::number(cell.network.crash));
+  out.set("late", json::Value::number(cell.network.late));
+  out.set("max_delay", json::Value::number(cell.network.max_delay));
+  out.set("late_by", json::Value::number(cell.network.late_by));
 }
 
 CampaignCell cell_identity_from_json(const json::Value& value,
@@ -53,6 +62,13 @@ CampaignCell cell_identity_from_json(const json::Value& value,
   cell.algorithm = value.at("algorithm").as_string();
   cell.seed = json::u64_field(value.at("seed"));
   cell.identities = parse_identity_scheme(value.at("identities").as_string());
+  cell.network = parse_network_spec(value.at("network").as_string());
+  cell.network.drop = value.at("drop").as_double();
+  cell.network.duplicate = value.at("duplicate").as_double();
+  cell.network.crash = value.at("crash").as_double();
+  cell.network.late = value.at("late").as_double();
+  cell.network.max_delay = value.at("max_delay").as_i64();
+  cell.network.late_by = value.at("late_by").as_i64();
   return cell;
 }
 
@@ -83,6 +99,12 @@ json::Value cell_result_to_json(std::size_t index, const CellResult& cell) {
             json::Value::number(cell.stats.peak_frontier_nodes));
   stats.set("dirty_spans_cleared",
             json::Value::number(cell.stats.dirty_spans_cleared));
+  stats.set("messages_dropped",
+            json::Value::number(cell.stats.messages_dropped));
+  stats.set("messages_duplicated",
+            json::Value::number(cell.stats.messages_duplicated));
+  stats.set("max_delivery_skew",
+            json::Value::number(cell.stats.max_delivery_skew));
   stats.set("elapsed_seconds", json::Value::number(cell.stats.elapsed_seconds));
   stats.set("steps_per_second",
             json::Value::number(cell.stats.steps_per_second));
@@ -115,6 +137,9 @@ CellResult cell_result_from_json(const json::Value& value,
   cell.stats.final_live_nodes = stats.at("final_live_nodes").as_i64();
   cell.stats.peak_frontier_nodes = stats.at("peak_frontier_nodes").as_i64();
   cell.stats.dirty_spans_cleared = stats.at("dirty_spans_cleared").as_i64();
+  cell.stats.messages_dropped = stats.at("messages_dropped").as_i64();
+  cell.stats.messages_duplicated = stats.at("messages_duplicated").as_i64();
+  cell.stats.max_delivery_skew = stats.at("max_delivery_skew").as_i64();
   cell.stats.elapsed_seconds = stats.at("elapsed_seconds").as_double();
   cell.stats.steps_per_second = stats.at("steps_per_second").as_double();
   cell.stats.threads = static_cast<int>(stats.at("threads").as_i64());
