@@ -5,7 +5,9 @@
 
 #include "src/algo/luby.h"
 #include "src/algo/greedy_mis.h"
+#include "src/algo/mis_from_coloring.h"
 #include "src/graph/generators.h"
+#include "src/graph/params.h"
 #include "src/graph/subgraph.h"
 #include "src/prune/ruling_set_prune.h"
 #include "src/runtime/kernel.h"
@@ -204,6 +206,96 @@ void BM_KernelVsVtable_GreedyGnp100k(benchmark::State& state) {
                    bench_kernel_mode(state));
 }
 BENCHMARK(BM_KernelVsVtable_GreedyGnp100k)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// --- batched vs scalar kernels (BENCH_engine.json pr8_batched_vs_scalar) ----
+//
+// The PR 8 batched tier against the same kernels stepped one node at a
+// time: Arg(0) runs a copy of the kernel with every KernelBatchFn
+// stripped (the engine falls back to the scalar per-node loop), Arg(1)
+// the batch functions as registered. Both run kernel_mode=on on one
+// thread; outputs are bit-identical, only the bucket dispatch and the
+// laned scans differ.
+
+/// Serves the inner algorithm's kernel with all batch fns removed.
+class ScalarKernelAlgorithm final : public Algorithm {
+ public:
+  explicit ScalarKernelAlgorithm(std::shared_ptr<const Algorithm> inner)
+      : inner_(std::move(inner)) {
+    auto stripped = std::make_shared<StepKernel>(*inner_->kernel());
+    for (auto& phase : stripped->phases) phase.batch = nullptr;
+    kernel_ = std::move(stripped);
+  }
+  std::unique_ptr<Process> spawn(const NodeInit& init) const override {
+    return inner_->spawn(init);
+  }
+  std::shared_ptr<const StepKernel> kernel() const override {
+    return kernel_;
+  }
+  std::string name() const override { return inner_->name() + "/scalar"; }
+
+ private:
+  std::shared_ptr<const Algorithm> inner_;
+  std::shared_ptr<const StepKernel> kernel_;
+};
+
+void run_batched_bench(benchmark::State& state,
+                       const Instance& instance,
+                       std::shared_ptr<const Algorithm> algorithm) {
+  const ScalarKernelAlgorithm scalar(algorithm);
+  const Algorithm& chosen =
+      state.range(0) == 0 ? static_cast<const Algorithm&>(scalar)
+                          : *algorithm;
+  run_kernel_bench(state, instance, chosen, KernelMode::kOn);
+}
+
+void BM_KernelBatched_LubyGnp100k(benchmark::State& state) {
+  run_batched_bench(state, engine_gnp_instance(),
+                    std::make_shared<LubyMis>());
+}
+BENCHMARK(BM_KernelBatched_LubyGnp100k)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_KernelBatched_LubyArboricity100k(benchmark::State& state) {
+  run_batched_bench(state, engine_arboricity_instance(),
+                    std::make_shared<LubyMis>());
+}
+BENCHMARK(BM_KernelBatched_LubyArboricity100k)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_KernelBatched_GreedyGnp100k(benchmark::State& state) {
+  run_batched_bench(state, engine_gnp_instance(),
+                    std::make_shared<GreedyMis>());
+}
+BENCHMARK(BM_KernelBatched_GreedyGnp100k)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_KernelBatched_ChainMisArboricity100k(benchmark::State& state) {
+  // The composite chain (Linial -> color-reduce -> sweep) on the
+  // bounded-arboricity family: the gnp instance's Delta^2 reduce tail
+  // would dominate the whole bench suite.
+  const Instance instance = engine_arboricity_instance();
+  const std::int64_t delta =
+      std::max<std::int64_t>(max_degree(instance.graph), 1);
+  const std::int64_t m =
+      std::max<std::int64_t>(instance.max_identity(), 2);
+  run_batched_bench(
+      state, instance,
+      std::shared_ptr<const Algorithm>(make_coloring_mis_algorithm(delta, m)));
+}
+BENCHMARK(BM_KernelBatched_ChainMisArboricity100k)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond)

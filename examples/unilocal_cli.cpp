@@ -301,6 +301,8 @@ int report_campaign(const char* what, const CampaignResult& result,
   print_percentiles("dirty_cleared", result.dirty_spans_cleared);
   print_percentiles("kernel_steps", result.kernel_steps);
   print_percentiles("vtable_steps", result.vtable_steps);
+  print_percentiles("batched_steps", result.kernel_batched_steps);
+  print_percentiles("batch_occupancy", result.kernel_batch_occupancy);
   print_percentiles("msgs_dropped", result.messages_dropped);
   print_percentiles("msgs_duplicated", result.messages_duplicated);
   print_percentiles("delivery_skew", result.max_delivery_skew);
@@ -838,9 +840,16 @@ void emit_stats(const EngineStats& stats, const char* what) {
                static_cast<long long>(stats.final_live_nodes),
                static_cast<long long>(stats.peak_frontier_nodes),
                static_cast<long long>(stats.dirty_spans_cleared));
-  std::fprintf(stderr, "%s path: kernel_steps=%lld vtable_steps=%lld\n", what,
-               static_cast<long long>(stats.kernel_steps),
-               static_cast<long long>(stats.vtable_steps));
+  std::fprintf(stderr,
+               "%s path: kernel_steps=%lld vtable_steps=%lld "
+               "batched_steps=%lld batch_occupancy=%.1f\n",
+               what, static_cast<long long>(stats.kernel_steps),
+               static_cast<long long>(stats.vtable_steps),
+               static_cast<long long>(stats.kernel_batched_steps),
+               stats.kernel_batch_calls > 0
+                   ? static_cast<double>(stats.kernel_batched_steps) /
+                         static_cast<double>(stats.kernel_batch_calls)
+                   : 0.0);
   std::fprintf(stderr,
                "%s delivery: messages_dropped=%lld messages_duplicated=%lld "
                "max_delivery_skew=%lld\n",

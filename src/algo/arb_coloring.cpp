@@ -5,6 +5,7 @@
 #include "src/algo/hpartition.h"
 #include "src/algo/linial.h"
 #include "src/runtime/chain.h"
+#include "src/runtime/kernel.h"
 #include "src/util/math.h"
 
 namespace unilocal {
@@ -69,6 +70,109 @@ class OutLinialProcess final : public Process {
   std::vector<char> out_port_;
 };
 
+// --- flat-kernel lowering (mirrors OutLinialProcess::step bit-for-bit) ------
+//
+// The out-orientation flags move into the per-port state lane (one word per
+// directed edge); the conflict buffer reuses the per-thread scratch vector.
+// Config is the algorithm's shared Impl (schedule + out-degree bound).
+
+struct OutLinialKernelState {
+  std::int64_t layer;
+  std::int64_t color;
+};
+
+void out_linial_kernel_round0(KernelCtx& ctx) {
+  const auto* impl = static_cast<const OutLinialColoring::Impl*>(ctx.config);
+  auto& st = ctx.state_as<OutLinialKernelState>();
+  st.layer = ctx.input.empty() ? 0 : ctx.input[0];
+  st.color = std::max<std::int64_t>(ctx.identity - 1, 0) %
+             impl->schedule.initial_space;
+  ctx.broadcast({st.layer, ctx.identity});
+}
+
+void out_linial_kernel_orient(KernelCtx& ctx) {
+  const auto* impl = static_cast<const OutLinialColoring::Impl*>(ctx.config);
+  auto& st = ctx.state_as<OutLinialKernelState>();
+  // Learn the orientation: out-neighbours are (layer, id)-larger.
+  for (NodeId j = 0; j < ctx.degree; ++j) {
+    bool present = false;
+    const auto m = ctx.recv(j, &present);
+    if (!present) continue;
+    const auto other = std::make_pair(m[0], m[1]);
+    if (other > std::make_pair(st.layer, ctx.identity)) ctx.port_state[j] = 1;
+  }
+  if (impl->schedule.length() == 0) {
+    ctx.finish(st.color + 1);
+    return;
+  }
+  ctx.broadcast({st.color});
+}
+
+void out_linial_kernel_reduce(KernelCtx& ctx) {
+  const auto* impl = static_cast<const OutLinialColoring::Impl*>(ctx.config);
+  auto& st = ctx.state_as<OutLinialKernelState>();
+  const std::size_t index = static_cast<std::size_t>(ctx.round - 2);
+  auto& conflicts = *ctx.scratch;
+  conflicts.assign(static_cast<std::size_t>(ctx.degree), -1);
+  for (NodeId j = 0; j < ctx.degree; ++j) {
+    if (ctx.port_state[j] == 0) continue;
+    bool present = false;
+    const auto m = ctx.recv(j, &present);
+    if (present) conflicts[static_cast<std::size_t>(j)] = m[0];
+  }
+  st.color = linial_step_apply(impl->schedule.steps[index], st.color,
+                               conflicts);
+  if (index + 1 == impl->schedule.length()) {
+    ctx.finish(st.color + 1);
+    return;
+  }
+  ctx.broadcast({st.color});
+}
+
+void out_linial_batch_round0(const KernelBatchCtx& b) {
+  for (std::size_t i = 0; i < b.count; ++i) {
+    KernelCtx ctx = b.node_ctx(i);
+    out_linial_kernel_round0(ctx);
+    b.latch(i, ctx);
+  }
+}
+
+void out_linial_batch_orient(const KernelBatchCtx& b) {
+  for (std::size_t i = 0; i < b.count; ++i) {
+    KernelCtx ctx = b.node_ctx(i);
+    out_linial_kernel_orient(ctx);
+    b.latch(i, ctx);
+  }
+}
+
+void out_linial_batch_reduce(const KernelBatchCtx& b) {
+  for (std::size_t i = 0; i < b.count; ++i) {
+    KernelCtx ctx = b.node_ctx(i);
+    out_linial_kernel_reduce(ctx);
+    b.latch(i, ctx);
+  }
+}
+
+std::shared_ptr<const StepKernel> make_out_linial_kernel(
+    std::shared_ptr<const OutLinialColoring::Impl> impl) {
+  auto kernel = std::make_shared<StepKernel>();
+  kernel->name = "out-linial";
+  kernel->state_size = sizeof(OutLinialKernelState);
+  kernel->state_align = alignof(OutLinialKernelState);
+  kernel->port_state_words = 1;
+  kernel->phases = {
+      {"round0", out_linial_kernel_round0, out_linial_batch_round0},
+      {"orient", out_linial_kernel_orient, out_linial_batch_orient},
+      {"reduce", out_linial_kernel_reduce, out_linial_batch_reduce}};
+  kernel->select_fn = [](std::int64_t round, const std::byte*,
+                         const void*) -> std::uint16_t {
+    if (round == 0) return 0;
+    return round == 1 ? 1 : 2;
+  };
+  kernel->config = std::shared_ptr<const void>(std::move(impl));
+  return kernel;
+}
+
 }  // namespace
 
 OutLinialColoring::OutLinialColoring(std::int64_t out_degree_bound,
@@ -78,10 +182,15 @@ OutLinialColoring::OutLinialColoring(std::int64_t out_degree_bound,
   impl->schedule = linial_schedule(out_degree_bound,
                                    std::max<std::int64_t>(m_guess, 1));
   impl_ = std::move(impl);
+  kernel_ = make_out_linial_kernel(impl_);
 }
 
 std::unique_ptr<Process> OutLinialColoring::spawn(const NodeInit&) const {
   return std::make_unique<OutLinialProcess>(impl_.get());
+}
+
+std::shared_ptr<const StepKernel> OutLinialColoring::kernel() const {
+  return kernel_;
 }
 
 std::string OutLinialColoring::name() const {

@@ -24,6 +24,7 @@ class OutLinialColoring final : public Algorithm {
   /// out_degree_bound: the orientation's out-degree cap (3*a~).
   OutLinialColoring(std::int64_t out_degree_bound, std::int64_t m_guess);
   std::unique_ptr<Process> spawn(const NodeInit& init) const override;
+  std::shared_ptr<const StepKernel> kernel() const override;
   std::string name() const override;
 
   std::int64_t final_space() const noexcept;
@@ -33,6 +34,7 @@ class OutLinialColoring final : public Algorithm {
 
  private:
   std::shared_ptr<const Impl> impl_;
+  std::shared_ptr<const StepKernel> kernel_;
 };
 
 /// Full pipeline: H-partition -> out-Linial. Colors in [1, O(a~^2)].

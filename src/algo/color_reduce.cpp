@@ -90,6 +90,30 @@ void color_reduce_kernel_init(KernelCtx& ctx) {
   ctx.broadcast({st.color});
 }
 
+// Palette intersection: marks each cached neighbour color in used[]. Lane
+// structure with used[0] as a branch-free dump slot for out-of-palette
+// entries (colors are >= 1, so slot 0 is never scanned) — the inner loop has
+// no data-dependent branch and vectorizes as compare/select/scatter.
+inline void color_reduce_mark_used(const std::int64_t* port_state,
+                                   NodeId degree, std::int64_t palette_max,
+                                   std::vector<std::int64_t>& used) {
+  constexpr NodeId kLanes = 4;
+  used.assign(static_cast<std::size_t>(palette_max) + 1, 0);
+  NodeId j = 0;
+  for (; j + kLanes <= degree; j += kLanes) {
+    for (NodeId l = 0; l < kLanes; ++l) {
+      const std::int64_t c = port_state[j + l];
+      const bool in_palette = c >= 1 && c <= palette_max;
+      used[static_cast<std::size_t>(in_palette ? c : 0)] = 1;
+    }
+  }
+  for (; j < degree; ++j) {
+    const std::int64_t c = port_state[j];
+    const bool in_palette = c >= 1 && c <= palette_max;
+    used[static_cast<std::size_t>(in_palette ? c : 0)] = 1;
+  }
+}
+
 void color_reduce_kernel_eliminate(KernelCtx& ctx) {
   const auto* cfg = static_cast<const ColorReduceKernelConfig*>(ctx.config);
   auto& st = ctx.state_as<ColorReduceKernelState>();
@@ -106,11 +130,7 @@ void color_reduce_kernel_eliminate(KernelCtx& ctx) {
   const std::int64_t eliminated = cfg->k_start - ctx.round + 1;
   if (st.color == eliminated && st.color > palette_max) {
     auto& used = *ctx.scratch;
-    used.assign(static_cast<std::size_t>(palette_max) + 1, 0);
-    for (NodeId j = 0; j < ctx.degree; ++j) {
-      const std::int64_t c = ctx.port_state[j];
-      if (c >= 1 && c <= palette_max) used[static_cast<std::size_t>(c)] = 1;
-    }
+    color_reduce_mark_used(ctx.port_state, ctx.degree, palette_max, used);
     std::int64_t chosen = palette_max;  // unreachable under good inputs
     for (std::int64_t c = 1; c <= palette_max; ++c) {
       if (used[static_cast<std::size_t>(c)] == 0) {
@@ -124,6 +144,24 @@ void color_reduce_kernel_eliminate(KernelCtx& ctx) {
   if (ctx.round + 1 >= cfg->rounds) ctx.finish(st.color);
 }
 
+// --- batched stepping (phase-grouped buckets; see KernelBatchCtx) -----------
+
+void color_reduce_batch_init(const KernelBatchCtx& b) {
+  for (std::size_t i = 0; i < b.count; ++i) {
+    KernelCtx ctx = b.node_ctx(i);
+    color_reduce_kernel_init(ctx);
+    b.latch(i, ctx);
+  }
+}
+
+void color_reduce_batch_eliminate(const KernelBatchCtx& b) {
+  for (std::size_t i = 0; i < b.count; ++i) {
+    KernelCtx ctx = b.node_ctx(i);
+    color_reduce_kernel_eliminate(ctx);
+    b.latch(i, ctx);
+  }
+}
+
 std::shared_ptr<const StepKernel> make_color_reduce_kernel(
     std::int64_t k_start, std::int64_t target, std::int64_t rounds) {
   auto kernel = std::make_shared<StepKernel>();
@@ -131,8 +169,10 @@ std::shared_ptr<const StepKernel> make_color_reduce_kernel(
   kernel->state_size = sizeof(ColorReduceKernelState);
   kernel->state_align = alignof(ColorReduceKernelState);
   kernel->port_state_words = 1;
-  kernel->phases = {{"init", color_reduce_kernel_init},
-                    {"eliminate", color_reduce_kernel_eliminate}};
+  kernel->phases = {
+      {"init", color_reduce_kernel_init, color_reduce_batch_init},
+      {"eliminate", color_reduce_kernel_eliminate,
+       color_reduce_batch_eliminate}};
   kernel->select_fn = [](std::int64_t round, const std::byte*,
                          const void*) -> std::uint16_t {
     return round == 0 ? 0 : 1;

@@ -6,6 +6,7 @@
 #include "src/algo/linial.h"
 #include "src/problems/matching.h"
 #include "src/runtime/chain.h"
+#include "src/runtime/kernel.h"
 #include "src/util/math.h"
 
 namespace unilocal {
@@ -132,16 +133,184 @@ class ProposalMatchingProcess final : public Process {
   std::vector<NodeId> pending_rejects_;
 };
 
+// --- flat-kernel lowering (mirrors ProposalMatchingProcess bit-for-bit) -----
+//
+// The per-port believed-matched/proposed caches pack into one per-port word
+// (bit 0 / bit 1). The ingest pass is the delicate part: the vtable process
+// re-reads received(j) while emitting rejects, but kernel recv spans may be
+// invalidated by the first send (synchronizer-mode history growth), so the
+// single ingest pass records per-port propose-seen flags and the
+// pending-reject ports into the per-thread scratch (flags in [0, degree),
+// pending ports appended after). Emission then replays the process's exact
+// send order — accept, same-round rejects, pending rejects, own proposal,
+// then status words to every port without a directed message.
+
+constexpr std::int64_t kPortBelieved = 1;  // bit 0 of the per-port word
+constexpr std::int64_t kPortProposed = 2;  // bit 1 of the per-port word
+constexpr std::int64_t kSeenPropose = 1;   // scratch flag bits
+constexpr std::int64_t kHasDirected = 2;
+
+struct ProposalMatchingKernelConfig {
+  std::int64_t delta_guess;
+  std::int64_t rounds;
+};
+
+struct ProposalMatchingKernelState {
+  std::int64_t color;
+  std::int64_t matched;
+  std::int64_t match_value;
+  std::int64_t awaiting_port;
+};
+
+void proposal_matching_kernel_round0(KernelCtx& ctx) {
+  auto& st = ctx.state_as<ProposalMatchingKernelState>();
+  st.color = ctx.input.empty() ? 1 : ctx.input[0];
+  st.awaiting_port = -1;
+  ctx.broadcast({0, kKindNone});
+}
+
+void proposal_matching_kernel_phase(KernelCtx& ctx) {
+  const auto* cfg =
+      static_cast<const ProposalMatchingKernelConfig*>(ctx.config);
+  auto& st = ctx.state_as<ProposalMatchingKernelState>();
+  auto& sc = *ctx.scratch;
+  const std::size_t deg = static_cast<std::size_t>(ctx.degree);
+  sc.assign(deg, 0);
+  // --- Ingest: status updates, proposals, replies (one pass; see above). ---
+  std::int64_t best_proposer_port = -1;
+  std::int64_t best_proposer_id = 0;
+  for (NodeId j = 0; j < ctx.degree; ++j) {
+    bool present = false;
+    const auto m = ctx.recv(j, &present);
+    if (!present) continue;
+    ctx.port_state[j] = (ctx.port_state[j] & ~kPortBelieved) |
+                        (m[0] != 0 ? kPortBelieved : 0);
+    const std::int64_t kind = m[1];
+    if (kind == kKindPropose) {
+      sc[static_cast<std::size_t>(j)] |= kSeenPropose;
+      if (st.matched == 0) {
+        const std::int64_t proposer = m[2];
+        if (best_proposer_port < 0 || proposer < best_proposer_id) {
+          best_proposer_port = j;
+          best_proposer_id = proposer;
+        }
+      } else {
+        sc.push_back(j);  // pending reject
+      }
+    } else if (kind == kKindAccept && st.awaiting_port == j &&
+               st.matched == 0) {
+      st.matched = 1;
+      st.match_value = match_value(ctx.identity, m[2]);
+      st.awaiting_port = -1;
+    } else if (kind == kKindReject && st.awaiting_port == j) {
+      st.awaiting_port = -1;
+    }
+  }
+  const std::size_t pending_end = sc.size();
+  // --- Accept the best proposal (if still unmatched). ---
+  if (best_proposer_port >= 0) {
+    st.matched = 1;
+    st.match_value = match_value(ctx.identity, best_proposer_id);
+    st.awaiting_port = -1;  // any outstanding proposal of ours is moot
+    const NodeId best = static_cast<NodeId>(best_proposer_port);
+    sc[static_cast<std::size_t>(best)] |= kHasDirected;
+    ctx.send(best, {1, kKindAccept, ctx.identity});
+    // Reject the other proposers of this round.
+    for (NodeId j = 0; j < ctx.degree; ++j) {
+      if ((sc[static_cast<std::size_t>(j)] & kSeenPropose) != 0 && j != best) {
+        sc[static_cast<std::size_t>(j)] |= kHasDirected;
+        ctx.send(j, {1, kKindReject});
+      }
+    }
+  }
+  for (std::size_t idx = deg; idx < pending_end; ++idx) {
+    const NodeId j = static_cast<NodeId>(sc[idx]);
+    sc[static_cast<std::size_t>(j)] |= kHasDirected;
+    ctx.send(j, {st.matched != 0 ? 1 : 0, kKindReject});
+  }
+  // --- Propose during our own phase. ---
+  const std::int64_t phase_len = 2 * (cfg->delta_guess + 1);
+  const std::int64_t phase = (ctx.round - 1) / phase_len + 1;
+  const bool propose_round = ((ctx.round - 1) % 2) == 0;
+  if (st.matched == 0 && phase == st.color && propose_round &&
+      st.awaiting_port < 0) {
+    NodeId target = -1;
+    for (NodeId j = 0; j < ctx.degree; ++j) {
+      if ((ctx.port_state[j] & (kPortBelieved | kPortProposed)) == 0) {
+        target = j;
+        break;
+      }
+    }
+    if (target >= 0) {
+      ctx.port_state[target] |= kPortProposed;
+      st.awaiting_port = target;
+      sc[static_cast<std::size_t>(target)] |= kHasDirected;
+      ctx.send(target, {0, kKindPropose, ctx.identity});
+    }
+  }
+  // --- Emit: directed messages already sent; everyone else hears status. ---
+  for (NodeId j = 0; j < ctx.degree; ++j) {
+    if ((sc[static_cast<std::size_t>(j)] & kHasDirected) == 0)
+      ctx.send(j, {st.matched != 0 ? 1 : 0, kKindNone});
+  }
+  if (ctx.round + 1 >= cfg->rounds) {
+    ctx.finish(st.matched != 0 ? st.match_value
+                               : unmatched_value(ctx.identity));
+  }
+}
+
+void proposal_matching_batch_round0(const KernelBatchCtx& b) {
+  for (std::size_t i = 0; i < b.count; ++i) {
+    KernelCtx ctx = b.node_ctx(i);
+    proposal_matching_kernel_round0(ctx);
+    b.latch(i, ctx);
+  }
+}
+
+void proposal_matching_batch_phase(const KernelBatchCtx& b) {
+  for (std::size_t i = 0; i < b.count; ++i) {
+    KernelCtx ctx = b.node_ctx(i);
+    proposal_matching_kernel_phase(ctx);
+    b.latch(i, ctx);
+  }
+}
+
+std::shared_ptr<const StepKernel> make_proposal_matching_kernel(
+    std::int64_t delta_guess, std::int64_t rounds) {
+  auto kernel = std::make_shared<StepKernel>();
+  kernel->name = "proposal-matching";
+  kernel->state_size = sizeof(ProposalMatchingKernelState);
+  kernel->state_align = alignof(ProposalMatchingKernelState);
+  kernel->port_state_words = 1;
+  kernel->phases = {{"round0", proposal_matching_kernel_round0,
+                     proposal_matching_batch_round0},
+                    {"phase", proposal_matching_kernel_phase,
+                     proposal_matching_batch_phase}};
+  kernel->select_fn = [](std::int64_t round, const std::byte*,
+                         const void*) -> std::uint16_t {
+    return round == 0 ? 0 : 1;
+  };
+  kernel->config = std::shared_ptr<const void>(
+      std::make_shared<ProposalMatchingKernelConfig>(
+          ProposalMatchingKernelConfig{delta_guess, rounds}));
+  return kernel;
+}
+
 }  // namespace
 
 ProposalMatching::ProposalMatching(std::int64_t delta_guess)
     : delta_guess_(std::max<std::int64_t>(delta_guess, 0)) {
   const std::int64_t phases = delta_guess_ + 1;  // one per color class
   rounds_ = 1 + phases * 2 * (delta_guess_ + 1) + 2;
+  kernel_ = make_proposal_matching_kernel(delta_guess_, rounds_);
 }
 
 std::unique_ptr<Process> ProposalMatching::spawn(const NodeInit&) const {
   return std::make_unique<ProposalMatchingProcess>(delta_guess_, rounds_);
+}
+
+std::shared_ptr<const StepKernel> ProposalMatching::kernel() const {
+  return kernel_;
 }
 
 std::string ProposalMatching::name() const {

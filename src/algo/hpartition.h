@@ -21,6 +21,7 @@ class HPartition final : public Algorithm {
  public:
   HPartition(std::int64_t arboricity_guess, std::int64_t n_guess);
   std::unique_ptr<Process> spawn(const NodeInit& init) const override;
+  std::shared_ptr<const StepKernel> kernel() const override;
   std::string name() const override;
 
   std::int64_t threshold() const noexcept { return threshold_; }
@@ -33,6 +34,7 @@ class HPartition final : public Algorithm {
  private:
   std::int64_t threshold_;
   std::int64_t phases_;
+  std::shared_ptr<const StepKernel> kernel_;
 };
 
 }  // namespace unilocal

@@ -109,13 +109,60 @@ void luby_kernel_resolve(KernelCtx& ctx) {
   }
 }
 
+// --- batched stepping (phase-grouped buckets; see KernelBatchCtx) -----------
+//
+// The batch fns run the same per-node bodies as the scalar phases, built
+// inline over the bucket so the per-node indirect dispatch folds away. The
+// resolve neighbour max-scan is restructured into fixed-width lanes — a
+// branch-free beat-flag accumulation instead of an early-exit compare
+// chain — which reads the same messages and sends the same words, so it
+// stays bit-identical to the scalar phase.
+
+constexpr NodeId kScanLanes = 4;
+
+inline std::int64_t luby_port_beats(KernelCtx& ctx, std::int64_t rank,
+                                    NodeId j) {
+  bool present = false;
+  const auto m = ctx.recv(j, &present);
+  if (!present || m[0] != kTagValue) return 0;
+  return (m[1] < rank || (m[1] == rank && m[2] < ctx.identity)) ? 1 : 0;
+}
+
+void luby_batch_propose(const KernelBatchCtx& b) {
+  for (std::size_t i = 0; i < b.count; ++i) {
+    KernelCtx ctx = b.node_ctx(i);
+    luby_kernel_propose(ctx);
+    b.latch(i, ctx);
+  }
+}
+
+void luby_batch_resolve(const KernelBatchCtx& b) {
+  for (std::size_t i = 0; i < b.count; ++i) {
+    KernelCtx ctx = b.node_ctx(i);
+    const auto& st = ctx.state_as<LubyKernelState>();
+    std::int64_t beat[kScanLanes] = {};
+    NodeId j = 0;
+    for (; j + kScanLanes <= ctx.degree; j += kScanLanes)
+      for (NodeId l = 0; l < kScanLanes; ++l)
+        beat[l] |= luby_port_beats(ctx, st.rank, j + l);
+    std::int64_t any = 0;
+    for (NodeId l = 0; l < kScanLanes; ++l) any |= beat[l];
+    for (; j < ctx.degree; ++j) any |= luby_port_beats(ctx, st.rank, j);
+    if (any == 0) {
+      ctx.broadcast({kTagJoined});
+      ctx.finish(1);
+    }
+    b.latch(i, ctx);
+  }
+}
+
 std::shared_ptr<const StepKernel> make_luby_kernel() {
   auto kernel = std::make_shared<StepKernel>();
   kernel->name = "luby";
   kernel->state_size = sizeof(LubyKernelState);
   kernel->state_align = alignof(LubyKernelState);
-  kernel->phases = {{"propose", luby_kernel_propose},
-                    {"resolve", luby_kernel_resolve}};
+  kernel->phases = {{"propose", luby_kernel_propose, luby_batch_propose},
+                    {"resolve", luby_kernel_resolve, luby_batch_resolve}};
   return kernel;
 }
 
@@ -145,6 +192,49 @@ void truncated_kernel_step(KernelCtx& ctx) {
   ctx.config = cfg;
 }
 
+// Forwards maximal same-inner-phase runs of the bucket to the inner kernel's
+// batch fns, so truncation keeps the inner kernel's batching instead of
+// degrading every step to a scalar dispatch. Past-budget nodes latch the
+// fallback directly.
+void truncated_kernel_batch(const KernelBatchCtx& b) {
+  const auto* cfg = static_cast<const TruncateKernelConfig*>(b.config);
+  const StepKernel& inner = *cfg->inner;
+  std::size_t i = 0;
+  while (i < b.count) {
+    if (b.rounds[i] >= cfg->budget) {
+      b.finished[b.nodes[i]] = 1;
+      b.outputs[b.nodes[i]] = cfg->fallback;
+      ++i;
+      continue;
+    }
+    const auto inner_phase = [&](std::size_t k) {
+      return kernel_phase_index(
+          inner, b.rounds[k],
+          b.state_base + static_cast<std::size_t>(b.nodes[k]) * b.stride);
+    };
+    const std::size_t p = inner_phase(i);
+    std::size_t j = i + 1;
+    while (j < b.count && b.rounds[j] < cfg->budget && inner_phase(j) == p)
+      ++j;
+    KernelBatchCtx sub = b;
+    sub.nodes = b.nodes + i;
+    sub.rounds = b.rounds + i;
+    sub.count = j - i;
+    sub.config = inner.config.get();
+    const KernelPhase& phase = inner.phases[p];
+    if (phase.batch != nullptr) {
+      phase.batch(sub);
+    } else {
+      for (std::size_t k = 0; k < sub.count; ++k) {
+        KernelCtx ctx = sub.node_ctx(k);
+        phase.fn(ctx);
+        sub.latch(k, ctx);
+      }
+    }
+    i = j;
+  }
+}
+
 std::shared_ptr<const StepKernel> make_truncated_kernel(
     std::shared_ptr<const StepKernel> inner, std::int64_t budget,
     std::int64_t fallback) {
@@ -155,7 +245,7 @@ std::shared_ptr<const StepKernel> make_truncated_kernel(
   kernel->state_align = inner->state_align;
   kernel->port_state_words = inner->port_state_words;
   kernel->init_fn = inner->init_fn != nullptr ? truncated_kernel_init : nullptr;
-  kernel->phases = {{"truncate", truncated_kernel_step}};
+  kernel->phases = {{"truncate", truncated_kernel_step, truncated_kernel_batch}};
   kernel->config = std::shared_ptr<const void>(
       std::make_shared<TruncateKernelConfig>(
           TruncateKernelConfig{std::move(inner), budget, fallback}));

@@ -5,6 +5,7 @@
 #include "src/algo/color_reduce.h"
 #include "src/algo/linial.h"
 #include "src/runtime/chain.h"
+#include "src/runtime/kernel.h"
 #include "src/util/math.h"
 
 namespace unilocal {
@@ -42,13 +43,89 @@ class MisColorSweepProcess final : public Process {
   std::int64_t color_ = 1;
 };
 
+// --- flat-kernel lowering (mirrors MisColorSweepProcess::step bit-for-bit) --
+
+struct MisColorSweepKernelConfig {
+  std::int64_t num_colors;
+};
+
+struct MisColorSweepKernelState {
+  std::int64_t color;
+};
+
+void mis_sweep_kernel_round0(KernelCtx& ctx) {
+  auto& st = ctx.state_as<MisColorSweepKernelState>();
+  st.color = ctx.input.empty() ? 1 : ctx.input[0];
+  // Nothing to send: no one has joined yet.
+}
+
+void mis_sweep_kernel_sweep(KernelCtx& ctx) {
+  const auto* cfg = static_cast<const MisColorSweepKernelConfig*>(ctx.config);
+  const auto& st = ctx.state_as<MisColorSweepKernelState>();
+  // Learn of joins decided in the previous round.
+  for (NodeId j = 0; j < ctx.degree; ++j) {
+    bool present = false;
+    const auto m = ctx.recv(j, &present);
+    if (present && m[0] == 1) {
+      ctx.finish(0);  // dominated
+      return;
+    }
+  }
+  if (ctx.round == st.color) {
+    ctx.broadcast({1});
+    ctx.finish(1);
+    return;
+  }
+  if (ctx.round >= cfg->num_colors + 1) ctx.finish(0);
+}
+
+void mis_sweep_batch_round0(const KernelBatchCtx& b) {
+  for (std::size_t i = 0; i < b.count; ++i) {
+    KernelCtx ctx = b.node_ctx(i);
+    mis_sweep_kernel_round0(ctx);
+    b.latch(i, ctx);
+  }
+}
+
+void mis_sweep_batch_sweep(const KernelBatchCtx& b) {
+  for (std::size_t i = 0; i < b.count; ++i) {
+    KernelCtx ctx = b.node_ctx(i);
+    mis_sweep_kernel_sweep(ctx);
+    b.latch(i, ctx);
+  }
+}
+
+std::shared_ptr<const StepKernel> make_mis_sweep_kernel(
+    std::int64_t num_colors) {
+  auto kernel = std::make_shared<StepKernel>();
+  kernel->name = "mis-color-sweep";
+  kernel->state_size = sizeof(MisColorSweepKernelState);
+  kernel->state_align = alignof(MisColorSweepKernelState);
+  kernel->phases = {
+      {"round0", mis_sweep_kernel_round0, mis_sweep_batch_round0},
+      {"sweep", mis_sweep_kernel_sweep, mis_sweep_batch_sweep}};
+  kernel->select_fn = [](std::int64_t round, const std::byte*,
+                         const void*) -> std::uint16_t {
+    return round == 0 ? 0 : 1;
+  };
+  kernel->config = std::shared_ptr<const void>(
+      std::make_shared<MisColorSweepKernelConfig>(
+          MisColorSweepKernelConfig{num_colors}));
+  return kernel;
+}
+
 }  // namespace
 
 MisColorSweep::MisColorSweep(std::int64_t num_colors)
-    : num_colors_(std::max<std::int64_t>(num_colors, 1)) {}
+    : num_colors_(std::max<std::int64_t>(num_colors, 1)),
+      kernel_(make_mis_sweep_kernel(num_colors_)) {}
 
 std::unique_ptr<Process> MisColorSweep::spawn(const NodeInit&) const {
   return std::make_unique<MisColorSweepProcess>(num_colors_);
+}
+
+std::shared_ptr<const StepKernel> MisColorSweep::kernel() const {
+  return kernel_;
 }
 
 std::string MisColorSweep::name() const {

@@ -25,12 +25,14 @@ class BetaLubyRulingSet final : public Algorithm {
  public:
   explicit BetaLubyRulingSet(int beta);
   std::unique_ptr<Process> spawn(const NodeInit& init) const override;
+  std::shared_ptr<const StepKernel> kernel() const override;
   std::string name() const override;
   int beta() const noexcept { return beta_; }
   std::int64_t phase_rounds() const noexcept { return 2 * beta_ + 2; }
 
  private:
   int beta_;
+  std::shared_ptr<const StepKernel> kernel_;
 };
 
 std::int64_t beta_luby_budget(int beta, std::int64_t n_guess);

@@ -8,6 +8,7 @@
 #include "src/graph/params.h"
 #include "src/problems/slc.h"
 #include "src/prune/slc_prune.h"
+#include "src/runtime/kernel.h"
 #include "src/util/math.h"
 
 namespace unilocal {
@@ -43,20 +44,90 @@ class SlcAdapterProcess final : public Process {
   std::unique_ptr<Process> base_;
 };
 
+// --- flat-kernel lowering of the adapter (mirrors SlcAdapterProcess) --------
+//
+// State geometry is the base kernel's verbatim; the wrapper hides the SLC
+// input from the base (the base ran on stripped inputs) and, when the base
+// finishes, remaps its color to the packed SLC pair before re-latching.
+
+struct SlcAdapterKernelConfig {
+  std::shared_ptr<const StepKernel> inner;
+};
+
+void slc_adapter_kernel_init(std::byte* state, const NodeInit& init,
+                             const void* config) {
+  const auto* cfg = static_cast<const SlcAdapterKernelConfig*>(config);
+  NodeInit stripped = init;
+  stripped.input = {};
+  cfg->inner->init_fn(state, stripped, cfg->inner->config.get());
+}
+
+void slc_adapter_kernel_step(KernelCtx& ctx) {
+  const auto* cfg = static_cast<const SlcAdapterKernelConfig*>(ctx.config);
+  const StepKernel& inner = *cfg->inner;
+  const auto saved_input = ctx.input;
+  ctx.input = {};
+  ctx.config = inner.config.get();
+  inner.phases[kernel_phase_index(inner, ctx.round, ctx.state)].fn(ctx);
+  ctx.config = cfg;
+  ctx.input = saved_input;
+  if (!ctx.finished) return;
+  const std::int64_t base_color = std::max<std::int64_t>(ctx.output, 1);
+  Input input(ctx.input.begin(), ctx.input.end());
+  std::int64_t best = -1;
+  for (std::int64_t packed : slc_list(input)) {
+    if (slc_color_base(packed) != base_color) continue;
+    if (best < 0 || slc_color_index(packed) < slc_color_index(best))
+      best = packed;
+  }
+  if (best < 0) best = pack_slc_color(base_color, 1);  // bad-guess fallback
+  ctx.output = best;
+}
+
+void slc_adapter_kernel_batch(const KernelBatchCtx& b) {
+  for (std::size_t i = 0; i < b.count; ++i) {
+    KernelCtx ctx = b.node_ctx(i);
+    slc_adapter_kernel_step(ctx);
+    b.latch(i, ctx);
+  }
+}
+
+std::shared_ptr<const StepKernel> make_slc_adapter_kernel(
+    std::shared_ptr<const StepKernel> inner) {
+  if (inner == nullptr) return nullptr;
+  auto kernel = std::make_shared<StepKernel>();
+  kernel->name = "slc-adapter:" + inner->name;
+  kernel->state_size = inner->state_size;
+  kernel->state_align = inner->state_align;
+  kernel->port_state_words = inner->port_state_words;
+  kernel->init_fn =
+      inner->init_fn != nullptr ? slc_adapter_kernel_init : nullptr;
+  kernel->phases = {
+      {"adapt", slc_adapter_kernel_step, slc_adapter_kernel_batch}};
+  kernel->config = std::shared_ptr<const void>(
+      std::make_shared<SlcAdapterKernelConfig>(
+          SlcAdapterKernelConfig{std::move(inner)}));
+  return kernel;
+}
+
 class SlcAdapterAlgorithm final : public Algorithm {
  public:
   SlcAdapterAlgorithm(std::shared_ptr<const Algorithm> base, std::string name)
-      : base_(std::move(base)), name_(std::move(name)) {}
+      : base_(std::move(base)),
+        name_(std::move(name)),
+        kernel_(make_slc_adapter_kernel(base_->kernel())) {}
   std::unique_ptr<Process> spawn(const NodeInit& init) const override {
     NodeInit stripped = init;
     stripped.input = {};
     return std::make_unique<SlcAdapterProcess>(base_->spawn(stripped));
   }
+  std::shared_ptr<const StepKernel> kernel() const override { return kernel_; }
   std::string name() const override { return name_; }
 
  private:
   std::shared_ptr<const Algorithm> base_;
   std::string name_;
+  std::shared_ptr<const StepKernel> kernel_;
 };
 
 /// The per-layer SLC solver B^{Gamma'}: Delta^ is baked in (it arrives with

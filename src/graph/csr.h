@@ -32,6 +32,10 @@ class CsrGraph {
   std::int64_t offset(NodeId v) const {
     return offsets_[static_cast<std::size_t>(v)];
   }
+  /// Raw offsets array (n + 1 entries) — the batched kernel path hands this
+  /// to KernelBatchCtx so batch fns index degrees and per-port lanes without
+  /// a per-node accessor call.
+  const std::int64_t* offsets_data() const noexcept { return offsets_.data(); }
   NodeId degree(NodeId v) const {
     return static_cast<NodeId>(offsets_[static_cast<std::size_t>(v) + 1] -
                                offsets_[static_cast<std::size_t>(v)]);

@@ -68,6 +68,12 @@ struct AlgorithmSpec {
   /// stated over — what `unilocal_cli table1` pairs it with.
   std::vector<std::string> table1_scenarios;
   std::function<CellOutcome(const Instance&, const AlgorithmRunContext&)> run;
+  /// Whether every engine run inside the factory executes through the flat
+  /// step-kernel tier under KernelMode::kOn (i.e. the whole pipeline is
+  /// lowered). Campaigns validate this up front when kernel_mode is kOn —
+  /// one error naming every unlowered key — instead of N per-cell
+  /// failures. All built-in entries are lowered.
+  bool kernel_lowered = true;
 };
 
 /// Simple key glob: '*' matches any run (including empty), '?' any one

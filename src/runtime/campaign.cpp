@@ -175,6 +175,8 @@ void finalize_campaign_aggregates(CampaignResult& result) {
   std::vector<double> dirty_cleared;
   std::vector<double> kernel_steps;
   std::vector<double> vtable_steps;
+  std::vector<double> batched_steps;
+  std::vector<double> batch_occupancy;
   std::vector<double> dropped;
   std::vector<double> duplicated;
   std::vector<double> delivery_skew;
@@ -197,6 +199,12 @@ void finalize_campaign_aggregates(CampaignResult& result) {
         static_cast<double>(cell.stats.dirty_spans_cleared));
     kernel_steps.push_back(static_cast<double>(cell.stats.kernel_steps));
     vtable_steps.push_back(static_cast<double>(cell.stats.vtable_steps));
+    batched_steps.push_back(
+        static_cast<double>(cell.stats.kernel_batched_steps));
+    if (cell.stats.kernel_batch_calls > 0)
+      batch_occupancy.push_back(
+          static_cast<double>(cell.stats.kernel_batched_steps) /
+          static_cast<double>(cell.stats.kernel_batch_calls));
     dropped.push_back(static_cast<double>(cell.stats.messages_dropped));
     duplicated.push_back(static_cast<double>(cell.stats.messages_duplicated));
     delivery_skew.push_back(
@@ -210,6 +218,8 @@ void finalize_campaign_aggregates(CampaignResult& result) {
   result.dirty_spans_cleared = percentiles(std::move(dirty_cleared));
   result.kernel_steps = percentiles(std::move(kernel_steps));
   result.vtable_steps = percentiles(std::move(vtable_steps));
+  result.kernel_batched_steps = percentiles(std::move(batched_steps));
+  result.kernel_batch_occupancy = percentiles(std::move(batch_occupancy));
   result.messages_dropped = percentiles(std::move(dropped));
   result.messages_duplicated = percentiles(std::move(duplicated));
   result.max_delivery_skew = percentiles(std::move(delivery_skew));
@@ -228,6 +238,9 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
   ThreadPool* pool = options.pool;
   if (pool == nullptr)
     pool = &owned_pool.emplace(std::max(1, options.workers));
+
+  if (options.kernel_mode == KernelMode::kOn)
+    validate_kernel_lowering(cells, algorithms);
 
   CampaignResult result;
   result.workers = pool->threads();
@@ -289,6 +302,21 @@ void validate_cells(const std::vector<CampaignCell>& cells,
       unknown_algorithms.insert(cell.algorithm);
   }
   throw_on_unknown_keys(unknown_scenarios, unknown_algorithms);
+}
+
+void validate_kernel_lowering(const std::vector<CampaignCell>& cells,
+                              const AlgorithmRegistry& algorithms) {
+  std::set<std::string> unlowered;
+  for (const CampaignCell& cell : cells) {
+    if (algorithms.contains(cell.algorithm) &&
+        !algorithms.spec(cell.algorithm).kernel_lowered)
+      unlowered.insert(cell.algorithm);
+  }
+  if (unlowered.empty()) return;
+  std::string message;
+  describe_unknown(message, "algorithms", unlowered);
+  throw std::runtime_error("kernel mode 'on' requires lowered pipelines: " +
+                           message);
 }
 
 std::vector<CampaignCell> make_grid(
@@ -383,7 +411,7 @@ void write_campaign_csv(std::ostream& out, const CampaignResult& result) {
   out << "scenario,n,a,b,algorithm,seed,identities,network,drop,duplicate,"
          "crash,late,nodes,edges,rounds,"
          "solved,valid,seconds,messages,peak_round_messages,steps,"
-         "kernel_steps,vtable_steps,"
+         "kernel_steps,vtable_steps,kernel_batched_steps,kernel_batch_calls,"
          "steps_per_sec,arena_bytes,peak_live_nodes,peak_frontier_nodes,"
          "dirty_spans_cleared,messages_dropped,messages_duplicated,"
          "max_delivery_skew,output_hash,error\n";
@@ -401,6 +429,8 @@ void write_campaign_csv(std::ostream& out, const CampaignResult& result) {
         << cell.seconds << ',' << cell.stats.total_messages << ','
         << cell.stats.peak_round_messages << ',' << cell.stats.total_steps
         << ',' << cell.stats.kernel_steps << ',' << cell.stats.vtable_steps
+        << ',' << cell.stats.kernel_batched_steps << ','
+        << cell.stats.kernel_batch_calls
         << ',' << cell.stats.steps_per_second << ','
         << cell.stats.arena_bytes << ',' << cell.stats.peak_live_nodes << ','
         << cell.stats.peak_frontier_nodes << ','
@@ -460,6 +490,12 @@ void write_campaign_json(std::ostream& out, const CampaignResult& result,
     write_percentiles_json(out, "kernel_steps", result.kernel_steps);
     out << ',';
     write_percentiles_json(out, "vtable_steps", result.vtable_steps);
+    out << ',';
+    write_percentiles_json(out, "kernel_batched_steps",
+                           result.kernel_batched_steps);
+    out << ',';
+    write_percentiles_json(out, "kernel_batch_occupancy",
+                           result.kernel_batch_occupancy);
     // The fault counters are delivery-layer telemetry, not grid identity:
     // like the kernel/vtable split they stay out of canonical mode, which
     // describes only what the grid deterministically computes (outputs,
@@ -503,6 +539,8 @@ void write_campaign_json(std::ostream& out, const CampaignResult& result,
     if (!options.canonical)
       out << ",\"kernel_steps\":" << cell.stats.kernel_steps
           << ",\"vtable_steps\":" << cell.stats.vtable_steps
+          << ",\"kernel_batched_steps\":" << cell.stats.kernel_batched_steps
+          << ",\"kernel_batch_calls\":" << cell.stats.kernel_batch_calls
           << ",\"messages_dropped\":" << cell.stats.messages_dropped
           << ",\"messages_duplicated\":" << cell.stats.messages_duplicated
           << ",\"max_delivery_skew\":" << cell.stats.max_delivery_skew;

@@ -138,6 +138,12 @@ struct CampaignResult {
   /// flat kernel tier vs the Process vtable path, per solved cell.
   CampaignPercentiles kernel_steps;
   CampaignPercentiles vtable_steps;
+  /// Batched-execution split (PR 8): kernel steps executed through
+  /// phase-grouped batch functions, and the mean batch occupancy
+  /// (batched steps / batch calls) per solved cell with at least one
+  /// batch call.
+  CampaignPercentiles kernel_batched_steps;
+  CampaignPercentiles kernel_batch_occupancy;
   /// Fault-injection telemetry (the PR 7 delivery layer), per solved cell:
   /// dropped transmissions, duplicated deliveries, and the worst delivery
   /// latency beyond the synchronous one-tick ideal. All zero on sync grids.
@@ -203,6 +209,14 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
 void validate_cells(const std::vector<CampaignCell>& cells,
                     const ScenarioRegistry& scenarios,
                     const AlgorithmRegistry& algorithms);
+
+/// KernelMode::kOn validation: collects EVERY registered algorithm key in
+/// the cells whose spec is not kernel_lowered and throws one
+/// std::runtime_error naming all of them (the make_grid unknown-key error
+/// style). Unknown keys are left to validate_cells / per-cell errors.
+/// run_campaign calls this when options.kernel_mode is kOn.
+void validate_kernel_lowering(const std::vector<CampaignCell>& cells,
+                              const AlgorithmRegistry& algorithms);
 
 struct GridOptions {
   std::uint64_t base_seed = 1;

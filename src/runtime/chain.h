@@ -30,6 +30,13 @@ class ChainAlgorithm final : public Algorithm {
   std::unique_ptr<Process> spawn(const NodeInit& init) const override;
   std::string name() const override { return name_; }
 
+  /// Composite flat-kernel lowering: non-null exactly when EVERY stage
+  /// algorithm is lowered (and the stages' per-port state widths are
+  /// compatible). The composite keeps a carry/stage header next to the
+  /// widest stage's state record and forwards each round to the active
+  /// stage's kernel, bit-identical to the ChainProcess above.
+  std::shared_ptr<const StepKernel> kernel() const override;
+
   /// Total rounds of the fixed schedule (+1 for the final finish round).
   std::int64_t total_rounds() const noexcept { return total_rounds_; }
 
@@ -37,6 +44,7 @@ class ChainAlgorithm final : public Algorithm {
   std::string name_;
   std::vector<ChainStage> stages_;
   std::int64_t total_rounds_ = 0;
+  std::shared_ptr<const StepKernel> kernel_;
 };
 
 }  // namespace unilocal

@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/algo/arb_coloring.h"
 #include "src/algo/cole_vishkin.h"
 #include "src/algo/color_reduce.h"
+#include "src/algo/edge_color_mm.h"
 #include "src/algo/greedy_mis.h"
+#include "src/algo/hpartition.h"
 #include "src/algo/linial.h"
 #include "src/algo/luby.h"
+#include "src/algo/mis_from_coloring.h"
+#include "src/algo/ruling_set_mc.h"
+#include "src/runtime/chain.h"
 
 // Note on layering: like src/runtime/algorithm_registry.*, the default
 // table below wires up src/algo lowerings, so this .cpp sits above the
@@ -101,6 +107,46 @@ KernelRegistry build_default_kernel_registry() {
                 "Cole-Vishkin rooted-forest 3-coloring: init/shrink/tail "
                 "phases, 24-byte color/previous/parent state",
                 lower_as<ColeVishkin>});
+  registry.add({"beta-luby",
+                "beta-hop Luby ruling set: fresh/flood/join/dom phases over "
+                "a 2*beta+2-round period, 32-byte rank/min/dominated state",
+                lower_as<BetaLubyRulingSet>});
+  registry.add({"hpartition",
+                "arboricity H-partition peeling: round0/peel phases, "
+                "16-byte residual-degree/layer state",
+                lower_as<HPartition>});
+  registry.add({"out-linial",
+                "orientation-aware Linial reduction: round0/orient/reduce "
+                "phases, 16-byte layer/color state + 1 port word (out flag)",
+                lower_as<OutLinialColoring>});
+  registry.add({"mis-color-sweep",
+                "color-class MIS sweep: round0/sweep phases, 8-byte color "
+                "state",
+                lower_as<MisColorSweep>});
+  registry.add({"proposal-matching",
+                "colored proposal maximal matching: round0/phase machine, "
+                "32-byte matched/awaiting state + 1 port word (flag bits)",
+                lower_as<ProposalMatching>});
+  registry.add({"truncated",
+                "budget-truncation wrapper: forwards to the inner kernel "
+                "and latches the fallback output past the budget",
+                lower_as<TruncatedAlgorithm>});
+  registry.add({"chain",
+                "sequential composition: enter/run/idle/done phases over "
+                "per-stage budgets, header + max inner state",
+                lower_as<ChainAlgorithm>});
+  registry.add({"slc-adapter",
+                "strong-local-coloring output adapter: single phase "
+                "forwarding to the inner coloring kernel, rewrites the "
+                "latched output to the packed SLC color",
+                [](const Algorithm& algorithm) {
+                  auto kernel = algorithm.kernel();
+                  const bool adapted =
+                      kernel != nullptr &&
+                      kernel->name.rfind("slc-adapter:", 0) == 0;
+                  return adapted ? kernel
+                                 : std::shared_ptr<const StepKernel>();
+                }});
   return registry;
 }
 

@@ -154,10 +154,106 @@ struct KernelCtx {
   }
 };
 
+/// Batched counterpart of KernelCtx: one bucket of same-phase nodes per
+/// call. The engine groups the round's live/frontier list by resolved
+/// kernel_phase_index and hands each bucket to the phase's KernelBatchFn
+/// (when it has one) instead of building a KernelCtx per node — the batch
+/// fn loops the bucket itself, so the per-node phase body inlines into one
+/// tight loop over the strided state arena (the shape the compiler can
+/// vectorize). Aliasing: records of distinct nodes never overlap
+/// (stride >= state_size), and within a bucket every node owns its own RNG
+/// stream and per-edge send slots, so nodes may be stepped in any order —
+/// but each node must still read all of its messages before its first send
+/// (the synchronizer-mode span invalidation applies per node exactly as in
+/// the scalar contract above).
+struct KernelBatchCtx {
+  /// The bucket: count node ids, with rounds[i] the local round nodes[i]
+  /// is stepping (uniform in simultaneous mode; per-node under the
+  /// synchronizer).
+  const NodeId* nodes = nullptr;
+  const std::int64_t* rounds = nullptr;
+  std::size_t count = 0;
+
+  /// The packed state arena: node v's record lives at
+  /// state_base + v * stride.
+  std::byte* state_base = nullptr;
+  std::size_t stride = 0;
+
+  /// Per-port lane (null / 0 when the kernel declares none): node v's words
+  /// start at port_state_base + csr_offsets[v] * port_words.
+  std::int64_t* port_state_base = nullptr;
+  std::int64_t port_words = 0;
+
+  /// Engine-side per-NodeId tables: CSR adjacency offsets (degree(v) =
+  /// csr_offsets[v+1] - csr_offsets[v]), identities, spawn inputs, private
+  /// RNG streams, and the finish/output latches.
+  const std::int64_t* csr_offsets = nullptr;
+  const std::int64_t* identities = nullptr;
+  const std::vector<std::int64_t>* inputs = nullptr;
+  Rng* rngs = nullptr;
+  char* finished = nullptr;
+  std::int64_t* outputs = nullptr;
+
+  /// Shared per-thread scratch and the kernel's config blob.
+  std::vector<std::int64_t>* scratch = nullptr;
+  const void* config = nullptr;
+
+  // Engine transport (identical to the scalar path).
+  void* engine = nullptr;
+  int tid = 0;
+  KernelRecvFn recv_fn = nullptr;
+  KernelSendFn send_fn = nullptr;
+
+  /// The scalar view of bucket slot i — batch fns that share their body
+  /// with the scalar KernelStepFn build one of these per node and call the
+  /// phase body directly (a plain call the compiler inlines, instead of the
+  /// engine's per-node indirect dispatch).
+  KernelCtx node_ctx(std::size_t i) const {
+    const NodeId v = nodes[i];
+    KernelCtx ctx;
+    ctx.node = v;
+    ctx.degree = static_cast<NodeId>(csr_offsets[v + 1] - csr_offsets[v]);
+    ctx.identity = identities[v];
+    ctx.round = rounds[i];
+    ctx.input = std::span<const std::int64_t>(
+        inputs[v].data(), inputs[v].size());
+    ctx.rng = &rngs[v];
+    ctx.state = state_base + static_cast<std::size_t>(v) * stride;
+    ctx.port_state =
+        port_words > 0 ? port_state_base + csr_offsets[v] * port_words
+                       : nullptr;
+    ctx.config = config;
+    ctx.scratch = scratch;
+    ctx.engine = engine;
+    ctx.tid = tid;
+    ctx.recv_fn = recv_fn;
+    ctx.send_fn = send_fn;
+    return ctx;
+  }
+
+  /// Latches a stepped node's finish/output into the engine arrays (what
+  /// the engine does after a scalar step).
+  void latch(std::size_t i, const KernelCtx& ctx) const {
+    if (ctx.finished) {
+      finished[nodes[i]] = 1;
+      outputs[nodes[i]] = ctx.output;
+    }
+  }
+};
+
+/// One phase over one bucket of same-phase nodes. Must be bit-identical to
+/// running the phase's scalar fn over the bucket in order (the engine's
+/// batched-vs-scalar tests enforce this on every family / thread count /
+/// network model).
+using KernelBatchFn = void (*)(const KernelBatchCtx&);
+
 /// One row of a kernel's phase/state-machine table.
 struct KernelPhase {
   std::string name;
   KernelStepFn fn = nullptr;
+  /// Optional batched form of `fn`; phases without one run the scalar
+  /// per-node loop.
+  KernelBatchFn batch = nullptr;
 };
 
 /// The lowered algorithm descriptor. Like spawned Processes, a kernel (and
@@ -231,8 +327,12 @@ class KernelRegistry {
   std::map<std::string, KernelSpec> entries_;
 };
 
-/// The built-in table: luby, linial, color-reduce, greedy-mis,
-/// cole-vishkin (the five lowered registry building blocks).
+/// The built-in table — every registry building block is lowered: luby,
+/// linial, color-reduce, greedy-mis, cole-vishkin, beta-luby, hpartition,
+/// out-linial, mis-color-sweep, proposal-matching, plus the composite
+/// rows (chain, truncated, slc-adapter) that forward to their inner
+/// kernels. With these, every default_algorithm_registry() pipeline runs
+/// end to end under --kernel=on.
 const KernelRegistry& default_kernel_registry();
 
 }  // namespace unilocal

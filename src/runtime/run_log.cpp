@@ -73,6 +73,10 @@ bool parse_entry(const std::string& line, RunLogEntry& entry) {
         parse_optional_percentiles(root, "dirty_spans_cleared");
     entry.kernel_steps = parse_optional_percentiles(root, "kernel_steps");
     entry.vtable_steps = parse_optional_percentiles(root, "vtable_steps");
+    entry.kernel_batched_steps =
+        parse_optional_percentiles(root, "kernel_batched_steps");
+    entry.kernel_batch_occupancy =
+        parse_optional_percentiles(root, "kernel_batch_occupancy");
     entry.messages_dropped =
         parse_optional_percentiles(root, "messages_dropped");
     entry.messages_duplicated =
@@ -156,6 +160,8 @@ RunLogEntry make_run_log_entry(const CampaignResult& result) {
   entry.dirty_spans_cleared = result.dirty_spans_cleared;
   entry.kernel_steps = result.kernel_steps;
   entry.vtable_steps = result.vtable_steps;
+  entry.kernel_batched_steps = result.kernel_batched_steps;
+  entry.kernel_batch_occupancy = result.kernel_batch_occupancy;
   entry.messages_dropped = result.messages_dropped;
   entry.messages_duplicated = result.messages_duplicated;
   entry.max_delivery_skew = result.max_delivery_skew;
@@ -187,6 +193,11 @@ void append_run_log(const std::string& path, const CampaignResult& result) {
   write_percentiles(out, "kernel_steps", entry.kernel_steps);
   out << ',';
   write_percentiles(out, "vtable_steps", entry.vtable_steps);
+  out << ',';
+  write_percentiles(out, "kernel_batched_steps", entry.kernel_batched_steps);
+  out << ',';
+  write_percentiles(out, "kernel_batch_occupancy",
+                    entry.kernel_batch_occupancy);
   out << ',';
   write_percentiles(out, "messages_dropped", entry.messages_dropped);
   out << ',';

@@ -37,6 +37,10 @@ struct RunLogEntry {
   /// predates the step-kernel tier.
   CampaignPercentiles kernel_steps;
   CampaignPercentiles vtable_steps;
+  /// Batched-execution split (phase-grouped batch kernels); zero when the
+  /// entry predates batched stepping.
+  CampaignPercentiles kernel_batched_steps;
+  CampaignPercentiles kernel_batch_occupancy;
   /// Fault-injection telemetry (the delivery layer); zero when the entry
   /// predates it or the grid ran synchronously.
   CampaignPercentiles messages_dropped;

@@ -25,6 +25,8 @@ struct StepDelta {
   std::int64_t messages = 0;
   std::int64_t max_words = 0;
   std::int64_t steps = 0;
+  std::int64_t batched_steps = 0;
+  std::int64_t batch_calls = 0;
   NodeId newly_finished = 0;
   NodeId cut_off = 0;
 };
@@ -86,13 +88,17 @@ struct EngineWorkspaceState {
 
   // Per-thread receive scratch: Message materializations per port with
   // epoch tags so capacity survives across nodes and rounds; kwords is the
-  // reusable int64 scratch handed to kernels as KernelCtx::scratch.
+  // reusable int64 scratch handed to kernels as KernelCtx::scratch;
+  // bucket_nodes/bucket_rounds are the phase-bucketing arrays of the
+  // batched kernel path (one slot per kernel phase, capacity persists).
   struct Scratch {
     std::vector<Message> cache;
     std::vector<char> present;
     std::vector<std::uint64_t> epoch;
     std::uint64_t cur_epoch = 0;
     std::vector<std::int64_t> kwords;
+    std::vector<std::vector<NodeId>> bucket_nodes;
+    std::vector<std::vector<std::int64_t>> bucket_rounds;
   };
   std::vector<Scratch> scratch;
 
@@ -139,11 +145,13 @@ class ArenaEngine {
         if (kernel_->phases.empty())
           throw std::runtime_error("kernel '" + kernel_->name +
                                    "' has no phases");
-        for (const KernelPhase& phase : kernel_->phases)
+        for (const KernelPhase& phase : kernel_->phases) {
           if (phase.fn == nullptr)
             throw std::runtime_error("kernel '" + kernel_->name +
                                      "' phase '" + phase.name +
                                      "' has a null step function");
+          if (phase.batch != nullptr) kernel_has_batch_ = true;
+        }
       }
     }
 
@@ -263,6 +271,8 @@ class ArenaEngine {
         round_messages += delta.messages;
         max_message_words_ = std::max(max_message_words_, delta.max_words);
         total_steps_ += delta.steps;
+        batched_steps_ += delta.batched_steps;
+        batch_calls_ += delta.batch_calls;
         cut_off_ += delta.cut_off;
         delta = StepDelta{};
       }
@@ -339,12 +349,20 @@ class ArenaEngine {
           peak_frontier_, static_cast<std::int64_t>(frontier.size()));
       std::int64_t round_messages = 0;
       // Phase 1: step the frontier — exactly the eligible snapshot the
-      // per-round rescan used to recompute.
+      // per-round rescan used to recompute. A batch-capable kernel steps it
+      // phase-bucketed first (frontier nodes are mutually independent this
+      // global round: the lag counters guarantee no node reads a message a
+      // frontier peer sends in the same global round), then the per-node
+      // padding/accounting pass runs unchanged.
+      for (const NodeId v : frontier)
+        ws_.stepped_round[static_cast<std::size_t>(v)] = global;
+      if (kernel_has_batch_)
+        step_bucketed(0, frontier.data(), frontier.size(), -1,
+                      &batched_steps_, &batch_calls_);
       for (const NodeId v : frontier) {
         const std::size_t vi = static_cast<std::size_t>(v);
-        ws_.stepped_round[vi] = global;
         const std::int64_t r = ws_.local_round[vi];
-        step_one(0, v, r);
+        if (!kernel_has_batch_) step_one(0, v, r);
         // Pad ports that stayed silent so hist[e] stays indexed by the
         // sender's local round, then account the round's traffic.
         const std::int64_t base = csr_.offset(v);
@@ -702,7 +720,8 @@ class ArenaEngine {
 
   /// One local round of node v through the flat kernel: no Process::step
   /// virtual call, no ContextBackend hops, no per-port Message copies.
-  void step_kernel(int tid, NodeId v, std::int64_t round) {
+  void step_kernel_phase(int tid, NodeId v, std::int64_t round,
+                         std::size_t phase) {
     const std::size_t vi = static_cast<std::size_t>(v);
     KernelCtx ctx;
     ctx.node = v;
@@ -723,10 +742,96 @@ class ArenaEngine {
     ctx.tid = tid;
     ctx.recv_fn = &ArenaEngine::kernel_recv;
     ctx.send_fn = &ArenaEngine::kernel_send;
-    kernel_->phases[kernel_phase_index(*kernel_, round, ctx.state)].fn(ctx);
+    kernel_->phases[phase].fn(ctx);
     if (ctx.finished) {
       ws_.finished[vi] = 1;
       ws_.outputs[vi] = ctx.output;
+    }
+  }
+
+  void step_kernel(int tid, NodeId v, std::int64_t round) {
+    const std::byte* state =
+        kstate_base_ + static_cast<std::size_t>(v) * kstride_;
+    step_kernel_phase(tid, v, round,
+                      kernel_phase_index(*kernel_, round, state));
+  }
+
+  /// The batched bucket view over the engine arrays (KernelBatchCtx must
+  /// mirror exactly what step_kernel_phase puts into a scalar KernelCtx).
+  KernelBatchCtx make_batch_ctx(int tid, const NodeId* nodes,
+                                const std::int64_t* rounds,
+                                std::size_t count) {
+    KernelBatchCtx b;
+    b.nodes = nodes;
+    b.rounds = rounds;
+    b.count = count;
+    b.state_base = kstate_base_;
+    b.stride = kstride_;
+    b.port_state_base =
+        kport_words_ == 0 ? nullptr : ws_.kernel_port_state.data();
+    b.port_words = static_cast<std::int64_t>(kport_words_);
+    b.csr_offsets = csr_.offsets_data();
+    b.identities = instance_.identities.data();
+    b.inputs = instance_.inputs.data();
+    b.rngs = ws_.rngs.data();
+    b.finished = ws_.finished.data();
+    b.outputs = ws_.outputs.data();
+    b.scratch = &ws_.scratch[static_cast<std::size_t>(tid)].kwords;
+    b.config = kernel_->config.get();
+    b.engine = this;
+    b.tid = tid;
+    b.recv_fn = &ArenaEngine::kernel_recv;
+    b.send_fn = &ArenaEngine::kernel_send;
+    return b;
+  }
+
+  /// Phase-grouped kernel stepping: bucket `count` nodes by resolved
+  /// kernel_phase_index (one pass over the strided state arena), then run
+  /// each bucket through its phase's KernelBatchFn — or the scalar per-node
+  /// loop when the phase has none. `uniform_round` >= 0 is the common local
+  /// round (simultaneous mode); -1 reads each node's own ws_.local_round
+  /// (synchronizer frontiers mix rounds). Bucketing reorders node steps,
+  /// which is observation-equivalent: every node owns its RNG stream, its
+  /// state record, and its per-edge send slots, and no node of one round's
+  /// step set reads what another sent in the same set (simultaneous rounds
+  /// deliver next round; synchronizer eligibility forbids same-global-round
+  /// dependencies).
+  void step_bucketed(int tid, const NodeId* nodes, std::size_t count,
+                     std::int64_t uniform_round, std::int64_t* batched_steps,
+                     std::int64_t* batch_calls) {
+    auto& scratch = ws_.scratch[static_cast<std::size_t>(tid)];
+    const std::size_t nphases = kernel_->phases.size();
+    scratch.bucket_nodes.resize(nphases);
+    scratch.bucket_rounds.resize(nphases);
+    for (std::size_t p = 0; p < nphases; ++p) {
+      scratch.bucket_nodes[p].clear();
+      scratch.bucket_rounds[p].clear();
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeId v = nodes[i];
+      const std::int64_t r =
+          uniform_round >= 0 ? uniform_round
+                             : ws_.local_round[static_cast<std::size_t>(v)];
+      const std::size_t p = kernel_phase_index(
+          *kernel_, r, kstate_base_ + static_cast<std::size_t>(v) * kstride_);
+      scratch.bucket_nodes[p].push_back(v);
+      scratch.bucket_rounds[p].push_back(r);
+    }
+    for (std::size_t p = 0; p < nphases; ++p) {
+      const auto& bucket = scratch.bucket_nodes[p];
+      if (bucket.empty()) continue;
+      const KernelPhase& phase = kernel_->phases[p];
+      if (phase.batch != nullptr) {
+        const KernelBatchCtx b = make_batch_ctx(
+            tid, bucket.data(), scratch.bucket_rounds[p].data(),
+            bucket.size());
+        phase.batch(b);
+        *batched_steps += static_cast<std::int64_t>(bucket.size());
+        ++*batch_calls;
+      } else {
+        for (std::size_t i = 0; i < bucket.size(); ++i)
+          step_kernel_phase(tid, bucket[i], scratch.bucket_rounds[p][i], p);
+      }
     }
   }
 
@@ -754,9 +859,14 @@ class ArenaEngine {
   void step_range(int tid, std::size_t lo, std::size_t hi,
                   std::int64_t round) {
     StepDelta& delta = deltas_[static_cast<std::size_t>(tid)];
+    // Batch-capable kernels step the whole slice phase-bucketed up front;
+    // the per-node loop below then only does the round bookkeeping.
+    if (kernel_has_batch_)
+      step_bucketed(tid, ws_.live.data() + lo, hi - lo, round,
+                    &delta.batched_steps, &delta.batch_calls);
     for (std::size_t i = lo; i < hi; ++i) {
       const NodeId v = ws_.live[i];
-      step_one(tid, v, round);
+      if (!kernel_has_batch_) step_one(tid, v, round);
       ++delta.steps;
       ++ws_.local_round[static_cast<std::size_t>(v)];
       if (ws_.finished[static_cast<std::size_t>(v)]) {
@@ -817,6 +927,8 @@ class ArenaEngine {
     stats.total_steps = total_steps_;
     stats.kernel_steps = kernel_ != nullptr ? total_steps_ : 0;
     stats.vtable_steps = kernel_ != nullptr ? 0 : total_steps_;
+    stats.kernel_batched_steps = batched_steps_;
+    stats.kernel_batch_calls = batch_calls_;
     stats.peak_round_messages = peak_round_messages_;
     stats.total_messages = messages_sent_;
     stats.peak_live_nodes = peak_live_;
@@ -864,6 +976,12 @@ class ArenaEngine {
   std::byte* kstate_base_ = nullptr;
   std::size_t kstride_ = 0;
   std::size_t kport_words_ = 0;
+  // True when any kernel phase has a KernelBatchFn: the simultaneous and
+  // synchronizer loops then step phase-bucketed (the delayed event loop is
+  // inherently one-node-at-a-time and always steps scalar).
+  bool kernel_has_batch_ = false;
+  std::int64_t batched_steps_ = 0;
+  std::int64_t batch_calls_ = 0;
   bool sync_mode_ = false;
   bool delayed_mode_ = false;
   std::vector<Backend> backends_;

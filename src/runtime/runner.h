@@ -85,6 +85,12 @@ struct EngineStats {
   /// mix both when only some stages are lowered).
   std::int64_t kernel_steps = 0;
   std::int64_t vtable_steps = 0;
+  /// Of kernel_steps, how many ran through phase-grouped KernelBatchFn
+  /// buckets (the rest went through the scalar per-node loop), and how many
+  /// batch calls carried them — kernel_batched_steps / kernel_batch_calls
+  /// is the mean batch occupancy (nodes stepped per batch dispatch).
+  std::int64_t kernel_batched_steps = 0;
+  std::int64_t kernel_batch_calls = 0;
   /// Most unfinished nodes at the start of any round (= n for a non-empty
   /// run; informative per stage in composed algorithms).
   std::int64_t peak_live_nodes = 0;
@@ -122,6 +128,8 @@ struct EngineStats {
     total_steps += other.total_steps;
     kernel_steps += other.kernel_steps;
     vtable_steps += other.vtable_steps;
+    kernel_batched_steps += other.kernel_batched_steps;
+    kernel_batch_calls += other.kernel_batch_calls;
     peak_live_nodes = std::max(peak_live_nodes, other.peak_live_nodes);
     final_live_nodes = other.final_live_nodes;
     peak_frontier_nodes =

@@ -91,6 +91,10 @@ json::Value cell_result_to_json(std::size_t index, const CellResult& cell) {
   stats.set("total_steps", json::Value::number(cell.stats.total_steps));
   stats.set("kernel_steps", json::Value::number(cell.stats.kernel_steps));
   stats.set("vtable_steps", json::Value::number(cell.stats.vtable_steps));
+  stats.set("kernel_batched_steps",
+            json::Value::number(cell.stats.kernel_batched_steps));
+  stats.set("kernel_batch_calls",
+            json::Value::number(cell.stats.kernel_batch_calls));
   stats.set("peak_live_nodes",
             json::Value::number(cell.stats.peak_live_nodes));
   stats.set("final_live_nodes",
@@ -133,6 +137,9 @@ CellResult cell_result_from_json(const json::Value& value,
   cell.stats.total_steps = stats.at("total_steps").as_i64();
   cell.stats.kernel_steps = stats.at("kernel_steps").as_i64();
   cell.stats.vtable_steps = stats.at("vtable_steps").as_i64();
+  cell.stats.kernel_batched_steps =
+      stats.at("kernel_batched_steps").as_i64();
+  cell.stats.kernel_batch_calls = stats.at("kernel_batch_calls").as_i64();
   cell.stats.peak_live_nodes = stats.at("peak_live_nodes").as_i64();
   cell.stats.final_live_nodes = stats.at("final_live_nodes").as_i64();
   cell.stats.peak_frontier_nodes = stats.at("peak_frontier_nodes").as_i64();

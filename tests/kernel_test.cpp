@@ -11,13 +11,19 @@
 #include <string>
 #include <vector>
 
+#include "src/algo/arb_coloring.h"
 #include "src/algo/cole_vishkin.h"
 #include "src/algo/color_reduce.h"
+#include "src/algo/edge_color_mm.h"
 #include "src/algo/greedy_mis.h"
+#include "src/algo/hpartition.h"
 #include "src/algo/linial.h"
 #include "src/algo/luby.h"
+#include "src/algo/mis_from_coloring.h"
 #include "src/algo/ruling_set_mc.h"
+#include "src/core/coloring_transform.h"
 #include "src/graph/params.h"
+#include "src/runtime/campaign.h"
 #include "src/runtime/kernel.h"
 #include "src/runtime/reference.h"
 #include "src/runtime/runner.h"
@@ -65,6 +71,21 @@ void check_kernel_equivalence(const Instance& instance,
         EXPECT_EQ(got.stats.kernel_steps, got.stats.total_steps) << tag;
         EXPECT_EQ(got.stats.vtable_steps, 0) << tag;
       }
+      // Batched-step accounting: only kernel steps batch, each batch call
+      // covers at least one step, and the vtable path never batches.
+      EXPECT_LE(got.stats.kernel_batched_steps, got.stats.kernel_steps)
+          << tag;
+      if (mode == KernelMode::kOff) {
+        EXPECT_EQ(got.stats.kernel_batched_steps, 0) << tag;
+        EXPECT_EQ(got.stats.kernel_batch_calls, 0) << tag;
+      }
+      EXPECT_EQ(got.stats.kernel_batch_calls > 0,
+                got.stats.kernel_batched_steps > 0)
+          << tag;
+      if (got.stats.kernel_batch_calls > 0)
+        EXPECT_GE(got.stats.kernel_batched_steps,
+                  got.stats.kernel_batch_calls)
+            << tag;
     }
   }
 }
@@ -154,10 +175,159 @@ TEST(KernelEquivalence, ColeVishkinOnRootedForests) {
   }
 }
 
+TEST(KernelEquivalence, BetaLubyRulingSetAcrossInstances) {
+  for (const int beta : {1, 2, 3}) {
+    const BetaLubyRulingSet ruling(beta);
+    ASSERT_NE(ruling.kernel(), nullptr);
+    for (const auto& named : standard_instances(/*seed=*/91))
+      check_both_engine_modes(named.instance, ruling, 23,
+                              "beta-luby-" + std::to_string(beta) + "/" +
+                                  named.name);
+  }
+}
+
+TEST(KernelEquivalence, HPartitionAcrossInstances) {
+  for (const auto& named : standard_instances(/*seed=*/97)) {
+    const HPartition peel(2, std::max<NodeId>(named.instance.num_nodes(), 2));
+    ASSERT_NE(peel.kernel(), nullptr);
+    check_both_engine_modes(named.instance, peel, 29,
+                            "hpartition/" + named.name);
+  }
+}
+
+TEST(KernelEquivalence, OutLinialAcrossInstances) {
+  // Standalone (all layers 0): every neighbour comparison falls back to
+  // the identity tiebreak, which still exercises the orientation port
+  // state and the out-restricted reduction.
+  for (const auto& named : standard_instances(/*seed=*/101)) {
+    const std::int64_t m =
+        std::max<std::int64_t>(named.instance.max_identity(), 2);
+    const OutLinialColoring coloring(3, m);
+    ASSERT_NE(coloring.kernel(), nullptr);
+    check_both_engine_modes(named.instance, coloring, 31,
+                            "out-linial/" + named.name);
+  }
+}
+
+TEST(KernelEquivalence, MisColorSweepAcrossInstances) {
+  // Inputs seed the sweep color; identity-derived values exercise early
+  // finishes, neighbour suppression, and the past-palette cutoff alike
+  // (bit-identity does not need the input coloring to be proper).
+  for (const auto& named : standard_instances(/*seed=*/103)) {
+    const std::int64_t k = 6;
+    Instance seeded = named.instance;
+    for (NodeId v = 0; v < seeded.num_nodes(); ++v)
+      seeded.inputs[static_cast<std::size_t>(v)] = {
+          seeded.identities[static_cast<std::size_t>(v)] % k + 1};
+    const MisColorSweep sweep(k);
+    ASSERT_NE(sweep.kernel(), nullptr);
+    check_both_engine_modes(seeded, sweep, 37, "mis-sweep/" + named.name);
+  }
+}
+
+TEST(KernelEquivalence, ProposalMatchingAcrossInstances) {
+  for (const auto& named : standard_instances(/*seed=*/107)) {
+    const std::int64_t delta =
+        std::max<std::int64_t>(max_degree(named.instance.graph), 1);
+    Instance seeded = named.instance;
+    for (NodeId v = 0; v < seeded.num_nodes(); ++v)
+      seeded.inputs[static_cast<std::size_t>(v)] = {
+          seeded.identities[static_cast<std::size_t>(v)] % (delta + 1) + 1};
+    const ProposalMatching matching(delta);
+    ASSERT_NE(matching.kernel(), nullptr);
+    check_both_engine_modes(seeded, matching, 41,
+                            "proposal-matching/" + named.name);
+  }
+}
+
+TEST(KernelEquivalence, ChainPipelinesAcrossInstances) {
+  // The composite chain kernel against full registry pipelines: coloring
+  // MIS (Linial -> reduce -> sweep), matching (Linial -> reduce ->
+  // proposals), and the arboricity coloring (H-partition -> out-Linial).
+  for (const auto& named : standard_instances(/*seed=*/109)) {
+    if (named.instance.num_nodes() == 0) continue;
+    const std::int64_t delta =
+        std::max<std::int64_t>(max_degree(named.instance.graph), 1);
+    const std::int64_t m =
+        std::max<std::int64_t>(named.instance.max_identity(), 2);
+    const auto mis = make_coloring_mis_algorithm(delta, m);
+    const auto matching = make_matching_algorithm(delta, m);
+    const auto arb = make_arb_coloring_algorithm(
+        2, std::max<NodeId>(named.instance.num_nodes(), 2), m);
+    ASSERT_NE(mis->kernel(), nullptr) << named.name;
+    ASSERT_NE(matching->kernel(), nullptr) << named.name;
+    ASSERT_NE(arb->kernel(), nullptr) << named.name;
+    check_both_engine_modes(named.instance, *mis, 43,
+                            "chain-mis/" + named.name);
+    check_both_engine_modes(named.instance, *matching, 43,
+                            "chain-matching/" + named.name);
+    check_both_engine_modes(named.instance, *arb, 43,
+                            "chain-arb/" + named.name);
+  }
+}
+
+TEST(KernelEquivalence, DelayedNetworkBitIdentity) {
+  // The event-queue delivery layer runs kernels on the scalar path; the
+  // kernel/vtable split must still be output-invariant under every preset.
+  Rng rng(113);
+  const Instance instance = make_instance(gnp(90, 0.06, rng),
+                                          IdentityScheme::kRandomPermuted, 5);
+  const LubyMis luby;
+  const auto mis = make_coloring_mis_algorithm(
+      std::max<std::int64_t>(max_degree(instance.graph), 1),
+      std::max<std::int64_t>(instance.max_identity(), 2));
+  for (const DelayPreset preset :
+       {DelayPreset::kUniform, DelayPreset::kWeighted,
+        DelayPreset::kHeavyTail}) {
+    RunOptions options;
+    options.seed = 47;
+    options.network.kind = NetworkKind::kDelayed;
+    options.network.preset = preset;
+    for (const Algorithm* algorithm :
+         std::initializer_list<const Algorithm*>{&luby, mis.get()}) {
+      options.kernel_mode = KernelMode::kOff;
+      const RunResult off = run_local(instance, *algorithm, options);
+      options.kernel_mode = KernelMode::kOn;
+      const RunResult on = run_local(instance, *algorithm, options);
+      const std::string tag = std::string("delayed/") + algorithm->name();
+      expect_same(off, on, tag);
+      EXPECT_EQ(on.stats.kernel_steps, on.stats.total_steps) << tag;
+      EXPECT_EQ(on.stats.vtable_steps, 0) << tag;
+    }
+  }
+}
+
+TEST(KernelEquivalence, SlcAdapterThroughColoringTransform) {
+  // The Theorem 5 transform wraps its coloring black box in the SLC output
+  // adapter; under kernel mode `on` the whole pipeline must run lowered
+  // and reproduce the vtable-path result exactly.
+  Rng rng(127);
+  const Instance instance = make_instance(gnp(70, 0.08, rng),
+                                          IdentityScheme::kRandomPermuted, 7);
+  const auto algorithm = make_lambda_gdelta_coloring(1);
+  UniformRunOptions options;
+  options.seed = 53;
+  options.kernel_mode = KernelMode::kOff;
+  const ColoringTransformResult off =
+      run_uniform_coloring_transform(instance, *algorithm, options);
+  options.kernel_mode = KernelMode::kOn;
+  const ColoringTransformResult on =
+      run_uniform_coloring_transform(instance, *algorithm, options);
+  EXPECT_EQ(off.colors, on.colors);
+  EXPECT_EQ(off.solved, on.solved);
+  EXPECT_EQ(off.total_rounds, on.total_rounds);
+  EXPECT_EQ(on.engine_stats.vtable_steps, 0);
+  EXPECT_GT(on.engine_stats.kernel_steps, 0);
+}
+
 TEST(KernelRegistry, DefaultTableListsTheLoweredBlocks) {
   const KernelRegistry& registry = default_kernel_registry();
   const std::vector<std::string> expected = {
-      "cole-vishkin", "color-reduce", "greedy-mis", "linial", "luby"};
+      "beta-luby",    "chain",           "cole-vishkin",
+      "color-reduce", "greedy-mis",      "hpartition",
+      "linial",       "luby",            "mis-color-sweep",
+      "out-linial",   "proposal-matching", "slc-adapter",
+      "truncated"};
   EXPECT_EQ(registry.names(), expected);
   for (const std::string& name : expected) {
     EXPECT_TRUE(registry.contains(name)) << name;
@@ -190,21 +360,42 @@ TEST(KernelRegistry, LoweredKernelMatchesAlgorithmKernel) {
   EXPECT_EQ(via_registry->name, via_algorithm->name);
 }
 
+/// Every registry building block is lowered now, so the fallback paths
+/// need a deliberately unlowered stand-in: finish with the identity after
+/// one broadcast round, vtable only.
+class UnloweredEcho final : public Algorithm {
+ public:
+  std::unique_ptr<Process> spawn(const NodeInit&) const override {
+    class EchoProcess final : public Process {
+     public:
+      void step(Context& ctx) override {
+        if (ctx.round() == 0) {
+          ctx.broadcast({ctx.id()});
+          return;
+        }
+        ctx.finish(ctx.id());
+      }
+    };
+    return std::make_unique<EchoProcess>();
+  }
+  std::string name() const override { return "unlowered-echo"; }
+};
+
 TEST(KernelMode, AutoFallsBackToVtableForUnloweredAlgorithms) {
-  // BetaLubyRulingSet has no lowering: auto must silently run the vtable
-  // path bit-identically to off, and report the split accordingly.
+  // An algorithm with no lowering: auto must silently run the vtable path
+  // bit-identically to off, and report the split accordingly.
   Rng rng(83);
   const Instance instance = make_instance(gnp(80, 0.06, rng),
                                           IdentityScheme::kRandomPermuted, 3);
-  const BetaLubyRulingSet ruling(2);
-  ASSERT_EQ(ruling.kernel(), nullptr);
+  const UnloweredEcho echo;
+  ASSERT_EQ(echo.kernel(), nullptr);
   RunOptions options;
   options.seed = 29;
   options.kernel_mode = KernelMode::kOff;
-  const RunResult off = run_local(instance, ruling, options);
+  const RunResult off = run_local(instance, echo, options);
   options.kernel_mode = KernelMode::kAuto;
-  const RunResult fallback = run_local(instance, ruling, options);
-  expect_same(off, fallback, "ruling-fallback");
+  const RunResult fallback = run_local(instance, echo, options);
+  expect_same(off, fallback, "echo-fallback");
   EXPECT_EQ(fallback.stats.kernel_steps, 0);
   EXPECT_GT(fallback.stats.vtable_steps, 0);
 }
@@ -213,10 +404,72 @@ TEST(KernelMode, OnThrowsForUnloweredAlgorithms) {
   Rng rng(89);
   const Instance instance = make_instance(path_graph(10),
                                           IdentityScheme::kSequential, 1);
-  const BetaLubyRulingSet ruling(2);
+  const UnloweredEcho echo;
   RunOptions options;
   options.kernel_mode = KernelMode::kOn;
-  EXPECT_THROW(run_local(instance, ruling, options), std::runtime_error);
+  EXPECT_THROW(run_local(instance, echo, options), std::runtime_error);
+}
+
+TEST(KernelMode, BetaLubyRulingSetIsLowered) {
+  // Regression guard for the full-zoo lowering: the ruling set used to be
+  // the canonical unlowered fallback; now `on` must run it.
+  Rng rng(131);
+  const Instance instance = make_instance(gnp(40, 0.1, rng),
+                                          IdentityScheme::kRandomPermuted, 3);
+  const BetaLubyRulingSet ruling(2);
+  ASSERT_NE(ruling.kernel(), nullptr);
+  RunOptions options;
+  options.seed = 59;
+  options.kernel_mode = KernelMode::kOn;
+  const RunResult on = run_local(instance, ruling, options);
+  EXPECT_EQ(on.stats.vtable_steps, 0);
+  EXPECT_EQ(on.stats.kernel_steps, on.stats.total_steps);
+}
+
+TEST(KernelMode, CampaignCollectsAllUnloweredKeys) {
+  // KernelMode::kOn campaigns fail fast with ONE error naming every
+  // unlowered algorithm key (the make_grid unknown-key style), instead of
+  // N per-cell failures.
+  AlgorithmRegistry registry;
+  const auto noop = [](const Instance& instance, const AlgorithmRunContext&) {
+    return CellOutcome{std::vector<std::int64_t>(
+                           static_cast<std::size_t>(instance.num_nodes()), 1),
+                       0, true, EngineStats{}};
+  };
+  AlgorithmSpec lowered{"lowered-a", "mis", "", {}, {"gnp"}, noop};
+  registry.add(lowered);
+  AlgorithmSpec raw_b{"vtable-b", "mis", "", {}, {"gnp"}, noop};
+  raw_b.kernel_lowered = false;
+  registry.add(raw_b);
+  AlgorithmSpec raw_c{"vtable-c", "mis", "", {}, {"gnp"}, noop};
+  raw_c.kernel_lowered = false;
+  registry.add(raw_c);
+
+  ScenarioParams params;
+  params.n = 16;
+  GridOptions grid_options;
+  grid_options.algorithms = &registry;
+  const std::vector<CampaignCell> cells =
+      make_grid({"gnp"}, params, {"lowered-a", "vtable-b", "vtable-c"}, 1,
+                grid_options);
+
+  CampaignOptions options;
+  options.algorithms = &registry;
+  options.kernel_mode = KernelMode::kOn;
+  try {
+    run_campaign(cells, options);
+    FAIL() << "expected validate_kernel_lowering to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("vtable-b"), std::string::npos) << message;
+    EXPECT_NE(message.find("vtable-c"), std::string::npos) << message;
+    EXPECT_EQ(message.find("lowered-a"), std::string::npos) << message;
+    EXPECT_NE(message.find("kernel mode 'on'"), std::string::npos) << message;
+  }
+  // Off/auto campaigns run the same grid without complaint.
+  options.kernel_mode = KernelMode::kAuto;
+  const CampaignResult result = run_campaign(cells, options);
+  EXPECT_EQ(result.failed, 0);
 }
 
 TEST(KernelMode, NamesRoundTrip) {
