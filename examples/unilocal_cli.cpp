@@ -48,11 +48,23 @@
 //   every cell ran, solved, and passed its centralized checker.
 //
 //   Both sweep and table1 accept --shards=K [--policy=P]: the grid is
-//   planned into K shards, run as K separate worker *processes* (each
-//   `unilocal_cli shard run` on its own manifest), and merged — the
-//   merged output is bit-identical (per-cell output hashes, grid hash)
-//   to the single-process run. --canonical emits only the deterministic
-//   JSON fields so sharded and single-process outputs diff byte-equal.
+//   planned into K shards, run as K concurrently *supervised* worker
+//   processes (each `unilocal_cli shard run` on its own manifest,
+//   src/runtime/supervisor.h), and merged — the merged output is
+//   bit-identical (per-cell output hashes, grid hash) to the
+//   single-process run. --canonical emits only the deterministic JSON
+//   fields so sharded and single-process outputs diff byte-equal.
+//   Supervision knobs: --max-attempts=N (launches per shard, default 3),
+//   --shard-timeout=S (base per-attempt deadline; the cost model adds a
+//   per-cost term), --journal=FILE (checkpoint journal — rerunning after
+//   a kill resumes, skipping completed shards, to byte-identical output),
+//   --allow-partial (exhausted shards degrade to an explicit missing-cell
+//   report instead of a fatal error), --no-speculate (disable straggler
+//   re-launch). The hidden chaos harness --inject=crash:p,hang:p,
+//   corrupt:p,flaky-exit:p [--inject-seed=U] makes workers abort mid-run,
+//   sleep past their deadline, scribble their output file, or exit
+//   nonzero after valid output — deterministically per (shard, attempt,
+//   seed) — to exercise every recovery path in tests and CI.
 //
 //   unilocal_cli shard plan --dir=DIR --shards=K [--policy=P] <grid flags>
 //   unilocal_cli shard run MANIFEST [--out=FILE] [--workers=W] [--kernel=M]
@@ -71,7 +83,7 @@
 // stderr). Every algorithm here is the uniform product of the paper's
 // transformers — the tool needs no -n/-delta flags because no node needs
 // them; that is the point of the paper.
-#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -101,6 +113,7 @@
 #include "src/runtime/kernel.h"
 #include "src/runtime/run_log.h"
 #include "src/runtime/shard.h"
+#include "src/runtime/supervisor.h"
 
 using namespace unilocal;
 
@@ -117,11 +130,15 @@ int usage() {
                "[--algorithms=x,y,..|all|glob*] [--n=N] [--a=V] [--b=V] "
                "[--seeds=K] [--workers=W] [--kernel=M] "
                "[--network=SPEC,..] [fault knobs] [--shards=K] "
-               "[--policy=round-robin|cost-balanced] [--format=csv|json] "
+               "[--policy=round-robin|cost-balanced] [--max-attempts=N] "
+               "[--shard-timeout=S] [--journal=FILE] [--allow-partial] "
+               "[--no-speculate] [--format=csv|json] "
                "[--canonical] [--log=FILE] [--list]\n"
                "       unilocal_cli table1 [--n=N] [--seeds=K] [--workers=W] "
                "[--kernel=M] [--network=SPEC,..] [fault knobs] [--shards=K] "
-               "[--policy=P] [--format=csv|json] "
+               "[--policy=P] [--max-attempts=N] [--shard-timeout=S] "
+               "[--journal=FILE] [--allow-partial] [--no-speculate] "
+               "[--format=csv|json] "
                "[--canonical] [--log=FILE] [--smoke]\n"
                "       unilocal_cli shard plan --dir=DIR --shards=K "
                "[--policy=P] (--table1 [--smoke] | --scenarios=.. "
@@ -143,20 +160,6 @@ std::string self_executable() {
   const auto exe = std::filesystem::read_symlink("/proc/self/exe", ec);
   if (!ec) return exe.string();
   return g_self_path;
-}
-
-/// POSIX single-quoting: safe against every character but the quote
-/// itself, which is spelled '\'' .
-std::string shell_quote(const std::string& text) {
-  std::string out = "'";
-  for (const char c : text) {
-    if (c == '\'')
-      out += "'\\''";
-    else
-      out += c;
-  }
-  out += "'";
-  return out;
 }
 
 std::string read_text_file(const std::string& path) {
@@ -269,6 +272,59 @@ struct NetworkFlags {
   }
 };
 
+/// The supervision flag group sweep/table1 share (all require --shards=K):
+/// retry budget, timeout, checkpoint journal, partial-merge opt-in, and
+/// the hidden chaos knobs. consume() throws std::runtime_error naming the
+/// offending flag on malformed values.
+struct SupervisorFlags {
+  int max_attempts = 3;
+  double base_timeout_seconds = 300.0;
+  bool allow_partial = false;
+  bool speculate = true;
+  std::string journal_path;
+  ChaosOptions chaos;
+  bool any_set = false;
+
+  bool consume(const std::string& arg) {
+    const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
+    if (arg.rfind("--max-attempts=", 0) == 0) {
+      max_attempts = std::stoi(value());
+      if (max_attempts < 1)
+        throw std::runtime_error("--max-attempts: must be >= 1, got " +
+                                 value());
+    } else if (arg.rfind("--shard-timeout=", 0) == 0) {
+      base_timeout_seconds = std::stod(value());
+      if (!(base_timeout_seconds > 0.0))
+        throw std::runtime_error("--shard-timeout: must be > 0, got " +
+                                 value());
+    } else if (arg == "--allow-partial") {
+      allow_partial = true;
+    } else if (arg == "--no-speculate") {
+      speculate = false;
+    } else if (arg.rfind("--journal=", 0) == 0) {
+      journal_path = value();
+    } else if (arg.rfind("--inject=", 0) == 0) {
+      const std::uint64_t seed = chaos.seed;  // flags arrive in any order
+      chaos = parse_chaos_spec(value());
+      chaos.seed = seed;
+    } else if (arg.rfind("--inject-seed=", 0) == 0) {
+      chaos.seed = std::stoull(value());
+    } else {
+      return false;
+    }
+    any_set = true;
+    return true;
+  }
+
+  void require_shards(int shards) const {
+    if (any_set && shards <= 0)
+      throw std::runtime_error(
+          "--max-attempts/--shard-timeout/--journal/--allow-partial/"
+          "--no-speculate/--inject require --shards=K (they configure the "
+          "shard supervisor)");
+  }
+};
+
 void print_percentiles(const char* what, const CampaignPercentiles& p) {
   std::fprintf(stderr, "  %-16s p50=%.0f p90=%.0f p99=%.0f max=%.0f\n", what,
                p.p50, p.p90, p.p99, p.max);
@@ -306,6 +362,30 @@ int report_campaign(const char* what, const CampaignResult& result,
   print_percentiles("msgs_dropped", result.messages_dropped);
   print_percentiles("msgs_duplicated", result.messages_duplicated);
   print_percentiles("delivery_skew", result.max_delivery_skew);
+  if (result.supervision.enabled) {
+    const SupervisionSummary& sup = result.supervision;
+    std::fprintf(stderr,
+                 "%s: supervision: shards=%d attempts=%d retries=%d "
+                 "requeues=%d stragglers_respawned=%d from_journal=%d "
+                 "failed=%d\n",
+                 what, sup.shards, sup.attempts, sup.retries, sup.requeues,
+                 sup.stragglers_respawned, sup.shards_from_journal,
+                 sup.shards_failed);
+    std::fprintf(stderr,
+                 "  %-16s p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+                 "attempt_secs", sup.attempt_seconds.p50,
+                 sup.attempt_seconds.p90, sup.attempt_seconds.p99,
+                 sup.attempt_seconds.max);
+    // The per-shard table goes to stderr only when something actually
+    // happened (a retry, a straggler respawn, a journal skip, a failure)
+    // — a clean first-try run stays quiet.
+    if (sup.retries > 0 || sup.stragglers_respawned > 0 ||
+        sup.shards_from_journal > 0 || sup.shards_failed > 0) {
+      std::ostringstream table;
+      write_supervision_csv(table, sup);
+      std::fprintf(stderr, "%s", table.str().c_str());
+    }
+  }
   for (const auto& cell : result.cells) {
     if (!cell.error.empty())
       std::fprintf(stderr, "%s: FAILED %s/%s seed=%llu: %s\n", what,
@@ -344,17 +424,33 @@ int report_campaign(const char* what, const CampaignResult& result,
 
 // --- sharded execution -------------------------------------------------------
 
+/// Deletes the shard scratch directory on EVERY exit path — success,
+/// merge failure, supervision failure. Diagnostics survive deletion
+/// because the failure messages fold in the worker stderr tails before
+/// this runs; the checkpoint journal lives at the user-given --journal
+/// path, outside scratch, so resume still works.
+struct ScratchDir {
+  std::filesystem::path dir;
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
 /// The local multi-process driver behind `sweep --shards=K` / `table1
-/// --shards=K`: plans the grid, writes one manifest per shard into a temp
-/// directory, re-invokes this binary as K concurrent `shard run` worker
-/// processes, merges their result files, and reports the merged campaign.
-/// A worker that finishes with invalid cells still produces a result (the
-/// merged report shows them); only a worker that produced no result file
-/// at all is fatal.
+/// --shards=K`: plans the grid and hands it to supervise_shards
+/// (src/runtime/supervisor.h), which re-invokes this binary as
+/// concurrently supervised `shard run` worker processes — per-attempt
+/// timeouts, bounded retries with deterministic backoff, straggler
+/// speculation, fingerprint-validated acceptance, and (with --journal)
+/// checkpoint/resume. The merged campaign is bit-identical to the
+/// single-process run whenever every shard is eventually accepted;
+/// --allow-partial degrades exhausted shards to an explicit report.
 int run_sharded(const char* what, const std::vector<CampaignCell>& cells,
                 int shards, ShardPolicy policy, int workers_per_shard,
                 KernelMode kernel_mode, bool json_output, bool canonical,
-                const std::string& log_path) {
+                const std::string& log_path,
+                const SupervisorFlags& supervisor_flags) {
   namespace fs = std::filesystem;
   const ShardPlan plan = plan_shards(cells, shards, policy);
 
@@ -364,81 +460,92 @@ int run_sharded(const char* what, const std::vector<CampaignCell>& cells,
   dir_buffer.push_back('\0');
   if (mkdtemp(dir_buffer.data()) == nullptr)
     throw std::runtime_error("cannot create shard scratch directory");
-  const fs::path dir = dir_buffer.data();
+  const ScratchDir scratch{dir_buffer.data()};
+
+  SupervisorOptions options;
+  options.max_attempts = supervisor_flags.max_attempts;
+  options.base_timeout_seconds = supervisor_flags.base_timeout_seconds;
+  options.speculate = supervisor_flags.speculate;
+  options.scratch_dir = scratch.dir.string();
+  options.journal_path = supervisor_flags.journal_path;
 
   const std::string exe = self_executable();
-  const std::size_t num_shards = plan.shards.size();
-  std::vector<int> exit_codes(num_shards, -1);
-  std::vector<std::string> result_paths(num_shards);
-  std::vector<std::thread> children;
-  children.reserve(num_shards);
-  for (std::size_t s = 0; s < num_shards; ++s) {
-    const std::string manifest_path =
-        (dir / ("shard-" + std::to_string(s) + ".json")).string();
-    write_text_file(manifest_path, plan.shards[s].to_json().dump() + "\n");
-    result_paths[s] = (dir / ("result-" + std::to_string(s) + ".json")).string();
-    const std::string command =
-        shell_quote(exe) + " shard run " + shell_quote(manifest_path) +
-        " --out=" + shell_quote(result_paths[s]) +
-        " --workers=" + std::to_string(workers_per_shard) +
-        " --kernel=" + kernel_mode_name(kernel_mode) + " 2>" +
-        shell_quote(result_paths[s] + ".err");
-    children.emplace_back([command, s, &exit_codes] {
-      exit_codes[s] = std::system(command.c_str());
-    });
-  }
-  for (std::thread& child : children) child.join();
-
-  // Any failure past this point keeps the scratch directory (manifests,
-  // result files, per-worker stderr) and names it, so a dead or corrupt
-  // worker can be diagnosed from what it left behind.
-  CampaignResult merged;
-  try {
-    std::vector<ShardResult> results;
-    results.reserve(num_shards);
-    for (std::size_t s = 0; s < num_shards; ++s) {
-      std::error_code ec;
-      if (!fs::exists(result_paths[s], ec)) {
-        std::string worker_log;
-        try {
-          worker_log = read_text_file(result_paths[s] + ".err");
-        } catch (...) {
+  const std::string inject_spec = chaos_spec_name(supervisor_flags.chaos);
+  const std::uint64_t inject_seed = supervisor_flags.chaos.seed;
+  const WorkerCommand command =
+      [&exe, workers_per_shard, kernel_mode, &inject_spec,
+       inject_seed](const ShardAttemptContext& context) {
+        std::vector<std::string> argv = {
+            exe,
+            "shard",
+            "run",
+            context.manifest_path,
+            "--out=" + context.result_path,
+            "--workers=" + std::to_string(workers_per_shard),
+            "--kernel=" + std::string(kernel_mode_name(kernel_mode))};
+        if (!inject_spec.empty()) {
+          // The worker draws its own fault from (spec, seed, shard,
+          // attempt) — the supervisor only forwards the attempt number.
+          argv.push_back("--inject=" + inject_spec);
+          argv.push_back("--inject-seed=" + std::to_string(inject_seed));
+          argv.push_back("--attempt=" + std::to_string(context.attempt));
         }
-        // std::system returns an encoded wait status, not an exit code.
-        const int status = exit_codes[s];
-        const std::string fate =
-            status == -1          ? "could not be spawned"
-            : WIFSIGNALED(status) ? "was killed by signal " +
-                                        std::to_string(WTERMSIG(status))
-            : WIFEXITED(status)
-                ? "exited with status " + std::to_string(WEXITSTATUS(status))
-                : "ended with wait status " + std::to_string(status);
-        throw std::runtime_error(
-            "shard " + std::to_string(s) + " produced no result (worker " +
-            fate + ")" +
-            (worker_log.empty() ? "" : "; worker said:\n" + worker_log));
-      }
-      try {
-        results.push_back(ShardResult::from_json(
-            json::Value::parse(read_text_file(result_paths[s]))));
-      } catch (const std::exception& e) {
-        // A truncated/corrupt result file (e.g. a worker killed mid-write)
-        // must name the shard, not just a byte offset.
-        throw std::runtime_error("shard " + std::to_string(s) +
-                                 " result is unreadable: " + e.what());
-      }
-    }
-    merged = merge_shard_results(plan, results);
-  } catch (const std::exception& e) {
-    throw std::runtime_error(std::string(what) + ": " + e.what() +
-                             " (scratch kept in " + dir.string() + ")");
-  }
-  fs::remove_all(dir);
+        return argv;
+      };
+
+  const SupervisorReport report = supervise_shards(plan, options, command);
   std::fprintf(stderr,
-               "%s: merged %zu shard processes (%s policy, %d workers each), "
-               "max shard wall time %.3fs\n",
-               what, num_shards, shard_policy_name(policy), workers_per_shard,
-               merged.elapsed_seconds);
+               "%s: supervised %zu shards (%s policy, %d workers each): "
+               "%d attempts, %d retries, %d stragglers respawned, "
+               "%d from journal, %.3fs\n",
+               what, plan.shards.size(), shard_policy_name(policy),
+               workers_per_shard, report.attempts, report.retries,
+               report.stragglers_respawned, report.shards_from_journal,
+               report.elapsed_seconds);
+
+  if (!report.all_completed() && !supervisor_flags.allow_partial) {
+    // failure_summary reads the worker stderr captures NOW, while scratch
+    // still exists; the ScratchDir guard then deletes them.
+    throw std::runtime_error(std::string(what) + ": " +
+                             report.failure_summary() +
+                             " (rerun with --allow-partial to merge the "
+                             "completed shards anyway)");
+  }
+  CampaignResult merged;
+  if (report.all_completed()) {
+    merged = merge_shard_results(plan, report.results);
+  } else {
+    PartialMergeReport partial;
+    merged = merge_shard_results_partial(plan, report.results, partial);
+    std::fprintf(stderr, "%s: %s\n", what, report.failure_summary().c_str());
+    std::fprintf(stderr, "%s: %s\n", what, partial.describe().c_str());
+  }
+
+  merged.supervision.enabled = true;
+  merged.supervision.shards = static_cast<int>(plan.shards.size());
+  merged.supervision.attempts = report.attempts;
+  merged.supervision.retries = report.retries;
+  merged.supervision.requeues = report.requeues;
+  merged.supervision.stragglers_respawned = report.stragglers_respawned;
+  merged.supervision.shards_from_journal = report.shards_from_journal;
+  merged.supervision.shards_failed =
+      static_cast<int>(report.failed_shards.size());
+  std::vector<double> attempt_seconds;
+  for (const ShardSupervision& sup : report.shards) {
+    ShardSupervisionRow row;
+    row.shard_index = sup.shard_index;
+    row.completed = sup.completed;
+    row.from_journal = sup.from_journal;
+    row.attempts = sup.attempts;
+    row.retries = sup.retries;
+    row.stragglers_respawned = sup.stragglers_respawned;
+    row.total_attempt_seconds = sup.total_attempt_seconds;
+    merged.supervision.rows.push_back(row);
+    if (!sup.from_journal)
+      attempt_seconds.push_back(sup.total_attempt_seconds);
+  }
+  merged.supervision.attempt_seconds =
+      campaign_percentiles(std::move(attempt_seconds));
   return report_campaign(what, merged, json_output, canonical, log_path);
 }
 
@@ -543,6 +650,8 @@ int run_shard_run(int argc, char** argv) {
   unsigned workers = std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
   KernelMode kernel_mode = KernelMode::kAuto;
+  ChaosOptions chaos;
+  int attempt = 1;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
@@ -552,6 +661,14 @@ int run_shard_run(int argc, char** argv) {
       workers = static_cast<unsigned>(std::stoi(value()));
     } else if (arg.rfind("--kernel=", 0) == 0) {
       kernel_mode = parse_kernel_mode(value());
+    } else if (arg.rfind("--inject=", 0) == 0) {
+      const std::uint64_t seed = chaos.seed;
+      chaos = parse_chaos_spec(value());
+      chaos.seed = seed;
+    } else if (arg.rfind("--inject-seed=", 0) == 0) {
+      chaos.seed = std::stoull(value());
+    } else if (arg.rfind("--attempt=", 0) == 0) {
+      attempt = std::stoi(value());
     } else if (arg.rfind("--", 0) == 0) {
       return usage();
     } else if (manifest_path.empty()) {
@@ -563,15 +680,36 @@ int run_shard_run(int argc, char** argv) {
   if (manifest_path.empty()) return usage();
   const ShardManifest manifest =
       ShardManifest::from_json(json::Value::parse(read_text_file(manifest_path)));
+
+  // Chaos harness (the supervisor's --inject, forwarded here with the
+  // attempt number): the fault is a pure function of (spec, seed, shard,
+  // attempt), so a rerun replays the same schedule.
+  const ChaosFault fault =
+      draw_chaos_fault(chaos, manifest.shard_index, attempt);
+  if (fault != ChaosFault::kNone)
+    std::fprintf(stderr, "shard run: chaos: injecting %s (shard %d attempt %d)\n",
+                 chaos_fault_name(fault), manifest.shard_index, attempt);
+  if (fault == ChaosFault::kCrash) std::abort();  // mid-run, no output
+  if (fault == ChaosFault::kHang) {
+    ::sleep(3600);  // the supervisor's deadline kills us long before this
+    return 1;
+  }
+
   CampaignOptions options;
   options.workers = static_cast<int>(workers);
   options.kernel_mode = kernel_mode;
   const ShardResult result = run_shard(manifest, options);
-  const std::string text = result.to_json().dump() + "\n";
+  std::string text = result.to_json().dump() + "\n";
+  if (fault == ChaosFault::kCorrupt) {
+    // A torn write: the file exists but holds only half the document. The
+    // supervisor must reject it on parse/fingerprint and retry.
+    text = text.substr(0, text.size() / 2);
+  }
   if (out_path.empty())
     std::cout << text;
   else
     write_text_file(out_path, text);
+  if (fault == ChaosFault::kFlakyExit) return 43;  // valid output, bad exit
 
   int valid = 0;
   int failed = 0;
@@ -654,13 +792,14 @@ int run_sweep(int argc, char** argv) {
   ShardPolicy policy = ShardPolicy::kCostBalanced;
   KernelMode kernel_mode = KernelMode::kAuto;
   NetworkFlags network_flags;
+  SupervisorFlags supervisor_flags;
   bool json_output = false;
   bool canonical = false;
   std::string log_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
-    if (network_flags.consume(arg)) {
+    if (network_flags.consume(arg) || supervisor_flags.consume(arg)) {
     } else if (arg == "--list") {
       const auto& registry = default_algorithm_registry();
       std::printf("scenario families:\n");
@@ -730,6 +869,7 @@ int run_sweep(int argc, char** argv) {
     std::fprintf(stderr, "sweep: empty grid\n");
     return 1;
   }
+  supervisor_flags.require_shards(shards);
   if (shards > 0) {
     // --workers now means workers per shard process; default to an even
     // split of the machine instead of oversubscribing it K times.
@@ -737,7 +877,7 @@ int run_sweep(int argc, char** argv) {
                               ? static_cast<int>(workers)
                               : std::max(1, static_cast<int>(workers) / shards);
     return run_sharded("sweep", cells, shards, policy, per_shard, kernel_mode,
-                       json_output, canonical, log_path);
+                       json_output, canonical, log_path, supervisor_flags);
   }
   CampaignOptions options;
   options.workers = static_cast<int>(workers);
@@ -757,6 +897,7 @@ int run_table1(int argc, char** argv) {
   ShardPolicy policy = ShardPolicy::kCostBalanced;
   KernelMode kernel_mode = KernelMode::kAuto;
   NetworkFlags network_flags;
+  SupervisorFlags supervisor_flags;
   bool json_output = false;
   bool canonical = false;
   bool smoke = false;
@@ -766,7 +907,7 @@ int run_table1(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
-    if (network_flags.consume(arg)) {
+    if (network_flags.consume(arg) || supervisor_flags.consume(arg)) {
     } else if (arg == "--smoke") {
       smoke = true;
     } else if (arg.rfind("--n=", 0) == 0) {
@@ -811,12 +952,14 @@ int run_table1(int argc, char** argv) {
                "families x %d seed%s, n=%d)\n",
                cells.size(), default_algorithm_registry().names().size(),
                seeds, seeds == 1 ? "" : "s", params.n);
+  supervisor_flags.require_shards(shards);
   if (shards > 0) {
     const int per_shard = workers_given
                               ? static_cast<int>(workers)
                               : std::max(1, static_cast<int>(workers) / shards);
     return run_sharded("table1", cells, shards, policy, per_shard,
-                       kernel_mode, json_output, canonical, log_path);
+                       kernel_mode, json_output, canonical, log_path,
+                       supervisor_flags);
   }
   CampaignOptions options;
   options.workers = static_cast<int>(workers);

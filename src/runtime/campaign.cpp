@@ -118,7 +118,9 @@ CellResult run_cell(const CampaignCell& cell,
   return result;
 }
 
-CampaignPercentiles percentiles(std::vector<double> values) {
+}  // namespace
+
+CampaignPercentiles campaign_percentiles(std::vector<double> values) {
   CampaignPercentiles result;
   if (values.empty()) return result;
   std::sort(values.begin(), values.end());
@@ -132,6 +134,12 @@ CampaignPercentiles percentiles(std::vector<double> values) {
   result.p99 = nearest_rank(0.99);
   result.max = values.back();
   return result;
+}
+
+namespace {
+
+CampaignPercentiles percentiles(std::vector<double> values) {
+  return campaign_percentiles(std::move(values));
 }
 
 }  // namespace
@@ -442,6 +450,18 @@ void write_campaign_csv(std::ostream& out, const CampaignResult& result) {
   }
 }
 
+void write_supervision_csv(std::ostream& out,
+                           const SupervisionSummary& summary) {
+  out << "shard,completed,from_journal,attempts,retries,"
+         "stragglers_respawned,total_attempt_seconds\n";
+  for (const ShardSupervisionRow& row : summary.rows) {
+    out << row.shard_index << ',' << (row.completed ? 1 : 0) << ','
+        << (row.from_journal ? 1 : 0) << ',' << row.attempts << ','
+        << row.retries << ',' << row.stragglers_respawned << ','
+        << row.total_attempt_seconds << '\n';
+  }
+}
+
 namespace {
 
 void write_percentiles_json(std::ostream& out, const char* key,
@@ -509,6 +529,33 @@ void write_campaign_json(std::ostream& out, const CampaignResult& result,
     out << ',';
     write_percentiles_json(out, "max_delivery_skew",
                            result.max_delivery_skew);
+    if (result.supervision.enabled) {
+      // Supervision history describes the worker processes, not the grid:
+      // a retried shard computed the same bytes as a first-try one, so —
+      // like the kernel/vtable split — it stays out of canonical mode.
+      const SupervisionSummary& sup = result.supervision;
+      out << ",\"supervision\":{\"shards\":" << sup.shards
+          << ",\"attempts\":" << sup.attempts << ",\"retries\":" << sup.retries
+          << ",\"requeues\":" << sup.requeues
+          << ",\"stragglers_respawned\":" << sup.stragglers_respawned
+          << ",\"shards_from_journal\":" << sup.shards_from_journal
+          << ",\"shards_failed\":" << sup.shards_failed << ',';
+      write_percentiles_json(out, "attempt_seconds", sup.attempt_seconds);
+      out << ",\"per_shard\":[";
+      for (std::size_t i = 0; i < sup.rows.size(); ++i) {
+        const ShardSupervisionRow& row = sup.rows[i];
+        if (i != 0) out << ',';
+        out << "{\"shard\":" << row.shard_index
+            << ",\"completed\":" << (row.completed ? "true" : "false")
+            << ",\"from_journal\":" << (row.from_journal ? "true" : "false")
+            << ",\"attempts\":" << row.attempts
+            << ",\"retries\":" << row.retries
+            << ",\"stragglers_respawned\":" << row.stragglers_respawned
+            << ",\"total_attempt_seconds\":" << row.total_attempt_seconds
+            << '}';
+      }
+      out << "]}";
+    }
   }
   out << ",\"cell_results\":[";
   bool first = true;

@@ -114,6 +114,49 @@ struct CampaignPercentiles {
   double max = 0.0;
 };
 
+/// The nearest-rank percentile computation the campaign aggregates use,
+/// exported for other telemetry surfaces (supervision attempt times, run
+/// log). Returns all zeros for an empty input.
+CampaignPercentiles campaign_percentiles(std::vector<double> values);
+
+/// Per-shard supervision telemetry (the PR 9 shard supervisor,
+/// src/runtime/supervisor.h), carried on a merged CampaignResult when the
+/// campaign ran under supervision.
+struct ShardSupervisionRow {
+  int shard_index = 0;
+  bool completed = false;
+  /// The accepted result came from the checkpoint journal; no process ran.
+  bool from_journal = false;
+  int attempts = 0;
+  int retries = 0;
+  int stragglers_respawned = 0;
+  /// Wall-clock summed over every attempt of this shard (including killed
+  /// and superseded ones).
+  double total_attempt_seconds = 0.0;
+};
+
+/// Campaign-level supervision telemetry. Pure scheduling history — which
+/// processes ran, how often they were retried — so, like the kernel-step
+/// split, it is excluded from canonical JSON: supervision affects when
+/// work runs, never what it computes.
+struct SupervisionSummary {
+  /// False on unsupervised campaigns; the writers then omit it entirely.
+  bool enabled = false;
+  int shards = 0;
+  int attempts = 0;
+  int retries = 0;
+  /// Total re-enqueues: failure retries plus speculative launches.
+  int requeues = 0;
+  int stragglers_respawned = 0;
+  int shards_from_journal = 0;
+  /// Shards that exhausted retries (> 0 only under --allow-partial; a
+  /// strict merge would have thrown).
+  int shards_failed = 0;
+  /// Percentiles of per-shard total attempt wall-clock.
+  CampaignPercentiles attempt_seconds;
+  std::vector<ShardSupervisionRow> rows;
+};
+
 struct CampaignResult {
   /// One entry per input cell, in input order (independent of the
   /// scheduling order the pool actually used).
@@ -150,6 +193,11 @@ struct CampaignResult {
   CampaignPercentiles messages_dropped;
   CampaignPercentiles messages_duplicated;
   CampaignPercentiles max_delivery_skew;
+  /// Supervision telemetry (PR 9): filled by the sharded drivers after
+  /// merge_shard_results; enabled = false on plain run_campaign results.
+  /// finalize_campaign_aggregates leaves it untouched — it describes the
+  /// processes, not the cells.
+  SupervisionSummary supervision;
 };
 
 /// Recomputes every aggregate field of `result` (solved/valid/failed
@@ -252,6 +300,12 @@ std::vector<CampaignCell> make_table1_grid(
 
 /// One CSV row per cell plus a header row.
 void write_campaign_csv(std::ostream& out, const CampaignResult& result);
+
+/// One CSV row per supervised shard plus a header row (the per-cell table
+/// above stays stable whether or not a campaign was supervised). Callers
+/// should skip it when !summary.enabled.
+void write_supervision_csv(std::ostream& out,
+                           const SupervisionSummary& summary);
 
 struct CampaignJsonOptions {
   /// Canonical mode emits only the deterministic fields — everything that

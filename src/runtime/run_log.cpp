@@ -83,6 +83,24 @@ bool parse_entry(const std::string& line, RunLogEntry& entry) {
         parse_optional_percentiles(root, "messages_duplicated");
     entry.max_delivery_skew =
         parse_optional_percentiles(root, "max_delivery_skew");
+    if (const json::Value* sup = root.find("supervision")) {
+      entry.supervision_shards =
+          static_cast<int>(sup->at("shards").as_i64());
+      entry.supervision_attempts =
+          static_cast<int>(sup->at("attempts").as_i64());
+      entry.supervision_retries =
+          static_cast<int>(sup->at("retries").as_i64());
+      entry.supervision_requeues =
+          static_cast<int>(sup->at("requeues").as_i64());
+      entry.supervision_stragglers_respawned =
+          static_cast<int>(sup->at("stragglers_respawned").as_i64());
+      entry.supervision_shards_from_journal =
+          static_cast<int>(sup->at("shards_from_journal").as_i64());
+      entry.supervision_shards_failed =
+          static_cast<int>(sup->at("shards_failed").as_i64());
+      entry.supervision_attempt_seconds =
+          parse_percentiles(sup->at("attempt_seconds"));
+    }
   } catch (...) {
     return false;
   }
@@ -165,6 +183,18 @@ RunLogEntry make_run_log_entry(const CampaignResult& result) {
   entry.messages_dropped = result.messages_dropped;
   entry.messages_duplicated = result.messages_duplicated;
   entry.max_delivery_skew = result.max_delivery_skew;
+  if (result.supervision.enabled) {
+    entry.supervision_shards = result.supervision.shards;
+    entry.supervision_attempts = result.supervision.attempts;
+    entry.supervision_retries = result.supervision.retries;
+    entry.supervision_requeues = result.supervision.requeues;
+    entry.supervision_stragglers_respawned =
+        result.supervision.stragglers_respawned;
+    entry.supervision_shards_from_journal =
+        result.supervision.shards_from_journal;
+    entry.supervision_shards_failed = result.supervision.shards_failed;
+    entry.supervision_attempt_seconds = result.supervision.attempt_seconds;
+  }
   return entry;
 }
 
@@ -204,6 +234,22 @@ void append_run_log(const std::string& path, const CampaignResult& result) {
   write_percentiles(out, "messages_duplicated", entry.messages_duplicated);
   out << ',';
   write_percentiles(out, "max_delivery_skew", entry.max_delivery_skew);
+  // Supervision block only for supervised campaigns — entries from plain
+  // runs stay byte-for-byte in the pre-supervisor format.
+  if (entry.supervision_shards > 0) {
+    out << ",\"supervision\":{\"shards\":" << entry.supervision_shards
+        << ",\"attempts\":" << entry.supervision_attempts
+        << ",\"retries\":" << entry.supervision_retries
+        << ",\"requeues\":" << entry.supervision_requeues
+        << ",\"stragglers_respawned\":"
+        << entry.supervision_stragglers_respawned
+        << ",\"shards_from_journal\":"
+        << entry.supervision_shards_from_journal
+        << ",\"shards_failed\":" << entry.supervision_shards_failed << ',';
+    write_percentiles(out, "attempt_seconds",
+                      entry.supervision_attempt_seconds);
+    out << '}';
+  }
   out << "}\n";
 }
 

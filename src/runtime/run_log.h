@@ -46,6 +46,19 @@ struct RunLogEntry {
   CampaignPercentiles messages_dropped;
   CampaignPercentiles messages_duplicated;
   CampaignPercentiles max_delivery_skew;
+  /// Supervision telemetry (the PR 9 shard supervisor): process-level
+  /// retry/requeue history for supervised sharded campaigns. All zero when
+  /// the campaign ran unsupervised or the entry predates supervision (the
+  /// reader tolerates the block's absence).
+  int supervision_shards = 0;
+  int supervision_attempts = 0;
+  int supervision_retries = 0;
+  int supervision_requeues = 0;
+  int supervision_stragglers_respawned = 0;
+  int supervision_shards_from_journal = 0;
+  int supervision_shards_failed = 0;
+  /// Percentiles of per-shard total attempt wall-clock.
+  CampaignPercentiles supervision_attempt_seconds;
 };
 
 /// FNV-1a over every cell's identifying fields, independent of outcomes.

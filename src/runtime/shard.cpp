@@ -443,65 +443,75 @@ ShardResult run_shard(const ShardManifest& manifest,
 
 // --- merging ----------------------------------------------------------------
 
-CampaignResult merge_shard_results(const ShardPlan& plan,
-                                   const std::vector<ShardResult>& results) {
+std::string shard_result_problem(const ShardPlan& plan,
+                                 const ShardResult& result) {
+  const std::string label = "shard " + std::to_string(result.shard_index);
+  if (result.plan_grid_hash != plan.grid_hash)
+    return label + " is foreign (plan hash " +
+           std::to_string(result.plan_grid_hash) + ", expected " +
+           std::to_string(plan.grid_hash) + ")";
+  if (result.shard_index < 0 ||
+      static_cast<std::size_t>(result.shard_index) >= plan.shards.size())
+    return label + " is out of range (plan has " +
+           std::to_string(plan.shards.size()) + " shards)";
+  const ShardManifest& manifest =
+      plan.shards[static_cast<std::size_t>(result.shard_index)];
+  if (result.shard_grid_hash != manifest.shard_grid_hash)
+    return label + " grid hash " + std::to_string(result.shard_grid_hash) +
+           " does not match the plan's " +
+           std::to_string(manifest.shard_grid_hash);
+  if (result.cell_indices != manifest.cell_indices ||
+      result.cells.size() != manifest.cells.size())
+    return label + " cell list does not match the plan";
+  // The result's cell *identities* re-hash to the claimed fingerprint —
+  // a result whose cell list was edited after the run is caught even
+  // though its header still carries the right hashes. (Outcome fields —
+  // output_hash, solved, stats — are not covered by any fingerprint;
+  // verifying those would mean re-running the work.)
+  std::vector<CampaignCell> identities;
+  identities.reserve(result.cells.size());
+  for (const CellResult& cell : result.cells) identities.push_back(cell.cell);
+  const std::uint64_t recomputed = campaign_grid_hash(identities);
+  if (recomputed != manifest.shard_grid_hash)
+    return label + " cells hash to " + std::to_string(recomputed) +
+           " instead of the plan's " +
+           std::to_string(manifest.shard_grid_hash);
+  return "";
+}
+
+namespace {
+
+CampaignResult merge_impl(const ShardPlan& plan,
+                          const std::vector<ShardResult>& results,
+                          PartialMergeReport* partial) {
   const std::size_t num_shards = plan.shards.size();
   std::vector<const ShardResult*> by_index(num_shards, nullptr);
   std::vector<std::string> problems;
 
   for (const ShardResult& result : results) {
-    const std::string label = "shard " + std::to_string(result.shard_index);
-    if (result.plan_grid_hash != plan.grid_hash) {
-      problems.push_back(label + " is foreign (plan hash " +
-                         std::to_string(result.plan_grid_hash) +
-                         ", expected " + std::to_string(plan.grid_hash) + ")");
-      continue;
-    }
-    if (result.shard_index < 0 ||
-        static_cast<std::size_t>(result.shard_index) >= num_shards) {
-      problems.push_back(label + " is out of range (plan has " +
-                         std::to_string(num_shards) + " shards)");
+    const std::string problem = shard_result_problem(plan, result);
+    if (!problem.empty()) {
+      problems.push_back(problem);
       continue;
     }
     const std::size_t slot = static_cast<std::size_t>(result.shard_index);
     if (by_index[slot] != nullptr) {
-      problems.push_back(label + " appears more than once");
+      problems.push_back("shard " + std::to_string(result.shard_index) +
+                         " appears more than once");
       continue;
     }
     by_index[slot] = &result;
-
-    const ShardManifest& manifest = plan.shards[slot];
-    if (result.shard_grid_hash != manifest.shard_grid_hash) {
-      problems.push_back(label + " grid hash " +
-                         std::to_string(result.shard_grid_hash) +
-                         " does not match the plan's " +
-                         std::to_string(manifest.shard_grid_hash));
-      continue;
-    }
-    if (result.cell_indices != manifest.cell_indices ||
-        result.cells.size() != manifest.cells.size()) {
-      problems.push_back(label + " cell list does not match the plan");
-      continue;
-    }
-    // The result's cell *identities* re-hash to the claimed fingerprint —
-    // a result whose cell list was edited after the run is caught even
-    // though its header still carries the right hashes. (Outcome fields —
-    // output_hash, solved, stats — are not covered by any fingerprint;
-    // verifying those would mean re-running the work.)
-    std::vector<CampaignCell> identities;
-    identities.reserve(result.cells.size());
-    for (const CellResult& cell : result.cells)
-      identities.push_back(cell.cell);
-    const std::uint64_t recomputed = campaign_grid_hash(identities);
-    if (recomputed != manifest.shard_grid_hash)
-      problems.push_back(label + " cells hash to " +
-                         std::to_string(recomputed) +
-                         " instead of the plan's " +
-                         std::to_string(manifest.shard_grid_hash));
   }
-  for (std::size_t s = 0; s < num_shards; ++s)
-    if (by_index[s] == nullptr)
-      problems.push_back("shard " + std::to_string(s) + " is missing");
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (by_index[s] != nullptr) continue;
+    if (partial != nullptr) {
+      // Partial mode: a missing shard degrades the merge instead of
+      // killing it — every other problem stays fatal below.
+      partial->missing_shards.push_back(static_cast<int>(s));
+      continue;
+    }
+    problems.push_back("shard " + std::to_string(s) + " is missing");
+  }
 
   if (!problems.empty()) {
     std::string message = "merge_shard_results: ";
@@ -517,14 +527,62 @@ CampaignResult merge_shard_results(const ShardPlan& plan,
   merged.workers = 0;
   merged.elapsed_seconds = 0.0;
   for (const ShardResult* result : by_index) {
+    if (result == nullptr) continue;
     merged.workers += result->workers;
     merged.elapsed_seconds =
         std::max(merged.elapsed_seconds, result->elapsed_seconds);
     for (std::size_t i = 0; i < result->cells.size(); ++i)
       merged.cells[result->cell_indices[i]] = result->cells[i];
   }
+  if (partial != nullptr) {
+    for (const int s : partial->missing_shards) {
+      const ShardManifest& manifest =
+          plan.shards[static_cast<std::size_t>(s)];
+      for (std::size_t i = 0; i < manifest.cells.size(); ++i) {
+        const std::size_t grid_index = manifest.cell_indices[i];
+        CellResult& cell = merged.cells[grid_index];
+        cell.cell = manifest.cells[i];
+        cell.error = "shard " + std::to_string(s) +
+                     " produced no accepted result";
+        partial->missing_cell_indices.push_back(grid_index);
+      }
+    }
+    std::sort(partial->missing_cell_indices.begin(),
+              partial->missing_cell_indices.end());
+  }
   finalize_campaign_aggregates(merged);
   return merged;
+}
+
+}  // namespace
+
+CampaignResult merge_shard_results(const ShardPlan& plan,
+                                   const std::vector<ShardResult>& results) {
+  return merge_impl(plan, results, nullptr);
+}
+
+CampaignResult merge_shard_results_partial(
+    const ShardPlan& plan, const std::vector<ShardResult>& results,
+    PartialMergeReport& report) {
+  report = PartialMergeReport{};
+  return merge_impl(plan, results, &report);
+}
+
+std::string PartialMergeReport::describe() const {
+  if (complete()) return "partial merge: complete (no shard missing)";
+  std::string message = "partial merge: missing shards [";
+  for (std::size_t i = 0; i < missing_shards.size(); ++i) {
+    if (i != 0) message += ", ";
+    message += std::to_string(missing_shards[i]);
+  }
+  message += "] covering " + std::to_string(missing_cell_indices.size()) +
+             " cells [";
+  for (std::size_t i = 0; i < missing_cell_indices.size(); ++i) {
+    if (i != 0) message += ", ";
+    message += std::to_string(missing_cell_indices[i]);
+  }
+  message += "]";
+  return message;
 }
 
 }  // namespace unilocal

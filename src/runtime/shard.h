@@ -142,19 +142,54 @@ struct ShardResult {
 ShardResult run_shard(const ShardManifest& manifest,
                       const CampaignOptions& options = {});
 
+/// Validates one result against the plan it claims to belong to: foreign
+/// (plan_grid_hash mismatch), out-of-range shard index, grid-hash or
+/// cell-list disagreement with the plan's manifest, and a recomputed
+/// campaign_grid_hash over the result's cell identities that contradicts
+/// the claimed fingerprint. Returns "" when the result is acceptable, a
+/// description of the first problem otherwise. This is the acceptance
+/// test the merge applies per result and the supervisor
+/// (src/runtime/supervisor.h) applies to every worker output file — a
+/// corrupted result is indistinguishable from a crashed worker.
+/// Verification covers cell *identity and membership* (everything
+/// campaign_grid_hash hashes); outcome fields are taken on trust —
+/// checking a claimed output_hash would mean re-running the cell.
+std::string shard_result_problem(const ShardPlan& plan,
+                                 const ShardResult& result);
+
 /// Verifies `results` against `plan` and reassembles the full
 /// CampaignResult: cells in grid order, aggregates recomputed via
 /// finalize_campaign_aggregates — per-cell output_hash and
 /// campaign_grid_hash bit-identical to a single-process run_campaign.
 /// workers is summed across shards; elapsed_seconds is the max (shards run
 /// concurrently). Throws ONE std::runtime_error naming every offender:
-/// foreign shards (plan_grid_hash mismatch), out-of-range and duplicate
-/// shard indices, missing shards, and shards whose grid hash or cell list
-/// disagrees with the plan. Verification covers cell *identity and
-/// membership* (everything campaign_grid_hash hashes); outcome fields are
-/// taken on trust — checking a claimed output_hash would mean re-running
-/// the cell.
+/// every shard_result_problem, duplicate shard indices, and missing
+/// shards.
 CampaignResult merge_shard_results(const ShardPlan& plan,
                                    const std::vector<ShardResult>& results);
+
+/// What a partial merge had to leave out: the shards that never produced
+/// an accepted result and the grid indices of every cell they covered.
+struct PartialMergeReport {
+  std::vector<int> missing_shards;
+  std::vector<std::size_t> missing_cell_indices;
+
+  bool complete() const { return missing_shards.empty(); }
+  /// One human-readable report enumerating every missing shard and cell.
+  std::string describe() const;
+};
+
+/// Graceful-degradation merge (`--allow-partial`): identical to
+/// merge_shard_results except that MISSING shards are tolerated — their
+/// cells appear in the merged CampaignResult with their planned identity
+/// and a non-empty error ("shard N produced no accepted result"), so they
+/// count as failed in the aggregates, and `report` enumerates every
+/// missing shard and cell in one place. Results that are present but
+/// invalid (foreign/corrupt/duplicate) still throw exactly like the
+/// strict merge: partial means "less work arrived", never "bad work
+/// accepted".
+CampaignResult merge_shard_results_partial(const ShardPlan& plan,
+                                           const std::vector<ShardResult>& results,
+                                           PartialMergeReport& report);
 
 }  // namespace unilocal

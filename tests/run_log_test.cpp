@@ -91,6 +91,37 @@ TEST_F(RunLogTest, ToleratesEntriesWithoutTelemetryBlocks) {
   EXPECT_DOUBLE_EQ(entries[0].dirty_spans_cleared.p50, 0.0);
 }
 
+TEST_F(RunLogTest, SupervisionBlockRoundTripsAndIsOmittedWhenUnsupervised) {
+  // Unsupervised campaign: no supervision block on the line, zeros back.
+  const CampaignResult plain = tiny_campaign();
+  append_run_log(path_, plain);
+  // Supervised campaign: the block round-trips.
+  CampaignResult supervised = tiny_campaign();
+  supervised.supervision.enabled = true;
+  supervised.supervision.shards = 4;
+  supervised.supervision.attempts = 7;
+  supervised.supervision.retries = 2;
+  supervised.supervision.requeues = 3;
+  supervised.supervision.stragglers_respawned = 1;
+  supervised.supervision.shards_from_journal = 2;
+  supervised.supervision.shards_failed = 0;
+  supervised.supervision.attempt_seconds =
+      campaign_percentiles({0.5, 1.5, 2.5, 4.0});
+  append_run_log(path_, supervised);
+  const auto entries = read_run_log(path_);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].supervision_shards, 0);
+  EXPECT_EQ(entries[0].supervision_attempts, 0);
+  EXPECT_EQ(entries[1].supervision_shards, 4);
+  EXPECT_EQ(entries[1].supervision_attempts, 7);
+  EXPECT_EQ(entries[1].supervision_retries, 2);
+  EXPECT_EQ(entries[1].supervision_requeues, 3);
+  EXPECT_EQ(entries[1].supervision_stragglers_respawned, 1);
+  EXPECT_EQ(entries[1].supervision_shards_from_journal, 2);
+  EXPECT_DOUBLE_EQ(entries[1].supervision_attempt_seconds.max, 4.0);
+  EXPECT_DOUBLE_EQ(entries[1].supervision_attempt_seconds.p50, 1.5);
+}
+
 TEST_F(RunLogTest, CompareFindsTheLatestMatchingBaseline) {
   const CampaignResult result = tiny_campaign();
   // Empty/missing log: nothing to compare against.
