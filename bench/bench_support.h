@@ -12,7 +12,7 @@
 
 #include "src/core/nonuniform.h"
 #include "src/runtime/runner.h"
-#include "src/runtime/trace.h"
+#include "src/util/table.h"
 
 namespace unilocal {
 namespace bench {

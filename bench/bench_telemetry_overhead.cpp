@@ -1,0 +1,74 @@
+// Telemetry overhead (src/runtime/telemetry.h): the same campaign workload
+// at the three attachment levels —
+//   Arg(0) off: no recorder, no registry; every reporting site reduces to
+//          one null/pointer test (the cost every untraced run pays);
+//   Arg(1) attached-but-sampled: recorder bound with --trace-rounds=0 and
+//          a registry installed, so run/cell spans and metrics record but
+//          per-round events are suppressed by head sampling;
+//   Arg(2) full: default head-sampling cap, every round of every engine
+//          run records a span.
+// The off row must stay within noise of a pre-telemetry build (the
+// disabled path adds one branch per round); the gap between the rows IS
+// the price of per-round tracing, paid only when a sink is attached.
+//
+// BENCH_engine.json ("pr10_telemetry_overhead") records the numbers from
+//   ./build/bench_telemetry_overhead --benchmark_format=json
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "src/runtime/campaign.h"
+#include "src/runtime/telemetry.h"
+
+namespace unilocal {
+namespace {
+
+std::vector<CampaignCell> benchmark_grid() {
+  ScenarioParams params;
+  params.n = 2000;
+  // Round-heavy cells: per-round trace events are the cost being measured,
+  // so pick algorithms that run many rounds per cell.
+  return make_grid({"gnp", "layered-forest"}, params,
+                   {"luby-mis", "mis-uniform"}, 2);
+}
+
+void BM_TelemetryOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const auto cells = benchmark_grid();
+  std::int64_t trace_events = 0;
+  int solved = 0;
+  for (auto _ : state) {
+    telemetry::TraceRecorder recorder;
+    telemetry::MetricsRegistry registry;
+    const telemetry::ScopedMetrics scoped(mode > 0 ? &registry : nullptr);
+    CampaignOptions options;
+    options.workers = 1;
+    if (mode > 0) {
+      options.trace = &recorder;
+      options.trace_rounds =
+          mode == 2 ? telemetry::kDefaultTraceRounds : 0;
+    }
+    const CampaignResult result = run_campaign(cells, options);
+    solved = result.solved;
+    trace_events = static_cast<std::int64_t>(recorder.size());
+    benchmark::DoNotOptimize(result.cells.data());
+  }
+  state.counters["cells"] = static_cast<double>(cells.size());
+  state.counters["solved"] = static_cast<double>(solved);
+  state.counters["trace_events"] = static_cast<double>(trace_events);
+  state.SetLabel(mode == 0   ? "off"
+                 : mode == 1 ? "attached_sampled"
+                             : "full");
+}
+BENCHMARK(BM_TelemetryOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace unilocal
+
+BENCHMARK_MAIN();

@@ -91,6 +91,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -114,6 +115,7 @@
 #include "src/runtime/run_log.h"
 #include "src/runtime/shard.h"
 #include "src/runtime/supervisor.h"
+#include "src/runtime/telemetry.h"
 
 using namespace unilocal;
 
@@ -122,10 +124,12 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: unilocal_cli <mis|matching|coloring|rulingset2> "
-               "[edge-list-file] [--stats] [--kernel=off|auto|on] "
+               "[edge-list-file] [--stats] [--stats-json=FILE] "
+               "[--kernel=off|auto|on] "
                "[--network=sync|delay:uniform|delay:weighted|delay:heavytail] "
                "[--drop=P] [--dup=P] [--crash=P] [--late=P] [--max-delay=T] "
-               "[--late-by=T]\n"
+               "[--late-by=T] [--trace=FILE] [--metrics=FILE] "
+               "[--trace-rounds=N]\n"
                "       unilocal_cli sweep [--scenarios=a,b,..] "
                "[--algorithms=x,y,..|all|glob*] [--n=N] [--a=V] [--b=V] "
                "[--seeds=K] [--workers=W] [--kernel=M] "
@@ -133,19 +137,22 @@ int usage() {
                "[--policy=round-robin|cost-balanced] [--max-attempts=N] "
                "[--shard-timeout=S] [--journal=FILE] [--allow-partial] "
                "[--no-speculate] [--format=csv|json] "
-               "[--canonical] [--log=FILE] [--list]\n"
+               "[--canonical] [--log=FILE] [--trace=FILE] [--metrics=FILE] "
+               "[--trace-rounds=N] [--list]\n"
                "       unilocal_cli table1 [--n=N] [--seeds=K] [--workers=W] "
                "[--kernel=M] [--network=SPEC,..] [fault knobs] [--shards=K] "
                "[--policy=P] [--max-attempts=N] [--shard-timeout=S] "
                "[--journal=FILE] [--allow-partial] [--no-speculate] "
                "[--format=csv|json] "
-               "[--canonical] [--log=FILE] [--smoke]\n"
+               "[--canonical] [--log=FILE] [--trace=FILE] [--metrics=FILE] "
+               "[--trace-rounds=N] [--smoke]\n"
                "       unilocal_cli shard plan --dir=DIR --shards=K "
                "[--policy=P] (--table1 [--smoke] | --scenarios=.. "
                "--algorithms=..) [--n=N] [--a=V] [--b=V] [--seeds=K] "
                "[--network=SPEC,..] [fault knobs]\n"
                "       unilocal_cli shard run MANIFEST [--out=FILE] "
-               "[--workers=W] [--kernel=M]\n"
+               "[--workers=W] [--kernel=M] [--trace=FILE] [--metrics=FILE] "
+               "[--trace-rounds=N]\n"
                "       unilocal_cli shard merge PLAN RESULT... "
                "[--format=csv|json] [--canonical] [--log=FILE]\n");
   return 2;
@@ -325,6 +332,62 @@ struct SupervisorFlags {
   }
 };
 
+/// The observability flag group every subcommand shares
+/// (src/runtime/telemetry.h): --trace=FILE writes a Chrome trace-event
+/// JSON (Perfetto-loadable), --metrics=FILE a merged metrics snapshot,
+/// --trace-rounds=N caps per-round engine events per run (head sampling).
+/// None of these touch stdout: canonical output is byte-identical with
+/// and without them.
+struct TelemetryFlags {
+  std::string trace_path;
+  std::string metrics_path;
+  std::int64_t trace_rounds = telemetry::kDefaultTraceRounds;
+
+  bool consume(const std::string& arg) {
+    const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = value();
+      if (trace_path.empty())
+        throw std::runtime_error("--trace: expected a file path");
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = value();
+      if (metrics_path.empty())
+        throw std::runtime_error("--metrics: expected a file path");
+    } else if (arg.rfind("--trace-rounds=", 0) == 0) {
+      trace_rounds = std::stoll(value());
+      if (trace_rounds < 0)
+        throw std::runtime_error("--trace-rounds: must be >= 0, got " +
+                                 value());
+    } else {
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Owns the recorder/registry the telemetry flags asked for (null when a
+/// flag is absent) and writes their files at the end of the run.
+/// `want_registry` forces a registry even without --metrics (--stats-json
+/// folds a metrics snapshot into its document).
+struct TelemetrySinks {
+  std::unique_ptr<telemetry::TraceRecorder> recorder;
+  std::unique_ptr<telemetry::MetricsRegistry> registry;
+
+  explicit TelemetrySinks(const TelemetryFlags& flags,
+                          bool want_registry = false) {
+    if (!flags.trace_path.empty())
+      recorder = std::make_unique<telemetry::TraceRecorder>();
+    if (!flags.metrics_path.empty() || want_registry)
+      registry = std::make_unique<telemetry::MetricsRegistry>();
+  }
+
+  void write(const TelemetryFlags& flags) const {
+    if (recorder != nullptr) recorder->write_file(flags.trace_path);
+    if (registry != nullptr && !flags.metrics_path.empty())
+      write_text_file(flags.metrics_path, registry->to_json().dump() + "\n");
+  }
+};
+
 void print_percentiles(const char* what, const CampaignPercentiles& p) {
   std::fprintf(stderr, "  %-16s p50=%.0f p90=%.0f p99=%.0f max=%.0f\n", what,
                p.p50, p.p90, p.p99, p.max);
@@ -450,7 +513,8 @@ int run_sharded(const char* what, const std::vector<CampaignCell>& cells,
                 int shards, ShardPolicy policy, int workers_per_shard,
                 KernelMode kernel_mode, bool json_output, bool canonical,
                 const std::string& log_path,
-                const SupervisorFlags& supervisor_flags) {
+                const SupervisorFlags& supervisor_flags,
+                const TelemetryFlags& telemetry_flags) {
   namespace fs = std::filesystem;
   const ShardPlan plan = plan_shards(cells, shards, policy);
 
@@ -462,19 +526,39 @@ int run_sharded(const char* what, const std::vector<CampaignCell>& cells,
     throw std::runtime_error("cannot create shard scratch directory");
   const ScratchDir scratch{dir_buffer.data()};
 
+  // Sharded telemetry: the supervisor records its own spans on pid 1;
+  // workers write per-attempt trace files into scratch, and the accepted
+  // attempt of each shard is stitched under pid shard+2 before scratch is
+  // deleted. --metrics here snapshots the supervisor process only (the
+  // cells ran in the workers).
+  const TelemetrySinks sinks(telemetry_flags);
+  const telemetry::ScopedMetrics scoped_metrics(sinks.registry.get());
+  if (sinks.recorder != nullptr)
+    sinks.recorder->set_process_name(1, "supervisor");
+  const auto worker_trace_path = [&scratch](int shard, int attempt) {
+    return (scratch.dir /
+            ("trace-" + std::to_string(shard) + "-attempt-" +
+             std::to_string(attempt) + ".json"))
+        .string();
+  };
+
   SupervisorOptions options;
   options.max_attempts = supervisor_flags.max_attempts;
   options.base_timeout_seconds = supervisor_flags.base_timeout_seconds;
   options.speculate = supervisor_flags.speculate;
   options.scratch_dir = scratch.dir.string();
   options.journal_path = supervisor_flags.journal_path;
+  options.trace = sinks.recorder.get();
 
   const std::string exe = self_executable();
   const std::string inject_spec = chaos_spec_name(supervisor_flags.chaos);
   const std::uint64_t inject_seed = supervisor_flags.chaos.seed;
+  const bool tracing = sinks.recorder != nullptr;
+  const std::int64_t trace_rounds = telemetry_flags.trace_rounds;
   const WorkerCommand command =
-      [&exe, workers_per_shard, kernel_mode, &inject_spec,
-       inject_seed](const ShardAttemptContext& context) {
+      [&exe, workers_per_shard, kernel_mode, &inject_spec, inject_seed,
+       tracing, trace_rounds,
+       &worker_trace_path](const ShardAttemptContext& context) {
         std::vector<std::string> argv = {
             exe,
             "shard",
@@ -483,6 +567,11 @@ int run_sharded(const char* what, const std::vector<CampaignCell>& cells,
             "--out=" + context.result_path,
             "--workers=" + std::to_string(workers_per_shard),
             "--kernel=" + std::string(kernel_mode_name(kernel_mode))};
+        if (tracing) {
+          argv.push_back("--trace=" + worker_trace_path(context.shard_index,
+                                                        context.attempt));
+          argv.push_back("--trace-rounds=" + std::to_string(trace_rounds));
+        }
         if (!inject_spec.empty()) {
           // The worker draws its own fault from (spec, seed, shard,
           // attempt) — the supervisor only forwards the attempt number.
@@ -494,6 +583,44 @@ int run_sharded(const char* what, const std::vector<CampaignCell>& cells,
       };
 
   const SupervisorReport report = supervise_shards(plan, options, command);
+
+  // Stitch the accepted attempt of every completed shard into the merged
+  // trace while scratch still exists. A worker that died before writing
+  // its trace (or a journal-resumed shard, which launched no process)
+  // simply contributes no lane.
+  if (sinks.recorder != nullptr) {
+    for (const ShardSupervision& sup : report.shards) {
+      if (!sup.completed || sup.from_journal) continue;
+      for (const ShardAttemptRecord& record : sup.log) {
+        if (record.outcome != "accepted") continue;
+        const std::string path =
+            worker_trace_path(sup.shard_index, record.attempt);
+        try {
+          sinks.recorder->merge_process(
+              json::Value::parse(read_text_file(path)), sup.shard_index + 2,
+              "shard " + std::to_string(sup.shard_index));
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "%s: trace stitch: skipping %s: %s\n", what,
+                       path.c_str(), e.what());
+        }
+        break;
+      }
+    }
+  }
+  if (sinks.registry != nullptr) {
+    // Sharded --metrics snapshots the supervisor process: the supervision
+    // counters (cell-level metrics live in the workers).
+    sinks.registry->add("supervisor.attempts", report.attempts);
+    sinks.registry->add("supervisor.retries", report.retries);
+    sinks.registry->add("supervisor.requeues", report.requeues);
+    sinks.registry->add("supervisor.stragglers_respawned",
+                        report.stragglers_respawned);
+    sinks.registry->add("supervisor.shards_from_journal",
+                        report.shards_from_journal);
+    sinks.registry->add("supervisor.shards_failed",
+                        static_cast<std::int64_t>(report.failed_shards.size()));
+  }
+  sinks.write(telemetry_flags);
   std::fprintf(stderr,
                "%s: supervised %zu shards (%s policy, %d workers each): "
                "%d attempts, %d retries, %d stragglers respawned, "
@@ -540,6 +667,17 @@ int run_sharded(const char* what, const std::vector<CampaignCell>& cells,
     row.retries = sup.retries;
     row.stragglers_respawned = sup.stragglers_respawned;
     row.total_attempt_seconds = sup.total_attempt_seconds;
+    for (const ShardAttemptRecord& record : sup.log) {
+      ShardAttemptTiming timing;
+      timing.attempt = record.attempt;
+      timing.speculative = record.speculative;
+      timing.start_seconds = record.start_seconds;
+      timing.end_seconds = record.end_seconds;
+      timing.killed = record.killed;
+      timing.outcome = record.outcome;
+      if (record.killed) ++merged.supervision.attempts_killed;
+      row.attempt_log.push_back(std::move(timing));
+    }
     merged.supervision.rows.push_back(row);
     if (!sup.from_journal)
       attempt_seconds.push_back(sup.total_attempt_seconds);
@@ -651,11 +789,13 @@ int run_shard_run(int argc, char** argv) {
   if (workers == 0) workers = 1;
   KernelMode kernel_mode = KernelMode::kAuto;
   ChaosOptions chaos;
+  TelemetryFlags telemetry_flags;
   int attempt = 1;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
-    if (arg.rfind("--out=", 0) == 0) {
+    if (telemetry_flags.consume(arg)) {
+    } else if (arg.rfind("--out=", 0) == 0) {
       out_path = value();
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = static_cast<unsigned>(std::stoi(value()));
@@ -695,10 +835,20 @@ int run_shard_run(int argc, char** argv) {
     return 1;
   }
 
+  // Worker-side telemetry: the shard's cells trace on local pid 1; the
+  // supervisor remaps the whole file onto its own pid lane when stitching.
+  const TelemetrySinks sinks(telemetry_flags);
+  const telemetry::ScopedMetrics scoped_metrics(sinks.registry.get());
+  if (sinks.recorder != nullptr)
+    sinks.recorder->set_process_name(
+        1, "shard " + std::to_string(manifest.shard_index));
   CampaignOptions options;
   options.workers = static_cast<int>(workers);
   options.kernel_mode = kernel_mode;
+  options.trace = sinks.recorder.get();
+  options.trace_rounds = telemetry_flags.trace_rounds;
   const ShardResult result = run_shard(manifest, options);
+  sinks.write(telemetry_flags);
   std::string text = result.to_json().dump() + "\n";
   if (fault == ChaosFault::kCorrupt) {
     // A torn write: the file exists but holds only half the document. The
@@ -793,13 +943,15 @@ int run_sweep(int argc, char** argv) {
   KernelMode kernel_mode = KernelMode::kAuto;
   NetworkFlags network_flags;
   SupervisorFlags supervisor_flags;
+  TelemetryFlags telemetry_flags;
   bool json_output = false;
   bool canonical = false;
   std::string log_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
-    if (network_flags.consume(arg) || supervisor_flags.consume(arg)) {
+    if (network_flags.consume(arg) || supervisor_flags.consume(arg) ||
+        telemetry_flags.consume(arg)) {
     } else if (arg == "--list") {
       const auto& registry = default_algorithm_registry();
       std::printf("scenario families:\n");
@@ -877,12 +1029,20 @@ int run_sweep(int argc, char** argv) {
                               ? static_cast<int>(workers)
                               : std::max(1, static_cast<int>(workers) / shards);
     return run_sharded("sweep", cells, shards, policy, per_shard, kernel_mode,
-                       json_output, canonical, log_path, supervisor_flags);
+                       json_output, canonical, log_path, supervisor_flags,
+                       telemetry_flags);
   }
+  const TelemetrySinks sinks(telemetry_flags);
+  const telemetry::ScopedMetrics scoped_metrics(sinks.registry.get());
+  if (sinks.recorder != nullptr)
+    sinks.recorder->set_process_name(1, "campaign");
   CampaignOptions options;
   options.workers = static_cast<int>(workers);
   options.kernel_mode = kernel_mode;
+  options.trace = sinks.recorder.get();
+  options.trace_rounds = telemetry_flags.trace_rounds;
   const CampaignResult result = run_campaign(cells, options);
+  sinks.write(telemetry_flags);
   return report_campaign("sweep", result, json_output, canonical, log_path);
 }
 
@@ -898,6 +1058,7 @@ int run_table1(int argc, char** argv) {
   KernelMode kernel_mode = KernelMode::kAuto;
   NetworkFlags network_flags;
   SupervisorFlags supervisor_flags;
+  TelemetryFlags telemetry_flags;
   bool json_output = false;
   bool canonical = false;
   bool smoke = false;
@@ -907,7 +1068,8 @@ int run_table1(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
-    if (network_flags.consume(arg) || supervisor_flags.consume(arg)) {
+    if (network_flags.consume(arg) || supervisor_flags.consume(arg) ||
+        telemetry_flags.consume(arg)) {
     } else if (arg == "--smoke") {
       smoke = true;
     } else if (arg.rfind("--n=", 0) == 0) {
@@ -959,12 +1121,19 @@ int run_table1(int argc, char** argv) {
                               : std::max(1, static_cast<int>(workers) / shards);
     return run_sharded("table1", cells, shards, policy, per_shard,
                        kernel_mode, json_output, canonical, log_path,
-                       supervisor_flags);
+                       supervisor_flags, telemetry_flags);
   }
+  const TelemetrySinks sinks(telemetry_flags);
+  const telemetry::ScopedMetrics scoped_metrics(sinks.registry.get());
+  if (sinks.recorder != nullptr)
+    sinks.recorder->set_process_name(1, "campaign");
   CampaignOptions options;
   options.workers = static_cast<int>(workers);
   options.kernel_mode = kernel_mode;
+  options.trace = sinks.recorder.get();
+  options.trace_rounds = telemetry_flags.trace_rounds;
   const CampaignResult result = run_campaign(cells, options);
+  sinks.write(telemetry_flags);
   return report_campaign("table1", result, json_output, canonical, log_path);
 }
 
@@ -1045,6 +1214,8 @@ int main(int argc, char** argv) {
   bool want_stats = false;
   UniformRunOptions run_options;
   NetworkFlags network_flags;
+  TelemetryFlags telemetry_flags;
+  std::string stats_json_path;
   const char* file = nullptr;
   const char* problem_arg = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -1053,12 +1224,14 @@ int main(int argc, char** argv) {
     try {
       // Malformed --network=/--drop=/... values are rejected here with an
       // error naming the flag, exactly like --kernel= below.
-      consumed = network_flags.consume(arg);
+      consumed = network_flags.consume(arg) || telemetry_flags.consume(arg);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return usage();
     }
     if (consumed) {
+    } else if (arg.rfind("--stats-json=", 0) == 0) {
+      stats_json_path = arg.substr(arg.find('=') + 1);
     } else if (arg == "--stats") {
       want_stats = true;
     } else if (arg.rfind("--kernel=", 0) == 0) {
@@ -1105,6 +1278,20 @@ int main(int argc, char** argv) {
                                     IdentityScheme::kRandomPermuted, 1);
 
   const std::string problem = problem_arg;
+  // --stats-json folds a metrics snapshot into its document, so it wants a
+  // registry even without --metrics.
+  const TelemetrySinks sinks(telemetry_flags, !stats_json_path.empty());
+  const telemetry::ScopedMetrics scoped_metrics(sinks.registry.get());
+  std::unique_ptr<telemetry::ScopedTraceBinding> trace_scope;
+  if (sinks.recorder != nullptr) {
+    sinks.recorder->set_process_name(1, problem);
+    telemetry::TraceBinding binding;
+    binding.recorder = sinks.recorder.get();
+    binding.trace_rounds = telemetry_flags.trace_rounds;
+    trace_scope = std::make_unique<telemetry::ScopedTraceBinding>(binding);
+  }
+  EngineStats engine_stats;
+  std::int64_t total_rounds = 0;
   try {
   if (problem == "mis") {
     const auto algorithm = make_coloring_mis();
@@ -1116,6 +1303,8 @@ int main(int argc, char** argv) {
              is_maximal_independent_set(instance.graph, result.outputs),
          "mis");
     if (want_stats) emit_stats(result.engine_stats, "mis");
+    engine_stats = result.engine_stats;
+    total_rounds = result.total_rounds;
   } else if (problem == "matching") {
     const auto algorithm = make_colored_matching();
     const MatchingPruning pruning;
@@ -1125,6 +1314,8 @@ int main(int argc, char** argv) {
          result.solved && is_maximal_matching(instance.graph, result.outputs),
          "matching");
     if (want_stats) emit_stats(result.engine_stats, "matching");
+    engine_stats = result.engine_stats;
+    total_rounds = result.total_rounds;
   } else if (problem == "coloring") {
     const auto algorithm = make_lambda_gdelta_coloring(1);
     const auto result =
@@ -1133,6 +1324,8 @@ int main(int argc, char** argv) {
          result.solved && is_proper_coloring(instance.graph, result.colors),
          "coloring");
     if (want_stats) emit_stats(result.engine_stats, "coloring");
+    engine_stats = result.engine_stats;
+    total_rounds = result.total_rounds;
   } else if (problem == "rulingset2") {
     const auto algorithm = make_mc_ruling_set(2);
     const RulingSetPruning pruning(2);
@@ -1143,12 +1336,66 @@ int main(int argc, char** argv) {
              is_two_beta_ruling_set(instance.graph, result.outputs, 2),
          "rulingset2");
     if (want_stats) emit_stats(result.engine_stats, "rulingset2");
+    engine_stats = result.engine_stats;
+    total_rounds = result.total_rounds;
   } else {
     return usage();
   }
   } catch (const std::exception& e) {
     // e.g. --kernel=on on a pipeline with unlowered stages.
     std::fprintf(stderr, "%s: %s\n", problem.c_str(), e.what());
+    return 1;
+  }
+  try {
+    sinks.write(telemetry_flags);
+    if (!stats_json_path.empty()) {
+      // One document: the run's EngineStats merged with the metrics
+      // snapshot (the same registry the engine reported into).
+      json::Value engine = json::Value::object();
+      engine.set("arena_bytes", json::Value::number(engine_stats.arena_bytes));
+      engine.set("peak_round_messages",
+                 json::Value::number(engine_stats.peak_round_messages));
+      engine.set("total_messages",
+                 json::Value::number(engine_stats.total_messages));
+      engine.set("total_steps", json::Value::number(engine_stats.total_steps));
+      engine.set("kernel_steps",
+                 json::Value::number(engine_stats.kernel_steps));
+      engine.set("vtable_steps",
+                 json::Value::number(engine_stats.vtable_steps));
+      engine.set("kernel_batched_steps",
+                 json::Value::number(engine_stats.kernel_batched_steps));
+      engine.set("kernel_batch_calls",
+                 json::Value::number(engine_stats.kernel_batch_calls));
+      engine.set("peak_live_nodes",
+                 json::Value::number(engine_stats.peak_live_nodes));
+      engine.set("final_live_nodes",
+                 json::Value::number(engine_stats.final_live_nodes));
+      engine.set("peak_frontier_nodes",
+                 json::Value::number(engine_stats.peak_frontier_nodes));
+      engine.set("dirty_spans_cleared",
+                 json::Value::number(engine_stats.dirty_spans_cleared));
+      engine.set("messages_dropped",
+                 json::Value::number(engine_stats.messages_dropped));
+      engine.set("messages_duplicated",
+                 json::Value::number(engine_stats.messages_duplicated));
+      engine.set("max_delivery_skew",
+                 json::Value::number(engine_stats.max_delivery_skew));
+      engine.set("elapsed_seconds",
+                 json::Value::number(engine_stats.elapsed_seconds));
+      engine.set("steps_per_second",
+                 json::Value::number(engine_stats.steps_per_second));
+      engine.set("threads", json::Value::number(
+                                static_cast<std::int64_t>(engine_stats.threads)));
+      json::Value doc = json::Value::object();
+      doc.set("problem", json::Value::string(problem));
+      doc.set("rounds", json::Value::number(total_rounds));
+      doc.set("engine", std::move(engine));
+      const json::Value metrics_doc = sinks.registry->to_json();
+      doc.set("metrics", *metrics_doc.find("metrics"));
+      write_text_file(stats_json_path, doc.dump() + "\n");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "telemetry: %s\n", e.what());
     return 1;
   }
   return 0;

@@ -118,6 +118,51 @@ CellResult run_cell(const CampaignCell& cell,
   return result;
 }
 
+/// Publishes one finished cell into the installed metrics registry (a
+/// single null check when none is installed); all counters sum and the
+/// histograms merge bucket-wise, so the snapshot is worker-placement
+/// invariant.
+void publish_cell_metrics(const CellResult& cell) {
+  telemetry::MetricsRegistry* reg = telemetry::metrics();
+  if (reg == nullptr) return;
+  reg->add("campaign.cells", 1);
+  if (!cell.error.empty()) {
+    reg->add("campaign.cells_failed", 1);
+    return;
+  }
+  if (cell.solved) reg->add("campaign.cells_solved", 1);
+  if (cell.valid) reg->add("campaign.cells_valid", 1);
+  reg->observe("campaign.cell_rounds", cell.rounds);
+  reg->observe("campaign.cell_messages", cell.stats.total_messages);
+}
+
+/// The per-cell span run_campaign records when a trace is attached:
+/// registry keys, seed, and grid index ride along as args so Perfetto
+/// queries can slice by any grid dimension.
+telemetry::TraceEvent make_cell_span(const CellResult& cell,
+                                     std::size_t grid_index,
+                                     const CampaignOptions& options,
+                                     int tid, std::int64_t t0,
+                                     std::int64_t t1) {
+  telemetry::TraceEvent span;
+  span.name = "cell";
+  span.ts = t0;
+  span.dur = t1 - t0;
+  span.pid = options.trace_pid;
+  span.tid = tid;
+  span.arg("index", static_cast<std::int64_t>(grid_index));
+  span.arg("scenario", cell.cell.scenario);
+  span.arg("algorithm", cell.cell.algorithm);
+  span.arg("seed", cell.cell.seed);
+  span.arg("n", static_cast<std::int64_t>(cell.cell.params.n));
+  span.arg("network", std::string(network_spec_name(cell.cell.network)));
+  span.arg("rounds", cell.rounds);
+  span.arg("solved", cell.solved);
+  span.arg("valid", cell.valid);
+  if (!cell.error.empty()) span.arg("error", cell.error);
+  return span;
+}
+
 }  // namespace
 
 CampaignPercentiles campaign_percentiles(std::vector<double> values) {
@@ -258,9 +303,33 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
   const auto start = std::chrono::steady_clock::now();
   pool->run(static_cast<int>(cells.size()), [&](int i) {
     const WorkspacePool::Lease lease(workspaces);
-    result.cells[static_cast<std::size_t>(i)] =
-        run_cell(cells[static_cast<std::size_t>(i)], scenarios, algorithms,
-                 lease.get(), options);
+    const std::size_t ci = static_cast<std::size_t>(i);
+    if (options.trace == nullptr) {
+      result.cells[ci] =
+          run_cell(cells[ci], scenarios, algorithms, lease.get(), options);
+      publish_cell_metrics(result.cells[ci]);
+      return;
+    }
+    // Bind the recorder around the cell so the engine's ambient per-round
+    // events land on this worker's lane, then wrap the cell in a span.
+    telemetry::TraceBinding binding;
+    binding.recorder = options.trace;
+    binding.pid = options.trace_pid;
+    binding.tid = options.trace->lane();
+    binding.trace_rounds = options.trace_rounds;
+    const telemetry::ScopedTraceBinding bound(binding);
+    const std::int64_t t0 = options.trace->now();
+    result.cells[ci] =
+        run_cell(cells[ci], scenarios, algorithms, lease.get(), options);
+    const std::int64_t t1 = options.trace->now();
+    const std::size_t grid_index =
+        options.trace_cell_indices != nullptr &&
+                ci < options.trace_cell_indices->size()
+            ? (*options.trace_cell_indices)[ci]
+            : ci;
+    options.trace->record(make_cell_span(result.cells[ci], grid_index,
+                                         options, binding.tid, t0, t1));
+    publish_cell_metrics(result.cells[ci]);
   });
   result.elapsed_seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - start)
@@ -453,12 +522,15 @@ void write_campaign_csv(std::ostream& out, const CampaignResult& result) {
 void write_supervision_csv(std::ostream& out,
                            const SupervisionSummary& summary) {
   out << "shard,completed,from_journal,attempts,retries,"
-         "stragglers_respawned,total_attempt_seconds\n";
+         "stragglers_respawned,total_attempt_seconds,attempts_killed\n";
   for (const ShardSupervisionRow& row : summary.rows) {
+    int killed = 0;
+    for (const ShardAttemptTiming& at : row.attempt_log)
+      if (at.killed) ++killed;
     out << row.shard_index << ',' << (row.completed ? 1 : 0) << ','
         << (row.from_journal ? 1 : 0) << ',' << row.attempts << ','
         << row.retries << ',' << row.stragglers_respawned << ','
-        << row.total_attempt_seconds << '\n';
+        << row.total_attempt_seconds << ',' << killed << '\n';
   }
 }
 
@@ -539,6 +611,7 @@ void write_campaign_json(std::ostream& out, const CampaignResult& result,
           << ",\"requeues\":" << sup.requeues
           << ",\"stragglers_respawned\":" << sup.stragglers_respawned
           << ",\"shards_from_journal\":" << sup.shards_from_journal
+          << ",\"attempts_killed\":" << sup.attempts_killed
           << ",\"shards_failed\":" << sup.shards_failed << ',';
       write_percentiles_json(out, "attempt_seconds", sup.attempt_seconds);
       out << ",\"per_shard\":[";
@@ -551,8 +624,22 @@ void write_campaign_json(std::ostream& out, const CampaignResult& result,
             << ",\"attempts\":" << row.attempts
             << ",\"retries\":" << row.retries
             << ",\"stragglers_respawned\":" << row.stragglers_respawned
-            << ",\"total_attempt_seconds\":" << row.total_attempt_seconds
-            << '}';
+            << ",\"total_attempt_seconds\":" << row.total_attempt_seconds;
+        // Per-attempt timing (PR 10): start/end relative to supervision
+        // start plus the kill flag, so a killed straggler's timeline is
+        // reconstructable without the live trace.
+        out << ",\"attempt_log\":[";
+        for (std::size_t a = 0; a < row.attempt_log.size(); ++a) {
+          const ShardAttemptTiming& at = row.attempt_log[a];
+          if (a != 0) out << ',';
+          out << "{\"attempt\":" << at.attempt
+              << ",\"speculative\":" << (at.speculative ? "true" : "false")
+              << ",\"start_seconds\":" << at.start_seconds
+              << ",\"end_seconds\":" << at.end_seconds
+              << ",\"killed\":" << (at.killed ? "true" : "false")
+              << ",\"outcome\":\"" << json::escape(at.outcome) << "\"}";
+        }
+        out << "]}";
       }
       out << "]}";
     }

@@ -34,6 +34,7 @@
 #include "src/runtime/algorithm_registry.h"
 #include "src/runtime/instance.h"
 #include "src/runtime/runner.h"
+#include "src/runtime/telemetry.h"
 #include "src/util/thread_pool.h"
 
 namespace unilocal {
@@ -119,6 +120,22 @@ struct CampaignPercentiles {
 /// log). Returns all zeros for an empty input.
 CampaignPercentiles campaign_percentiles(std::vector<double> values);
 
+/// One supervised attempt's timing, relative to the supervision start
+/// (PR 10): persisted into the non-canonical JSON and the run log so
+/// post-hoc analysis of killed/straggler attempts does not need the live
+/// trace.
+struct ShardAttemptTiming {
+  int attempt = 0;
+  bool speculative = false;
+  /// Seconds from supervision start to fork / to reap.
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  /// The supervisor SIGKILLed this attempt (deadline or superseded).
+  bool killed = false;
+  /// "accepted", "superseded", or the wait-status description.
+  std::string outcome;
+};
+
 /// Per-shard supervision telemetry (the PR 9 shard supervisor,
 /// src/runtime/supervisor.h), carried on a merged CampaignResult when the
 /// campaign ran under supervision.
@@ -133,6 +150,8 @@ struct ShardSupervisionRow {
   /// Wall-clock summed over every attempt of this shard (including killed
   /// and superseded ones).
   double total_attempt_seconds = 0.0;
+  /// Per-attempt timing history, in launch order.
+  std::vector<ShardAttemptTiming> attempt_log;
 };
 
 /// Campaign-level supervision telemetry. Pure scheduling history — which
@@ -149,6 +168,9 @@ struct SupervisionSummary {
   int requeues = 0;
   int stragglers_respawned = 0;
   int shards_from_journal = 0;
+  /// Attempts the supervisor SIGKILLed (deadline timeouts plus superseded
+  /// speculative siblings), summed over the rows' attempt logs.
+  int attempts_killed = 0;
   /// Shards that exhausted retries (> 0 only under --allow-partial; a
   /// strict merge would have thrown).
   int shards_failed = 0;
@@ -244,6 +266,19 @@ struct CampaignOptions {
   /// network keeps it — grids built with GridOptions::networks bake the
   /// network into each cell.
   NetworkOptions network;
+  /// Telemetry (PR 10): when non-null, every cell runs under a span on this
+  /// recorder (with the ambient engine binding installed, so engine runs
+  /// emit their per-round events into the same lanes). Never feeds the
+  /// campaign's own results — canonical JSON is byte-identical either way.
+  telemetry::TraceRecorder* trace = nullptr;
+  /// Per-run head-sampling cap for the engine's round events.
+  std::int64_t trace_rounds = telemetry::kDefaultTraceRounds;
+  /// pid lane cell spans are recorded under (worker processes get their
+  /// own after the supervisor's merge remaps them).
+  int trace_pid = 1;
+  /// Grid positions of the cells (shard manifests carry a subset of the
+  /// full grid); cell spans then report the grid index, not the local one.
+  const std::vector<std::size_t>* trace_cell_indices = nullptr;
 };
 
 /// Runs every cell; never throws on per-cell failures (they land in

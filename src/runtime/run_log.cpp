@@ -98,6 +98,9 @@ bool parse_entry(const std::string& line, RunLogEntry& entry) {
           static_cast<int>(sup->at("shards_from_journal").as_i64());
       entry.supervision_shards_failed =
           static_cast<int>(sup->at("shards_failed").as_i64());
+      if (const json::Value* killed = sup->find("attempts_killed"))
+        entry.supervision_attempts_killed =
+            static_cast<int>(killed->as_i64());
       entry.supervision_attempt_seconds =
           parse_percentiles(sup->at("attempt_seconds"));
     }
@@ -193,6 +196,7 @@ RunLogEntry make_run_log_entry(const CampaignResult& result) {
     entry.supervision_shards_from_journal =
         result.supervision.shards_from_journal;
     entry.supervision_shards_failed = result.supervision.shards_failed;
+    entry.supervision_attempts_killed = result.supervision.attempts_killed;
     entry.supervision_attempt_seconds = result.supervision.attempt_seconds;
   }
   return entry;
@@ -245,7 +249,9 @@ void append_run_log(const std::string& path, const CampaignResult& result) {
         << entry.supervision_stragglers_respawned
         << ",\"shards_from_journal\":"
         << entry.supervision_shards_from_journal
-        << ",\"shards_failed\":" << entry.supervision_shards_failed << ',';
+        << ",\"shards_failed\":" << entry.supervision_shards_failed
+        << ",\"attempts_killed\":" << entry.supervision_attempts_killed
+        << ',';
     write_percentiles(out, "attempt_seconds",
                       entry.supervision_attempt_seconds);
     out << '}';

@@ -57,6 +57,9 @@ struct RunLogEntry {
   int supervision_stragglers_respawned = 0;
   int supervision_shards_from_journal = 0;
   int supervision_shards_failed = 0;
+  /// Attempts the supervisor SIGKILLed (deadline overrun or superseded by
+  /// an accepted sibling); zero when the entry predates it.
+  int supervision_attempts_killed = 0;
   /// Percentiles of per-shard total attempt wall-clock.
   CampaignPercentiles supervision_attempt_seconds;
 };

@@ -12,6 +12,7 @@
 #include "src/graph/csr.h"
 #include "src/graph/params.h"
 #include "src/runtime/frontier.h"
+#include "src/runtime/telemetry.h"
 #include "src/util/math.h"
 #include "src/util/thread_pool.h"
 
@@ -29,7 +30,35 @@ struct StepDelta {
   std::int64_t batch_calls = 0;
   NodeId newly_finished = 0;
   NodeId cut_off = 0;
+  /// Per-phase bucket sizes of this thread's step_bucketed calls; filled
+  /// only while a traced round is in flight (empty otherwise).
+  std::vector<std::int64_t> phase_sizes;
 };
+
+/// Publishes one finished run's counters into the installed metrics
+/// registry; a single null check when none is installed. Counters sum and
+/// gauges take the max under the registry's per-thread-cell merge, so the
+/// merged snapshot is identical for any worker-thread placement of runs.
+void publish_engine_metrics(const EngineStats& stats, std::int64_t rounds) {
+  telemetry::MetricsRegistry* reg = telemetry::metrics();
+  if (reg == nullptr) return;
+  reg->add("engine.runs", 1);
+  reg->observe("engine.rounds", rounds);
+  reg->add("engine.messages", stats.total_messages);
+  reg->add("engine.steps", stats.total_steps);
+  reg->add("engine.kernel_steps", stats.kernel_steps);
+  reg->add("engine.vtable_steps", stats.vtable_steps);
+  reg->add("engine.kernel_batched_steps", stats.kernel_batched_steps);
+  reg->add("engine.kernel_batch_calls", stats.kernel_batch_calls);
+  reg->add("engine.dirty_spans_cleared", stats.dirty_spans_cleared);
+  reg->add("engine.messages_dropped", stats.messages_dropped);
+  reg->add("engine.messages_duplicated", stats.messages_duplicated);
+  reg->record_max("engine.peak_live_nodes", stats.peak_live_nodes);
+  reg->record_max("engine.peak_frontier_nodes", stats.peak_frontier_nodes);
+  reg->record_max("engine.peak_round_messages", stats.peak_round_messages);
+  reg->record_max("engine.max_delivery_skew", stats.max_delivery_skew);
+  reg->record_max("engine.arena_bytes", stats.arena_bytes);
+}
 
 }  // namespace
 
@@ -136,6 +165,11 @@ class ArenaEngine {
         ws_.pool = std::make_unique<ThreadPool>(threads_);
     }
 
+    // Ambient per-thread trace binding: read once per run; when none is
+    // bound the only per-round cost is the trace_ null test.
+    trace_ = telemetry::trace_binding();
+    if (trace_ != nullptr && trace_->recorder == nullptr) trace_ = nullptr;
+
     if (options.kernel_mode != KernelMode::kOff) {
       kernel_ = algorithm.kernel();
       if (kernel_ == nullptr && options.kernel_mode == KernelMode::kOn)
@@ -231,6 +265,7 @@ class ArenaEngine {
 
   RunResult run_simultaneous() {
     const auto start = std::chrono::steady_clock::now();
+    begin_trace_run();
     const std::size_t slots = static_cast<std::size_t>(
         csr_.num_directed_edges());
     SynchronousNetwork& net = ws_.sim_net;
@@ -246,9 +281,14 @@ class ArenaEngine {
         static_cast<std::int64_t>(slots);  // round 0 assumes a dense start
     std::int64_t round = 0;
     for (; live > 0 && round < options_.max_rounds; ++round) {
+      const bool traced = begin_trace_round();
+      const std::int64_t trace_t0 =
+          traced ? trace_->recorder->now() : 0;
       net.begin_round(prev_round_messages);
       peak_frontier_ = std::max<std::int64_t>(peak_frontier_, live);
       std::int64_t round_messages = 0;
+      std::int64_t round_steps = 0;
+      std::int64_t round_batched = 0, round_batch_calls = 0;
       const std::size_t live_n = ws_.live.size();
       if (threads_ == 1) {
         step_range(0, 0, live_n, round);
@@ -271,9 +311,18 @@ class ArenaEngine {
         round_messages += delta.messages;
         max_message_words_ = std::max(max_message_words_, delta.max_words);
         total_steps_ += delta.steps;
+        round_steps += delta.steps;
         batched_steps_ += delta.batched_steps;
         batch_calls_ += delta.batch_calls;
         cut_off_ += delta.cut_off;
+        round_batched += delta.batched_steps;
+        round_batch_calls += delta.batch_calls;
+        if (traced && !delta.phase_sizes.empty()) {
+          if (trace_phases_.size() < delta.phase_sizes.size())
+            trace_phases_.resize(delta.phase_sizes.size(), 0);
+          for (std::size_t p = 0; p < delta.phase_sizes.size(); ++p)
+            trace_phases_[p] += delta.phase_sizes[p];
+        }
         delta = StepDelta{};
       }
       peak_round_messages_ =
@@ -281,6 +330,19 @@ class ArenaEngine {
       prev_round_messages = round_messages;
       net.end_round();
       erase_finished(ws_.live, ws_.finished);
+      if (traced) {
+        telemetry::TraceEvent event = make_round_event(trace_t0);
+        event.arg("round", round);
+        event.arg("frontier", static_cast<std::int64_t>(live_n));
+        event.arg("messages", round_messages);
+        event.arg("steps", round_steps);
+        if (kernel_has_batch_) {
+          event.arg("batched_steps", round_batched);
+          event.arg("batch_calls", round_batch_calls);
+        }
+        attach_phase_sizes(event);
+        trace_->recorder->record(std::move(event));
+      }
       if (live == 0) {
         ++round;
         break;
@@ -296,6 +358,7 @@ class ArenaEngine {
 
   RunResult run_synchronized(const std::vector<std::int64_t>& wake_rounds) {
     const auto start = std::chrono::steady_clock::now();
+    begin_trace_run();
     assert(wake_rounds.size() == static_cast<std::size_t>(n_));
     const std::size_t slots = static_cast<std::size_t>(
         csr_.num_directed_edges());
@@ -345,9 +408,15 @@ class ArenaEngine {
         global = next.has_value() ? std::min(*next, global_cap) : global_cap;
         continue;
       }
+      const bool traced = begin_trace_round();
+      const std::int64_t trace_t0 =
+          traced ? trace_->recorder->now() : 0;
       peak_frontier_ = std::max<std::int64_t>(
           peak_frontier_, static_cast<std::int64_t>(frontier.size()));
       std::int64_t round_messages = 0;
+      const std::int64_t steps_before = total_steps_;
+      const std::int64_t batched_before = batched_steps_;
+      const std::int64_t batch_calls_before = batch_calls_;
       // Phase 1: step the frontier — exactly the eligible snapshot the
       // per-round rescan used to recompute. A batch-capable kernel steps it
       // phase-bucketed first (frontier nodes are mutually independent this
@@ -358,7 +427,8 @@ class ArenaEngine {
         ws_.stepped_round[static_cast<std::size_t>(v)] = global;
       if (kernel_has_batch_)
         step_bucketed(0, frontier.data(), frontier.size(), -1,
-                      &batched_steps_, &batch_calls_);
+                      &batched_steps_, &batch_calls_,
+                      traced ? &trace_phases_ : nullptr);
       for (const NodeId v : frontier) {
         const std::size_t vi = static_cast<std::size_t>(v);
         const std::int64_t r = ws_.local_round[vi];
@@ -439,6 +509,19 @@ class ArenaEngine {
       }
       ws_.candidates.clear();
       peak_round_messages_ = std::max(peak_round_messages_, round_messages);
+      if (traced) {
+        telemetry::TraceEvent event = make_round_event(trace_t0);
+        event.arg("global", global);
+        event.arg("frontier", static_cast<std::int64_t>(frontier.size()));
+        event.arg("messages", round_messages);
+        event.arg("steps", total_steps_ - steps_before);
+        if (kernel_has_batch_) {
+          event.arg("batched_steps", batched_steps_ - batched_before);
+          event.arg("batch_calls", batch_calls_ - batch_calls_before);
+        }
+        attach_phase_sizes(event);
+        trace_->recorder->record(std::move(event));
+      }
       std::swap(frontier, ws_.next_frontier);
       ws_.next_frontier.clear();
       ++global;
@@ -469,6 +552,7 @@ class ArenaEngine {
   /// the loop exits cleanly with the survivors finalized as cut off.
   RunResult run_delayed(const std::vector<std::int64_t>& wake_rounds) {
     const auto start = std::chrono::steady_clock::now();
+    begin_trace_run();
     DelayedNetwork& net = ws_.delayed_net;
     net.begin_run(csr_, options_.seed, options_.network);
     const std::size_t nn = static_cast<std::size_t>(n_);
@@ -798,7 +882,8 @@ class ArenaEngine {
   /// dependencies).
   void step_bucketed(int tid, const NodeId* nodes, std::size_t count,
                      std::int64_t uniform_round, std::int64_t* batched_steps,
-                     std::int64_t* batch_calls) {
+                     std::int64_t* batch_calls,
+                     std::vector<std::int64_t>* phase_sizes = nullptr) {
     auto& scratch = ws_.scratch[static_cast<std::size_t>(tid)];
     const std::size_t nphases = kernel_->phases.size();
     scratch.bucket_nodes.resize(nphases);
@@ -816,6 +901,12 @@ class ArenaEngine {
           *kernel_, r, kstate_base_ + static_cast<std::size_t>(v) * kstride_);
       scratch.bucket_nodes[p].push_back(v);
       scratch.bucket_rounds[p].push_back(r);
+    }
+    if (phase_sizes != nullptr) {
+      phase_sizes->assign(nphases, 0);
+      for (std::size_t p = 0; p < nphases; ++p)
+        (*phase_sizes)[p] =
+            static_cast<std::int64_t>(scratch.bucket_nodes[p].size());
     }
     for (std::size_t p = 0; p < nphases; ++p) {
       const auto& bucket = scratch.bucket_nodes[p];
@@ -863,7 +954,8 @@ class ArenaEngine {
     // the per-node loop below then only does the round bookkeeping.
     if (kernel_has_batch_)
       step_bucketed(tid, ws_.live.data() + lo, hi - lo, round,
-                    &delta.batched_steps, &delta.batch_calls);
+                    &delta.batched_steps, &delta.batch_calls,
+                    trace_round_active_ ? &delta.phase_sizes : nullptr);
     for (std::size_t i = lo; i < hi; ++i) {
       const NodeId v = ws_.live[i];
       if (!kernel_has_batch_) step_one(tid, v, round);
@@ -921,6 +1013,44 @@ class ArenaEngine {
     return result;
   }
 
+  /// Trace helpers. begin_trace_run stamps the run's start on the recorder
+  /// clock; begin_trace_round applies the per-run head-sampling cap and
+  /// arms per-phase bucket-size collection for the round.
+  void begin_trace_run() {
+    if (trace_ == nullptr) return;
+    trace_run_t0_ = trace_->recorder->now();
+  }
+
+  bool begin_trace_round() {
+    const bool traced =
+        trace_ != nullptr && trace_rounds_recorded_ < trace_->trace_rounds;
+    trace_round_active_ = traced && kernel_has_batch_;
+    if (traced) {
+      ++trace_rounds_recorded_;
+      trace_phases_.clear();
+    }
+    return traced;
+  }
+
+  telemetry::TraceEvent make_round_event(std::int64_t t0) {
+    telemetry::TraceEvent event;
+    event.name = "round";
+    event.ts = t0;
+    event.dur = trace_->recorder->now() - t0;
+    event.pid = trace_->pid;
+    event.tid = trace_->tid;
+    event.arg("path", kernel_ != nullptr ? "kernel" : "vtable");
+    return event;
+  }
+
+  void attach_phase_sizes(telemetry::TraceEvent& event) {
+    if (trace_phases_.empty()) return;
+    json::Value sizes = json::Value::array();
+    for (const std::int64_t s : trace_phases_)
+      sizes.push_back(json::Value::number(s));
+    event.args.set("phases", std::move(sizes));
+  }
+
   void fill_stats(RunResult& result,
                   std::chrono::steady_clock::time_point start) {
     auto& stats = result.stats;
@@ -963,6 +1093,25 @@ class ArenaEngine {
         stats.elapsed_seconds > 0.0
             ? static_cast<double>(total_steps_) / stats.elapsed_seconds
             : 0.0;
+    if (trace_ != nullptr) {
+      telemetry::TraceEvent event;
+      event.name = "engine.run";
+      event.ts = trace_run_t0_;
+      event.dur = trace_->recorder->now() - trace_run_t0_;
+      event.pid = trace_->pid;
+      event.tid = trace_->tid;
+      event.arg("mode", delayed_mode_  ? "delayed"
+                        : sync_mode_   ? "synchronized"
+                                       : "simultaneous");
+      event.arg("path", kernel_ != nullptr ? "kernel" : "vtable");
+      event.arg("n", static_cast<std::int64_t>(n_));
+      event.arg("rounds", result.rounds_used);
+      event.arg("global_rounds", result.global_rounds);
+      event.arg("messages", result.messages_sent);
+      event.arg("steps", stats.total_steps);
+      trace_->recorder->record(std::move(event));
+    }
+    publish_engine_metrics(stats, result.rounds_used);
   }
 
   const Instance& instance_;
@@ -984,6 +1133,12 @@ class ArenaEngine {
   std::int64_t batch_calls_ = 0;
   bool sync_mode_ = false;
   bool delayed_mode_ = false;
+  // Ambient trace binding (null = untraced run) and per-run trace state.
+  const telemetry::TraceBinding* trace_ = nullptr;
+  std::int64_t trace_run_t0_ = 0;
+  std::int64_t trace_rounds_recorded_ = 0;
+  bool trace_round_active_ = false;
+  std::vector<std::int64_t> trace_phases_;
   std::vector<Backend> backends_;
   std::vector<StepDelta> deltas_;
   std::int64_t messages_sent_ = 0;

@@ -427,6 +427,10 @@ ShardResult run_shard(const ShardManifest& manifest,
 
   CampaignOptions run_options = options;
   run_options.keep_outputs = false;  // hashes are the cross-process identity
+  // Cell spans in a worker's trace report full-grid positions, not the
+  // manifest-local ones, so the stitched supervisor trace reads uniformly.
+  if (run_options.trace != nullptr)
+    run_options.trace_cell_indices = &manifest.cell_indices;
   CampaignResult campaign = run_campaign(manifest.cells, run_options);
 
   ShardResult result;

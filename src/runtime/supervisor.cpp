@@ -290,6 +290,12 @@ struct RunningAttempt {
   std::string stderr_path;
   bool timed_out = false;
   bool superseded = false;
+  /// Set at either SIGKILL site (deadline overrun, supersede) so the
+  /// attempt record can say the supervisor ended this attempt, not the
+  /// worker.
+  bool killed = false;
+  /// Trace-clock launch timestamp (0 when tracing is off) — the span's ts.
+  std::int64_t trace_t0 = 0;
 };
 
 struct PendingAttempt {
@@ -400,6 +406,16 @@ SupervisorReport supervise_shards(const ShardPlan& plan,
       report.shards[slot].completed = true;
       report.shards[slot].from_journal = true;
       ++report.shards_from_journal;
+      if (options.trace != nullptr) {
+        telemetry::TraceEvent event;
+        event.name = "journal-skip";
+        event.phase = 'i';
+        event.ts = options.trace->now();
+        event.pid = options.trace_pid;
+        event.tid = result.shard_index + 1;
+        event.arg("shard", static_cast<std::int64_t>(result.shard_index));
+        options.trace->record(std::move(event));
+      }
     }
     journal_out.open(options.journal_path,
                      journal.found ? std::ios::app : std::ios::trunc);
@@ -441,12 +457,52 @@ SupervisorReport supervise_shards(const ShardPlan& plan,
     return n;
   };
 
-  const auto record_attempt = [&report](const RunningAttempt& r,
-                                        double seconds, std::string outcome) {
+  // Lifecycle instants ("i" events) on the attempt's shard lane; a null
+  // recorder turns every call into one pointer test.
+  const auto trace_instant = [&options](const char* name, int shard,
+                                        int attempt) {
+    if (options.trace == nullptr) return;
+    telemetry::TraceEvent event;
+    event.name = name;
+    event.phase = 'i';
+    event.ts = options.trace->now();
+    event.pid = options.trace_pid;
+    event.tid = shard + 1;
+    event.arg("shard", static_cast<std::int64_t>(shard));
+    if (attempt > 0) event.arg("attempt", static_cast<std::int64_t>(attempt));
+    options.trace->record(std::move(event));
+  };
+
+  const auto record_attempt = [&report, &options, begin](
+                                  const RunningAttempt& r, double seconds,
+                                  std::string outcome) {
     ShardSupervision& sup = report.shards[static_cast<std::size_t>(r.shard)];
     sup.total_attempt_seconds += seconds;
-    sup.log.push_back(
-        {r.attempt, r.speculative, seconds, std::move(outcome), r.stderr_path});
+    ShardAttemptRecord record;
+    record.attempt = r.attempt;
+    record.speculative = r.speculative;
+    record.seconds = seconds;
+    record.outcome = outcome;
+    record.stderr_path = r.stderr_path;
+    record.start_seconds = seconds_between(begin, r.start);
+    record.end_seconds = record.start_seconds + seconds;
+    record.killed = r.killed;
+    if (options.trace != nullptr) {
+      telemetry::TraceEvent event;
+      event.name = "attempt";
+      event.phase = 'X';
+      event.ts = r.trace_t0;
+      event.dur = options.trace->now() - r.trace_t0;
+      event.pid = options.trace_pid;
+      event.tid = r.shard + 1;
+      event.arg("shard", static_cast<std::int64_t>(r.shard));
+      event.arg("attempt", static_cast<std::int64_t>(r.attempt));
+      event.arg("speculative", r.speculative);
+      event.arg("outcome", outcome);
+      event.arg("killed", r.killed);
+      options.trace->record(std::move(event));
+    }
+    sup.log.push_back(std::move(record));
   };
 
   const auto launch = [&](int shard, bool speculative) {
@@ -474,6 +530,8 @@ SupervisorReport supervise_shards(const ShardPlan& plan,
                         options.timeout_seconds_per_cost * shard_costs[slot];
     r.result_path = context.result_path;
     r.stderr_path = context.stderr_path;
+    if (options.trace != nullptr) r.trace_t0 = options.trace->now();
+    trace_instant("launch", shard, attempt);
     r.pid = spawn_worker(command(context), context.stderr_path);
     if (r.pid < 0) {
       record_attempt(r, 0.0, "spawn failed: fork returned -1");
@@ -522,6 +580,8 @@ SupervisorReport supervise_shards(const ShardPlan& plan,
           if (!r.timed_out &&
               seconds_between(r.start, now) > r.timeout_seconds) {
             r.timed_out = true;
+            r.killed = true;
+            trace_instant("sigkill", r.shard, r.attempt);
             kill(r.pid, SIGKILL);
           }
           ++i;
@@ -562,6 +622,7 @@ SupervisorReport supervise_shards(const ShardPlan& plan,
             if (problem.empty()) {
               ok = true;
               outcome = "accepted";
+              trace_instant("accept", done.shard, done.attempt);
               completed[slot] = 1;
               accepted[slot] = std::move(result);
               report.shards[slot].completed = true;
@@ -584,6 +645,8 @@ SupervisorReport supervise_shards(const ShardPlan& plan,
                 if (sibling.shard != done.shard || sibling.superseded)
                   continue;
                 sibling.superseded = true;
+                sibling.killed = true;
+                trace_instant("sigkill", sibling.shard, sibling.attempt);
                 kill(sibling.pid, SIGKILL);
               }
             } else {
@@ -608,6 +671,7 @@ SupervisorReport supervise_shards(const ShardPlan& plan,
         ++report.shards[slot].retries;
         ++report.retries;
         ++report.requeues;
+        trace_instant("retry", done.shard, done.attempt);
         const int retry = report.shards[slot].retries;
         const double delay =
             std::min(options.backoff_max_seconds,
@@ -639,6 +703,7 @@ SupervisorReport supervise_shards(const ShardPlan& plan,
           ++report.shards[slot].stragglers_respawned;
           ++report.stragglers_respawned;
           ++report.requeues;
+          trace_instant("speculate", r.shard, r.attempt);
           pending.push_front({r.shard, true, now});
         }
       }

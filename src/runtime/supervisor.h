@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "src/runtime/shard.h"
+#include "src/runtime/telemetry.h"
 
 namespace unilocal {
 
@@ -195,6 +196,14 @@ struct SupervisorOptions {
   /// Cost model for timeouts/speculation (default_shard_cost_model() when
   /// null).
   const ShardCostModel* cost_model = nullptr;
+  /// Optional trace recorder: when set, every attempt becomes an "X" span
+  /// on (trace_pid, tid = shard_index + 1) and lifecycle transitions
+  /// (launch / sigkill / speculate / retry / accept / journal-skip) become
+  /// "i" instants. Null disables all span recording.
+  telemetry::TraceRecorder* trace = nullptr;
+  /// pid lane the supervisor's spans live on (workers get their own lanes
+  /// when the caller stitches their trace files via merge_process).
+  int trace_pid = 1;
 };
 
 /// One launch of one shard, as the supervisor saw it end.
@@ -206,6 +215,14 @@ struct ShardAttemptRecord {
   /// "invalid result: ...", "superseded", or "spawn failed: ...".
   std::string outcome;
   std::string stderr_path;
+  /// Launch/reap times in seconds since supervision began — the wall
+  /// placement of this attempt, not just its duration (end - start ==
+  /// seconds up to reap latency).
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  /// True when the supervisor SIGKILLed this attempt (deadline overrun or
+  /// superseded by an accepted sibling).
+  bool killed = false;
 };
 
 /// Per-shard supervision history.

@@ -1,4 +1,4 @@
-#include "src/runtime/trace.h"
+#include "src/util/table.h"
 
 #include <cstdio>
 #include <sstream>

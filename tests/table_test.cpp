@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/param.h"
-#include "src/runtime/trace.h"
+#include "src/util/table.h"
 #include "tests/test_support.h"
 
 namespace unilocal {
